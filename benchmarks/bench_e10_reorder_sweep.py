@@ -1,0 +1,12 @@
+"""E10 — goodput vs reordering intensity.
+
+Regenerates the experiment's table into results/e10_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e10_reorder_sweep for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e10_reorder_sweep(benchmark, results_dir):
+    run_and_record(benchmark, "e10", results_dir)

@@ -1,0 +1,12 @@
+"""E11 — SR / go-back-N / alternating bit as degenerate corners.
+
+Regenerates the experiment's table into results/e11_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e11_special_cases for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e11_special_cases(benchmark, results_dir):
+    run_and_record(benchmark, "e11", results_dir)

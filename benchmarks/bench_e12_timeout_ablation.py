@@ -1,0 +1,12 @@
+"""E12 — premature-timeout safety-margin ablation.
+
+Regenerates the experiment's table into results/e12_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e12_timeout_ablation for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e12_timeout_ablation(benchmark, results_dir):
+    run_and_record(benchmark, "e12", results_dir)

@@ -1,0 +1,13 @@
+"""E13 — Section VI extension: aggressive reuse of acknowledged positions.
+
+Regenerates the experiment's table into results/e13_<mode>.txt and
+asserts the claim's shape reproduced (a real but modest gain, saturating
+by K=2, at a linearly growing wire-number cost).  See
+repro.experiments.e13_position_reuse.
+"""
+
+from conftest import run_and_record
+
+
+def test_e13_position_reuse(benchmark, results_dir):
+    run_and_record(benchmark, "e13", results_dir)

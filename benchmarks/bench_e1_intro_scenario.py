@@ -1,0 +1,12 @@
+"""E1 — Section-I scenario: bounded go-back-N corrupts, block ack survives.
+
+Regenerates the experiment's table into results/e1_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e1_intro_scenario for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e1_intro_scenario(benchmark, results_dir):
+    run_and_record(benchmark, "e1", results_dir)

@@ -1,0 +1,12 @@
+"""E2 — lossless throughput parity with go-back-N across window sizes.
+
+Regenerates the experiment's table into results/e2_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e2_lossless_parity for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e2_lossless_parity(benchmark, results_dir):
+    run_and_record(benchmark, "e2", results_dir)

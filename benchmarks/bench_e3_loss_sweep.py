@@ -1,0 +1,12 @@
+"""E3 — goodput and retransmission efficiency vs loss rate.
+
+Regenerates the experiment's table into results/e3_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e3_loss_sweep for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e3_loss_sweep(benchmark, results_dir):
+    run_and_record(benchmark, "e3", results_dir)

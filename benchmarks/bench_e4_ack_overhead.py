@@ -1,0 +1,12 @@
+"""E4 — acknowledgment messages per delivered payload.
+
+Regenerates the experiment's table into results/e4_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e4_ack_overhead for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e4_ack_overhead(benchmark, results_dir):
+    run_and_record(benchmark, "e4", results_dir)

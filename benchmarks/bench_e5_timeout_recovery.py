@@ -1,0 +1,12 @@
+"""E5 — recovery latency after a lost block ack: simple vs per-message vs oracle.
+
+Regenerates the experiment's table into results/e5_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e5_timeout_recovery for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e5_timeout_recovery(benchmark, results_dir):
+    run_and_record(benchmark, "e5", results_dir)

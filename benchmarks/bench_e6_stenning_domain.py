@@ -1,0 +1,12 @@
+"""E6 — timer-constrained baseline throughput vs sequence-number domain.
+
+Regenerates the experiment's table into results/e6_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e6_stenning_domain for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e6_stenning_domain(benchmark, results_dir):
+    run_and_record(benchmark, "e6", results_dir)

@@ -1,0 +1,12 @@
+"""E7 — bounded (mod-2w) variants behave identically to unbounded.
+
+Regenerates the experiment's table into results/e7_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e7_bounded_equivalence for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e7_bounded_equivalence(benchmark, results_dir):
+    run_and_record(benchmark, "e7", results_dir)

@@ -1,0 +1,12 @@
+"""E8 — exhaustive invariant check (assertions 6-8) plus ablations.
+
+Regenerates the experiment's table into results/e8_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e8_model_check for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e8_model_check(benchmark, results_dir):
+    run_and_record(benchmark, "e8", results_dir)

@@ -1,0 +1,127 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These are conventional repeated-timing benchmarks (unlike the experiment
+benches, which time one full experiment).  They track the cost of the
+pieces every experiment leans on: event-queue churn, channel transit,
+full protocol round trips, and the model checker's state expansion.
+"""
+
+from repro.channel.channel import Channel
+from repro.channel.delay import UniformDelay
+from repro.channel.impairments import BernoulliLoss
+from repro.core.numbering import ModularNumbering
+from repro.core.seqnum import reconstruct
+from repro.core.window import ReceiverWindow, SenderWindow
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.engine import Simulator
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.verify.actions import AbstractProtocolModel
+from repro.verify.explorer import Explorer
+from repro.workloads.sources import GreedySource
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_channel_transit_throughput(benchmark):
+    """Push 5k messages through a jittery lossy channel."""
+
+    def run():
+        import random
+
+        sim = Simulator()
+        channel = Channel(
+            sim,
+            delay=UniformDelay(0.5, 1.5),
+            loss=BernoulliLoss(0.05),
+            rng=random.Random(1),
+        )
+        received = []
+        channel.connect(received.append)
+        for index in range(5000):
+            sim.schedule(index * 0.01, channel.send, index)
+        sim.run()
+        return channel.stats.delivered + channel.stats.lost
+
+    assert benchmark(run) == 5000
+
+
+def test_blockack_transfer_throughput(benchmark):
+    """Full 1k-message transfer: lossy, reordering, bounded wire numbers."""
+
+    def run():
+        numbering = ModularNumbering(8)
+        sender = BlockAckSender(
+            8, numbering=numbering, timeout_mode="per_message_safe"
+        )
+        receiver = BlockAckReceiver(8, numbering=numbering)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(1000),
+            forward=link(), reverse=link(), seed=1, max_time=1_000_000.0,
+        )
+        assert result.completed and result.in_order
+        return result.delivered
+
+    assert benchmark(run) == 1000
+
+
+def test_window_bookkeeping_ops(benchmark):
+    """Window slide: 10k send/ack cycles."""
+
+    def run():
+        sender = SenderWindow(16)
+        receiver = ReceiverWindow(16)
+        for _ in range(10_000):
+            seq = sender.take_next()
+            receiver.accept(seq)
+            receiver.advance()
+            if receiver.ack_ready:
+                lo, hi, _ = receiver.take_block()
+                sender.apply_ack(lo, hi)
+        return sender.na
+
+    assert benchmark(run) == 10_000
+
+
+def test_reconstruct_function(benchmark):
+    """The paper's f: 100k reconstructions."""
+
+    def run():
+        total = 0
+        for x in range(1000):
+            for offset in range(100):
+                total += reconstruct(x, (x + offset % 16) % 16, 16)
+        return total
+
+    benchmark(run)
+
+
+def test_model_checker_expansion(benchmark):
+    """Exhaustive exploration of the w=2, N=4 space with loss."""
+
+    def run():
+        model = AbstractProtocolModel(2, 4, timeout_mode="simple")
+        report = Explorer(model, stop_at_first_violation=False).run()
+        assert report.ok
+        return report.states_explored
+
+    assert benchmark(run) > 100

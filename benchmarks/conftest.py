@@ -1,0 +1,45 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every experiment benchmark:
+
+* regenerates the experiment's table (the paper-claim "figure"),
+* asserts the claim reproduced (the shape checks inside each experiment),
+* writes the rendered table to ``results/<id>.txt`` so the benchmark run
+  leaves the full set of regenerated tables on disk,
+* reports wall-clock time through pytest-benchmark.
+
+Set ``REPRO_FULL=1`` to run experiments at full size (more replications,
+longer transfers); the default is quick mode so the whole suite finishes
+in about a minute.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+FULL_MODE = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_record(benchmark, exp_id: str, results_dir: pathlib.Path):
+    """Benchmark one experiment run; persist and verify its output."""
+    from repro.experiments.registry import run_experiment
+
+    quick = not FULL_MODE
+    result = benchmark.pedantic(
+        run_experiment, args=(exp_id, quick), rounds=1, iterations=1
+    )
+    mode = "full" if FULL_MODE else "quick"
+    (results_dir / f"{exp_id}_{mode}.txt").write_text(result.render() + "\n")
+    assert result.reproduced, result.render()
+    return result

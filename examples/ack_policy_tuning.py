@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Tuning the receiver: how big should acknowledgment blocks be?
+
+The paper's receiver actions 4 and 5 leave open *when* to acknowledge —
+eagerly (small blocks, low latency) or after batching (large blocks, few
+acks).  This example sweeps the counting-policy threshold on a bursty
+workload and prints the trade-off between acknowledgment traffic, ack
+delay exposure, and the sender's derived safe timeout (which must cover
+the receiver's worst-case ack latency).
+
+Run:  python examples/ack_policy_tuning.py
+"""
+
+from repro import (
+    BlockAckReceiver,
+    BlockAckSender,
+    BurstySource,
+    CountingAckPolicy,
+    EagerAckPolicy,
+    LinkSpec,
+    UniformDelay,
+    run_transfer,
+)
+
+WINDOW = 32
+MESSAGES = 2000
+BURST = 16
+
+
+def run_with_policy(label, policy):
+    sender = BlockAckSender(window=WINDOW, timeout_mode="per_message_safe")
+    receiver = BlockAckReceiver(window=WINDOW, ack_policy=policy)
+    link = lambda: LinkSpec(delay=UniformDelay(0.8, 1.2))
+    result = run_transfer(
+        sender,
+        receiver,
+        BurstySource(MESSAGES, burst_size=BURST, gap=6.0),
+        forward=link(),
+        reverse=link(),
+        seed=3,
+    )
+    assert result.completed and result.in_order, f"{label} failed"
+    return result
+
+
+def main() -> None:
+    print(f"bursty workload: {MESSAGES} messages in bursts of {BURST}, w={WINDOW}")
+    print(f"\n{'policy':>22s} {'acks':>6s} {'acks/msg':>9s} "
+          f"{'time':>8s} {'safe timeout':>12s}")
+    policies = [("eager", EagerAckPolicy())]
+    policies += [
+        (f"counting k={k}", CountingAckPolicy(k, max_delay=1.0))
+        for k in (2, 4, 8, 16)
+    ]
+    for label, policy in policies:
+        result = run_with_policy(label, policy)
+        print(
+            f"{label:>22s} {result.receiver_stats['acks_sent']:6d} "
+            f"{result.acks_per_message:9.3f} {result.duration:8.1f} "
+            f"{result.timeout_period:12.2f}"
+        )
+    print(
+        "\nLarger blocks slash acknowledgment traffic (toward 1/k acks per"
+        "\nmessage) at near-zero cost in transfer time on bursty traffic —"
+        "\nbut the batching backstop delay is charged to the sender's safe"
+        "\ntimeout period, so unbounded batching is not free."
+    )
+
+
+if __name__ == "__main__":
+    main()

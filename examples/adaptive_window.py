@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Variable-size windows (Section VI): an AIMD controller on top.
+
+The paper closes by noting "it is possible ... to extend all our
+protocols to have variable size windows".  This example builds a small
+additive-increase / multiplicative-decrease controller on the sender's
+``resize_window`` hook: every acknowledgment grows the window by a
+fraction, every retransmission timeout halves it — TCP's congestion
+control in miniature, running over the block-acknowledgment protocol with
+a fixed mod-2w_max wire domain.
+
+The link's loss rate changes mid-transfer (clean → lossy → clean); the
+controller tracks it, and the transfer stays exactly-once in-order
+throughout.
+
+Run:  python examples/adaptive_window.py
+"""
+
+from repro import (
+    BernoulliLoss,
+    BlockAckReceiver,
+    BlockAckSender,
+    GreedySource,
+    LinkSpec,
+    ModularNumbering,
+    UniformDelay,
+    run_transfer,
+)
+
+MAX_WINDOW = 32
+
+
+class AimdController:
+    """Grow the window on acks, halve it on timeouts."""
+
+    def __init__(self, sender: BlockAckSender) -> None:
+        self.sender = sender
+        self.window = float(sender.window.w)
+        self.trajectory = []  # (time, window) samples
+        # interpose on the sender's bookkeeping hooks
+        self._orig_on_message = sender.on_message
+        sender.on_message = self._on_message
+        self._orig_timeout_fire = sender._on_message_timeout
+        sender._on_message_timeout = self._on_timeout
+
+    def _on_message(self, ack) -> None:
+        before = self.sender.window.na
+        self._orig_on_message(ack)
+        if self.sender.window.na > before:  # additive increase per advance
+            self.window = min(MAX_WINDOW, self.window + 1.0 / self.window)
+            self._apply()
+
+    def _on_timeout(self, seq) -> None:
+        acked_before = self.sender.window.is_acked(seq)
+        self._orig_timeout_fire(seq)
+        if not acked_before:  # multiplicative decrease on real timeouts
+            self.window = max(1.0, self.window / 2.0)
+            self._apply()
+
+    def _apply(self) -> None:
+        self.sender.resize_window(max(1, int(self.window)))
+        self.trajectory.append((self.sender.sim.now, int(self.window)))
+
+
+class PhaseLoss(BernoulliLoss):
+    """Loss rate that follows a schedule of (start_time, rate) phases."""
+
+    def __init__(self, sim, phases) -> None:
+        super().__init__(0.0)
+        self._sim = sim
+        self._phases = sorted(phases)
+
+    def drops(self, rng) -> bool:
+        rate = 0.0
+        for start, phase_rate in self._phases:
+            if self._sim.now >= start:
+                rate = phase_rate
+        self.p = rate
+        return super().drops(rng)
+
+
+def main() -> None:
+    numbering = ModularNumbering(MAX_WINDOW)  # domain fixed at 2 * w_max
+    sender = BlockAckSender(
+        MAX_WINDOW, numbering=numbering, timeout_mode="per_message_safe"
+    )
+    sender.resize_window(4)  # slow start-ish initial window
+    controller = AimdController(sender)
+    receiver = BlockAckReceiver(MAX_WINDOW, numbering=numbering)
+
+    # the loss schedule needs the simulator; run_transfer builds it, so we
+    # wire the phase model through a mutable link spec via a late bind
+    import repro.sim.runner as runner_module
+
+    original_build = LinkSpec.build
+
+    def build_with_phases(self, sim, rng, name):
+        channel = original_build(self, sim, rng, name)
+        if name == "SR":
+            channel.loss = PhaseLoss(sim, [(0.0, 0.0), (150.0, 0.15), (450.0, 0.0)])
+        return channel
+
+    LinkSpec.build = build_with_phases
+    try:
+        result = run_transfer(
+            sender,
+            receiver,
+            GreedySource(2000),
+            forward=LinkSpec(delay=UniformDelay(0.8, 1.2)),
+            reverse=LinkSpec(delay=UniformDelay(0.8, 1.2)),
+            seed=5,
+            max_time=1_000_000.0,
+        )
+    finally:
+        LinkSpec.build = original_build
+
+    assert result.completed and result.in_order
+    print(result.summary())
+    print("\nwindow trajectory (sampled):")
+    samples = controller.trajectory
+    for index in range(0, len(samples), max(1, len(samples) // 18)):
+        when, window = samples[index]
+        bar = "#" * window
+        print(f"  t={when:7.1f}  w={window:3d}  {bar}")
+    print(
+        "\nThe window climbs during clean phases, collapses when the loss"
+        "\nburst begins at t=150, and recovers after it ends at t=450 — all"
+        f"\nover a fixed {2 * MAX_WINDOW}-number wire domain, exactly-once,"
+        "\nin order."
+    )
+
+
+if __name__ == "__main__":
+    main()

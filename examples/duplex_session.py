@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A bidirectional session with piggybacked acknowledgments.
+
+The paper treats one data direction; real connections run both ways, and
+mature window protocols let acknowledgments ride inside reverse-direction
+data frames.  `repro.duplex` composes two unmodified block-ack machines
+behind a piggyback multiplexer — this demo runs a chatty bidirectional
+session (Poisson traffic both ways, loss both ways) and shows how much
+frame traffic piggybacking saves as the acknowledgment hold budget grows.
+
+Run:  python examples/duplex_session.py
+"""
+
+import random
+
+from repro import BernoulliLoss, LinkSpec, ModularNumbering, UniformDelay
+from repro.duplex import DuplexEndpoint, run_duplex
+from repro.workloads.sources import PoissonSource
+
+MESSAGES = 400
+RATE = 1.5
+WINDOW = 8
+
+
+def session(hold: float, seed: int):
+    numbering = lambda: ModularNumbering(WINDOW)
+    a = DuplexEndpoint("A", WINDOW, numbering=numbering(), standalone_delay=hold)
+    b = DuplexEndpoint("B", WINDOW, numbering=numbering(), standalone_delay=hold)
+    link = lambda: LinkSpec(
+        delay=UniformDelay(0.8, 1.2), loss=BernoulliLoss(0.03)
+    )
+    return run_duplex(
+        a,
+        b,
+        PoissonSource(MESSAGES, rate=RATE, rng=random.Random(seed)),
+        PoissonSource(MESSAGES, rate=RATE, rng=random.Random(seed + 1)),
+        link_ab=link(),
+        link_ba=link(),
+        seed=seed,
+        max_time=1_000_000.0,
+    )
+
+
+def main() -> None:
+    print(
+        f"bidirectional session: {MESSAGES} messages each way at Poisson "
+        f"rate {RATE}, 3% loss both directions, w={WINDOW} (wire mod 16)"
+    )
+    print(f"\n{'ack hold':>9s} {'frames':>7s} {'piggyback':>10s} "
+          f"{'duration':>9s} {'correct':>8s}")
+    baseline = None
+    for hold in (0.05, 0.25, 0.5, 1.0, 2.0):
+        result = session(hold, seed=11)
+        frames = result.a_mux["frames_sent"] + result.b_mux["frames_sent"]
+        if baseline is None:
+            baseline = frames
+        print(
+            f"{hold:9.2f} {frames:7d} {result.piggyback_ratio():10.0%} "
+            f"{result.duration:9.1f} {str(result.correct):>8s}"
+        )
+        assert result.correct
+    print(
+        "\nA modest acknowledgment hold lets most acks ride on reverse data"
+        "\n(the block pair costs nothing extra once the frame is going"
+        "\nanyway), cutting total frames by roughly a third at equal"
+        "\ncompletion time.  Duplicate (v,v) acks are never held: they"
+        "\nanswer retransmissions, and delaying them would stretch recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

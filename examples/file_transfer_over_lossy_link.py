@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Move real bytes: a chunked file transfer with integrity verification.
+
+The paper abstracts data messages to their sequence numbers; this example
+puts the payloads back.  A pseudo-random 256 KiB "file" is split into
+1 KiB chunks, shipped over a lossy reordering link with each protocol,
+and reassembled at the receiver.  SHA-256 digests prove bit-exact
+delivery; the stats show what each protocol paid for it.
+
+Run:  python examples/file_transfer_over_lossy_link.py
+"""
+
+import hashlib
+import random
+
+from repro import (
+    BernoulliLoss,
+    GreedySource,
+    LinkSpec,
+    UniformDelay,
+    make_pair,
+    run_transfer,
+)
+
+CHUNK = 1024
+FILE_SIZE = 256 * 1024
+
+
+class FileSource(GreedySource):
+    """Greedy source whose payloads are consecutive chunks of a file."""
+
+    def __init__(self, data: bytes, chunk_size: int) -> None:
+        self._chunks = [
+            data[offset : offset + chunk_size]
+            for offset in range(0, len(data), chunk_size)
+        ]
+        super().__init__(total=len(self._chunks))
+
+    def _make_payload(self) -> bytes:
+        return self._chunks[len(self.submitted)]
+
+
+def transfer_file(protocol: str, data: bytes, seed: int):
+    sender, receiver = make_pair(protocol, window=16)
+    source = FileSource(data, CHUNK)
+    link = lambda: LinkSpec(
+        delay=UniformDelay(0.6, 1.4), loss=BernoulliLoss(0.03)
+    )
+    result = run_transfer(
+        sender,
+        receiver,
+        source,
+        forward=link(),
+        reverse=link(),
+        seed=seed,
+        collect_payloads=True,
+    )
+    received = b"".join(result.delivered_payloads)
+    return result, hashlib.sha256(received).hexdigest()
+
+
+def main() -> None:
+    data = random.Random(2026).randbytes(FILE_SIZE)
+    want = hashlib.sha256(data).hexdigest()
+    print(f"file: {FILE_SIZE // 1024} KiB in {FILE_SIZE // CHUNK} chunks")
+    print(f"sha256: {want[:16]}...")
+    print()
+    print(f"{'protocol':20s} {'time':>8s} {'sent':>6s} {'retx':>5s} "
+          f"{'acks':>5s} {'digest ok':>9s}")
+    for protocol in ("blockack", "blockack-simple", "gobackn",
+                     "selective-repeat"):
+        result, got = transfer_file(protocol, data, seed=7)
+        ok = got == want and result.completed and result.in_order
+        print(
+            f"{protocol:20s} {result.duration:8.1f} "
+            f"{result.sender_stats['data_sent']:6d} "
+            f"{result.sender_stats['retransmissions']:5d} "
+            f"{result.receiver_stats['acks_sent']:5d} {str(ok):>9s}"
+        )
+        assert ok, f"{protocol}: file corrupted in transfer!"
+    print("\nAll protocols delivered the file bit-exactly; the columns show")
+    print("what each paid in time, retransmissions, and acknowledgments.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""1989 meets 2026: block acknowledgment vs its TCP-SACK descendant.
+
+The paper's idea — acknowledge exact *ranges* — is precisely what TCP's
+SACK option (RFC 2018) standardised a few years later.  This demo sweeps
+the loss rate and races:
+
+* go-back-N (what both designs improved upon),
+* block acknowledgment (the paper, provably-safe timers, mod-2w numbers),
+* block acknowledgment with the Section-IV oracle guard (its intrinsic
+  recovery speed),
+* a NewReno/SACK-lite sender (duplicate-ack fast retransmit, advisory
+  SACK blocks, effectively unbounded sequence numbers).
+
+Besides throughput, watch the structural differences: SACK pays one ack
+per arrival and needs an unbounded number space; block ack batches
+acknowledgments and runs forever on 2w wire numbers, paying instead with
+conservative (provably safe) retransmission timers.
+
+Run:  python examples/modern_comparison.py
+"""
+
+from repro import BernoulliLoss, GreedySource, LinkSpec, UniformDelay, make_pair, run_transfer
+from repro.analysis.plot import ascii_plot
+
+WINDOW = 8
+MESSAGES = 800
+LOSS_RATES = (0.0, 0.02, 0.05, 0.10, 0.15, 0.20)
+PROTOCOLS = ("gobackn", "blockack", "blockack-oracle", "tcp-sack")
+
+
+def measure(protocol: str, loss: float) -> dict:
+    kwargs = {"bounded_wire": True} if protocol.startswith("blockack") else {}
+    sender, receiver = make_pair(protocol, window=WINDOW, **kwargs)
+    link = lambda: LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(loss))
+    result = run_transfer(
+        sender, receiver, GreedySource(MESSAGES),
+        forward=link(), reverse=link(), seed=23, max_time=1_000_000.0,
+    )
+    assert result.completed and result.in_order, f"{protocol} @ {loss} failed"
+    return {
+        "throughput": result.throughput,
+        "efficiency": result.goodput_efficiency,
+        "acks": result.acks_per_message,
+        "p95": result.latency_percentile(95),
+    }
+
+
+def main() -> None:
+    print(f"loss sweep, w={WINDOW}, jittery links, {MESSAGES} messages\n")
+    series = {name: [] for name in PROTOCOLS}
+    print(f"{'loss':>5s}" + "".join(f"{name:>18s}" for name in PROTOCOLS))
+    rows = {}
+    for loss in LOSS_RATES:
+        cells = []
+        for name in PROTOCOLS:
+            m = measure(name, loss)
+            rows[(loss, name)] = m
+            series[name].append((loss, m["throughput"]))
+            cells.append(f"{m['throughput']:8.2f} ({m['efficiency']:.2f})")
+        print(f"{loss:5.2f}" + "".join(f"{cell:>18s}" for cell in cells))
+    print("  cells: goodput (efficiency = delivered per transmission)\n")
+
+    print(ascii_plot(
+        series, width=56, height=14,
+        title="goodput vs loss rate",
+        x_label="loss probability (each direction)",
+    ))
+
+    hi = LOSS_RATES[-1]
+    print(f"""
+At {hi:.0%} loss:
+  go-back-N         {rows[(hi, 'gobackn')]['throughput']:.2f}/tu — window-scale retransmission storms
+  block ack (safe)  {rows[(hi, 'blockack')]['throughput']:.2f}/tu — selective recovery, {rows[(hi, 'blockack')]['acks']:.2f} acks/msg, 16 wire numbers
+  block ack (oracle){rows[(hi, 'blockack-oracle')]['throughput']:.2f}/tu — what the Section-IV guard buys
+  tcp-sack          {rows[(hi, 'tcp-sack')]['throughput']:.2f}/tu — fast retransmit, {rows[(hi, 'tcp-sack')]['acks']:.2f} acks/msg, unbounded numbers
+
+Same idea, different currencies: SACK spends acknowledgment traffic and
+an unbounded number space to avoid conservative timers; the paper's
+protocol spends timer conservatism to make 2w numbers provably enough.
+The oracle row shows the two recoveries converge when timing information
+is perfect.""")
+
+
+if __name__ == "__main__":
+    main()

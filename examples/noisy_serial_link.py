@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Real octets on a noisy serial line: bit errors become clean loss.
+
+The paper assumes channels that *lose* messages; real links *corrupt*
+them.  The bridge is framing: each protocol message travels as a
+checksummed byte frame (`repro.wire`), any frame whose CRC fails on
+arrival is discarded, and corruption thereby presents to the protocol as
+exactly the loss model it was proven against.
+
+This demo sweeps the bit-error rate of a jittery serial link from
+pristine to dreadful, shipping a SHA-256-verified stream of 1 KiB chunks
+with the bounded-number (mod-2w) protocol.  Watch the frame-kill
+probability ``1 - (1-BER)^(8*frame_len)`` predict the retransmission rate.
+
+Run:  python examples/noisy_serial_link.py
+"""
+
+import hashlib
+import random
+
+from repro import (
+    BlockAckReceiver,
+    BlockAckSender,
+    GreedySource,
+    LinkSpec,
+    ModularNumbering,
+    UniformDelay,
+    run_transfer,
+)
+from repro.wire import frame_overhead
+
+CHUNK = 256
+CHUNKS = 400
+
+
+class ChunkSource(GreedySource):
+    """Greedy source over a pseudo-random byte stream."""
+
+    def __init__(self, data: bytes, chunk: int) -> None:
+        self._chunks = [
+            data[offset : offset + chunk] for offset in range(0, len(data), chunk)
+        ]
+        super().__init__(total=len(self._chunks))
+
+    def _make_payload(self) -> bytes:
+        return self._chunks[len(self.submitted)]
+
+
+def main() -> None:
+    data = random.Random(99).randbytes(CHUNK * CHUNKS)
+    digest = hashlib.sha256(data).hexdigest()
+    frame_len = CHUNK + frame_overhead()
+    print(
+        f"stream: {len(data) // 1024} KiB in {CHUNKS} chunks of {CHUNK}B "
+        f"({frame_len}B framed), window 8, wire numbers mod 16"
+    )
+    print(f"\n{'BER':>8s} {'P(frame killed)':>16s} {'retx':>6s} "
+          f"{'discarded':>9s} {'time':>8s} {'intact':>6s}")
+    for ber in (0.0, 1e-5, 1e-4, 3e-4, 1e-3):
+        numbering = ModularNumbering(8)
+        sender = BlockAckSender(
+            8, numbering=numbering, timeout_mode="per_message_safe"
+        )
+        receiver = BlockAckReceiver(8, numbering=numbering)
+        result = run_transfer(
+            sender,
+            receiver,
+            ChunkSource(data, CHUNK),
+            forward=LinkSpec(delay=UniformDelay(0.8, 1.2), bit_error_rate=ber),
+            reverse=LinkSpec(delay=UniformDelay(0.8, 1.2), bit_error_rate=ber),
+            seed=4,
+            collect_payloads=True,
+            max_time=1_000_000.0,
+        )
+        received = b"".join(result.delivered_payloads)
+        intact = hashlib.sha256(received).hexdigest() == digest
+        p_kill = 1.0 - (1.0 - ber) ** (8 * frame_len)
+        discarded = result.forward_stats.get("discarded", 0) + result.reverse_stats.get("discarded", 0)
+        print(
+            f"{ber:8.0e} {p_kill:16.3f} "
+            f"{result.sender_stats['retransmissions']:6d} "
+            f"{discarded:9d} {result.duration:8.1f} {str(intact):>6s}"
+        )
+        assert intact and result.completed and result.in_order
+    print(
+        "\nEvery stream arrived bit-exact.  The CRC turns corruption into"
+        "\nthe loss model the proofs assume; the retransmission column tracks"
+        "\nthe frame-kill probability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper, section by section, with live machinery.
+
+Runs a miniature demonstration for each section of Brown, Gouda &
+Miller's paper — the motivating failure, the protocol, the invariant, the
+timeout designs, the finite-number transformation, and the concluding
+generalizations — using the library's real components.  Read alongside
+PROTOCOL.md.
+
+Run:  python examples/paper_tour.py
+"""
+
+from repro import (
+    BlockAckReceiver,
+    BlockAckSender,
+    GreedySource,
+    LinkSpec,
+    ModularNumbering,
+    UniformDelay,
+    BernoulliLoss,
+    reconstruct,
+    run_transfer,
+)
+from repro.verify import (
+    AbstractProtocolModel,
+    Explorer,
+    run_intro_scenario_blockack,
+    run_intro_scenario_gbn,
+)
+from repro.verify.refinement import check_refinement
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def section_1_introduction() -> None:
+    banner("§I — why cumulative acks + bounded numbers + reorder cannot mix")
+    gbn = run_intro_scenario_gbn()
+    print(gbn.narrate())
+    print()
+    print(run_intro_scenario_blockack().narrate())
+
+
+def section_2_the_protocol() -> None:
+    banner("§II — the protocol, running (unbounded numbers, simple timeout)")
+    sender = BlockAckSender(window=4, timeout_mode="simple")
+    receiver = BlockAckReceiver(window=4)
+    link = lambda: LinkSpec(
+        delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+    )
+    result = run_transfer(
+        sender, receiver, GreedySource(12),
+        forward=link(), reverse=link(), seed=1, trace=True, max_time=10_000.0,
+    )
+    print(result.trace.format(limit=40))
+    print(f"\n{result.summary()}")
+    assert result.completed and result.in_order
+
+
+def section_3_the_invariant() -> None:
+    banner("§III — assertions 6-8 (and 9-11) hold in every reachable state")
+    for mode in ("simple", "per_message"):
+        model = AbstractProtocolModel(
+            window=2, max_send=4, timeout_mode=mode, allow_loss=True
+        )
+        report = Explorer(model, stop_at_first_violation=False).run()
+        print(f"  {mode:12s} -> {report.summary()}")
+        assert report.ok
+
+
+def section_4_timeouts() -> None:
+    banner("§IV — and the timed realizations refine the abstract spec")
+    for mode in ("simple", "per_message_safe", "oracle"):
+        report = check_refinement(window=5, total=80, seed=2, timeout_mode=mode)
+        print(f"  {mode:18s} -> {report.summary()}")
+        assert report.ok
+    report = check_refinement(window=5, total=80, seed=2, timeout_mode="aggressive")
+    print(f"  {'aggressive':18s} -> {report.summary()}  (expected: violates)")
+    assert not report.ok
+
+
+def section_5_finite_numbers() -> None:
+    banner("§V — the reconstruction function f, and 2w being exactly enough")
+    n = 8  # 2w for w = 4
+    print(f"  domain n = {n} (w = 4); f(reference, wire) recovers true values:")
+    for reference, true_value in ((5, 9), (12, 12), (14, 17)):
+        wire = true_value % n
+        recovered = reconstruct(reference, wire, n)
+        print(
+            f"    true {true_value:3d} -> wire {wire}  --f(ref={reference})--> "
+            f"{recovered:3d}  {'OK' if recovered == true_value else 'WRONG'}"
+        )
+    print("\n  and a full lossy transfer with only 8 numbers on the wire:")
+    numbering = ModularNumbering(4)
+    sender = BlockAckSender(4, numbering=numbering, timeout_mode="per_message_safe")
+    receiver = BlockAckReceiver(4, numbering=numbering)
+    link = lambda: LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.08))
+    result = run_transfer(
+        sender, receiver, GreedySource(200),
+        forward=link(), reverse=link(), seed=3, max_time=100_000.0,
+    )
+    print(f"  {result.summary()}")
+    assert result.completed and result.in_order
+
+
+def section_6_conclusions() -> None:
+    banner("§VI — the corners and extensions (see E11, E13, adaptive_window)")
+    print(
+        "  selective repeat = all-(v,v) acks; go-back-N = batched cumulative\n"
+        "  blocks; alternating bit = w=1 with the 2-number domain; variable\n"
+        "  windows and position reuse are implemented and measured (E13).\n"
+        "  Where the idea went: TCP SACK (examples/modern_comparison.py)."
+    )
+
+
+def main() -> None:
+    section_1_introduction()
+    section_2_the_protocol()
+    section_3_the_invariant()
+    section_4_timeouts()
+    section_5_finite_numbers()
+    section_6_conclusions()
+    print("\nTour complete — every demonstration above ran live.")
+
+
+if __name__ == "__main__":
+    main()

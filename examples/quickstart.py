@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: one reliable transfer over a lossy, reordering channel.
+
+Builds the paper's protocol (block acknowledgment, per-message safe
+timers, bounded mod-2w wire numbers), pushes 1000 messages through
+channels that lose 5% of traffic and reorder aggressively, and verifies
+exactly-once in-order delivery.  Prints a short protocol trace so you can
+see block acknowledgments forming.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BernoulliLoss,
+    BlockAckReceiver,
+    BlockAckSender,
+    GreedySource,
+    LinkSpec,
+    ModularNumbering,
+    UniformDelay,
+    run_transfer,
+)
+
+
+def main() -> None:
+    window = 8
+    numbering = ModularNumbering(window)  # wire numbers mod 2w = 16
+
+    sender = BlockAckSender(
+        window=window,
+        numbering=numbering,
+        timeout_mode="per_message_safe",  # Section IV, implementable form
+    )
+    receiver = BlockAckReceiver(window=window, numbering=numbering)
+
+    def lossy_reordering_link() -> LinkSpec:
+        # delays uniform on [0.5, 1.5]: later messages overtake earlier
+        # ones routinely; 5% of messages vanish.
+        return LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05))
+
+    result = run_transfer(
+        sender,
+        receiver,
+        GreedySource(1000),
+        forward=lossy_reordering_link(),
+        reverse=lossy_reordering_link(),
+        seed=42,
+        trace=True,
+        trace_capacity=4000,
+    )
+
+    print(result.summary())
+    print(f"derived safe timeout period: {result.timeout_period:.2f} time units")
+    print(f"forward channel: {result.forward_stats}")
+    print(f"reverse channel: {result.reverse_stats}")
+    assert result.completed, "transfer did not finish"
+    assert result.in_order, "delivery order violated!"
+
+    print("\nfirst 25 protocol events:")
+    print(result.trace.format(limit=25))
+
+    print("\nEvery payload arrived exactly once, in order, despite loss and")
+    print("reorder — with only 16 distinct sequence numbers on the wire.")
+
+
+if __name__ == "__main__":
+    main()

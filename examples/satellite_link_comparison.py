@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Satellite-grade links: long delay, occasional loss, strict number budgets.
+
+A geostationary hop has a one-way delay around 270 ms.  If a time unit is
+10 ms, that is a delay of ~27 units — a bandwidth-delay product that
+demands a large window, which in turn stresses the sequence-number
+domain.  This example compares, across window sizes:
+
+* go-back-N                — one loss costs a whole window-worth of repeats;
+* block ack (mod 2w wire)  — selective recovery with only 2w wire numbers;
+* stenning (same 2w domain)— pays the number-reuse delay on every send.
+
+It is the paper's economics in one table: on long links, block
+acknowledgment is the only bounded-number design that both fills the pipe
+and survives loss.
+
+Run:  python examples/satellite_link_comparison.py
+"""
+
+from repro import (
+    BernoulliLoss,
+    GreedySource,
+    LinkSpec,
+    UniformDelay,
+    make_pair,
+    run_transfer,
+)
+
+ONE_WAY = 27.0  # mean one-way delay in time units (10 ms units, GEO hop)
+JITTER = 4.0
+LOSS = 0.02
+MESSAGES = 2000
+
+
+def satellite_link() -> LinkSpec:
+    return LinkSpec(
+        delay=UniformDelay(ONE_WAY - JITTER / 2, ONE_WAY + JITTER / 2),
+        loss=BernoulliLoss(LOSS),
+    )
+
+
+def run(protocol: str, window: int, **kwargs):
+    sender, receiver = make_pair(protocol, window=window, **kwargs)
+    return run_transfer(
+        sender,
+        receiver,
+        GreedySource(MESSAGES),
+        forward=satellite_link(),
+        reverse=satellite_link(),
+        seed=13,
+        max_time=1_000_000.0,
+    )
+
+
+def main() -> None:
+    print(
+        f"GEO link: one-way {ONE_WAY}tu, loss {LOSS:.0%}, "
+        f"RTT≈{2 * ONE_WAY:.0f}tu, {MESSAGES} messages"
+    )
+    print(f"\n{'window':>6s} {'protocol':>18s} {'goodput':>8s} "
+          f"{'of w/RTT':>9s} {'efficiency':>10s} {'wire numbers':>12s}")
+    for window in (8, 32, 128):
+        bound = window / (2 * ONE_WAY)  # pipelining limit (pure-delay link)
+        for protocol, kwargs, domain in (
+            ("gobackn", {}, "unbounded"),
+            ("blockack", {"bounded_wire": True}, f"{2 * window}"),
+            ("blockack-oracle", {"bounded_wire": True}, f"{2 * window}"),
+            ("stenning", {"domain": 2 * window}, f"{2 * window}"),
+        ):
+            result = run(protocol, window, **kwargs)
+            assert result.completed and result.in_order, (
+                f"{protocol} w={window} failed: {result.summary()}"
+            )
+            print(
+                f"{window:6d} {protocol:>18s} {result.throughput:8.3f} "
+                f"{result.throughput / bound:8.0%} "
+                f"{result.goodput_efficiency:10.3f} {domain:>12s}"
+            )
+    print(
+        "\ngo-back-N burns the long pipe on whole-window repeats (efficiency"
+        "\ncolumn).  Block ack recovers per message with only 2w wire numbers;"
+        "\nits timer-safe mode pays conservative waits when several losses"
+        "\nshare a window — the oracle rows show the Section-IV guard's upper"
+        "\nbound.  Stenning matches selective repeat here but only because"
+        "\nits reuse cap D/reuse_delay stays above w/RTT; shrink the domain"
+        "\nor stretch the lifetime bound and it throttles (see experiment E6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` on environments whose
+setuptools lacks PEP 660 editable-wheel support (no `wheel` package)."""
+from setuptools import setup
+
+setup()

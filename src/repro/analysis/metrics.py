@@ -1,0 +1,66 @@
+"""Replication helpers and derived protocol metrics.
+
+:func:`replicate` runs one experiment configuration across several seeds
+and aggregates any :class:`~repro.sim.runner.TransferResult` attribute
+into a :class:`~repro.analysis.stats.Summary`; it also enforces the
+end-to-end correctness verdict on every replication — an experiment that
+quietly lost or reordered data must fail loudly, not report a throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.sim.runner import TransferResult
+
+__all__ = ["replicate", "MetricSet", "extract"]
+
+MetricSet = Dict[str, Summary]
+
+#: TransferResult attributes aggregated by default.
+DEFAULT_METRICS = (
+    "throughput",
+    "goodput_efficiency",
+    "acks_per_message",
+    "duration",
+)
+
+
+def extract(result: TransferResult, metric: str) -> float:
+    """Pull one numeric metric off a result (property or stats entry)."""
+    if hasattr(result, metric):
+        return float(getattr(result, metric))
+    if metric in result.sender_stats:
+        return float(result.sender_stats[metric])
+    if metric in result.receiver_stats:
+        return float(result.receiver_stats[metric])
+    raise KeyError(f"unknown metric {metric!r}")
+
+
+def replicate(
+    run: Callable[[int], TransferResult],
+    seeds: Sequence[int],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    require_correct: bool = True,
+) -> MetricSet:
+    """Run ``run(seed)`` for every seed and summarize the given metrics.
+
+    Raises ``AssertionError`` if any replication failed to complete with
+    exactly-once in-order delivery (unless ``require_correct=False``,
+    used only by experiments that *study* failures).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: List[TransferResult] = []
+    for seed in seeds:
+        result = run(seed)
+        if require_correct and not (result.completed and result.in_order):
+            raise AssertionError(
+                f"replication seed={seed} violated correctness: {result.summary()}"
+            )
+        results.append(result)
+    return {
+        metric: summarize(extract(result, metric) for result in results)
+        for metric in metrics
+    }

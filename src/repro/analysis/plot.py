@@ -1,0 +1,104 @@
+"""Terminal plots for sweep results.
+
+Every experiment renders a table; for eyeballing shapes — crossovers,
+saturation, collapse — a picture is faster.  :func:`ascii_plot` draws
+multiple named series on one character grid with axis labels and a
+legend, entirely dependency-free, so CLI output and EXPERIMENTS.md can
+carry the figure next to the numbers.
+
+>>> print(ascii_plot({"linear": [(x, x) for x in range(10)]}, height=5))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_MARKERS = "o*x+#@%&"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+Point = Tuple[float, float]
+
+
+def _bounds(series: Dict[str, Sequence[Point]]):
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    if not xs:
+        raise ValueError("cannot plot empty series")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_hi = x_lo + 1.0
+    if y_lo == y_hi:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as a character-grid scatter plot.
+
+    Each series gets a marker from ``o * x + ...``; overlapping points
+    show the later series' marker.  Axes are annotated with the data
+    bounds; the legend maps markers to names.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+    x_lo, x_hi, y_lo, y_hi = _bounds(series)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}│{''.join(row)}")
+    lines.append(" " * margin + "└" + "─" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"{y_label}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character trend, e.g. for window-size trajectories."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _BLOCKS[3] * len(values)
+    scale = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[round((value - low) / (high - low) * scale)] for value in values
+    )

@@ -1,0 +1,89 @@
+"""Time-series probes: sample protocol state on a virtual-time grid.
+
+A :class:`Probe` periodically evaluates named callables during a
+simulation and stores ``(time, value)`` samples — window trajectories,
+outstanding counts, buffer occupancy — for later plotting
+(:func:`repro.analysis.plot.ascii_plot`) or assertions.
+
+Usage::
+
+    sim = Simulator()
+    ...
+    probe = Probe(sim, interval=1.0, signals={
+        "na": lambda: sender.window.na,
+        "buffered": lambda: len(receiver.window.received_unaccepted),
+    })
+    probe.start()
+    sim.run()
+    occupancy = probe.series["buffered"]     # [(t, value), ...]
+
+Note: a running probe keeps re-scheduling itself, which keeps a bare
+``sim.run()`` from draining — either :meth:`Probe.stop` it, bound it with
+``max_samples``, or run under a harness that stops on its own completion
+condition (``run_transfer`` does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Probe"]
+
+Sample = Tuple[float, float]
+
+
+class Probe:
+    """Samples named signals every ``interval`` virtual time units."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        signals: Dict[str, Callable[[], float]],
+        max_samples: int = 1_000_000,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not signals:
+            raise ValueError("need at least one signal")
+        self.sim = sim
+        self.interval = interval
+        self.signals = dict(signals)
+        self.max_samples = max_samples
+        self.series: Dict[str, List[Sample]] = {name: [] for name in signals}
+        self._event: Optional[Event] = None
+        self._samples_taken = 0
+
+    def start(self) -> "Probe":
+        """Take an immediate sample and begin the periodic schedule."""
+        self._tick()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (safe to call repeatedly)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for name, signal in self.signals.items():
+            self.series[name].append((now, float(signal())))
+        self._samples_taken += 1
+        if self._samples_taken < self.max_samples:
+            self._event = self.sim.schedule(self.interval, self._tick)
+
+    # -- convenience accessors ----------------------------------------------
+
+    def values(self, name: str) -> List[float]:
+        """Just the sampled values of one signal, in time order."""
+        return [value for _, value in self.series[name]]
+
+    def last(self, name: str) -> float:
+        """Most recent sample of one signal."""
+        samples = self.series[name]
+        if not samples:
+            raise ValueError(f"no samples for {name!r}")
+        return samples[-1][1]

@@ -1,0 +1,104 @@
+"""Summary statistics for replicated simulation runs.
+
+Comparative protocol studies need more than point estimates: every sweep
+in the experiment suite runs several independent replications (different
+master seeds) and reports mean ± a confidence half-width, so "A beats B"
+claims in EXPERIMENTS.md are backed by non-overlapping intervals rather
+than single-run noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["Summary", "summarize", "confidence_halfwidth", "percentile"]
+
+# two-sided 95% Student-t critical values for small samples, indexed by
+# degrees of freedom; falls back to the normal 1.96 beyond the table.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000,
+}
+
+
+def _t_critical(dof: int) -> float:
+    if dof <= 0:
+        return float("inf")
+    if dof in _T_95:
+        return _T_95[dof]
+    for bound in sorted(_T_95):
+        if dof <= bound:
+            return _T_95[bound]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and a 95% confidence half-width of one metric."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci95: float  # 95% confidence half-width of the mean
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def overlaps(self, other: "Summary") -> bool:
+        """True if the two 95% intervals overlap (difference not clear)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` from raw replication values."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, stdev=0.0, minimum=mean, maximum=mean, ci95=0.0)
+    var = sum((v - mean) ** 2 for v in data) / (n - 1)
+    stdev = math.sqrt(var)
+    half = _t_critical(n - 1) * stdev / math.sqrt(n)
+    return Summary(
+        n=n, mean=mean, stdev=stdev, minimum=min(data), maximum=max(data), ci95=half
+    )
+
+
+def confidence_halfwidth(values: Sequence[float]) -> float:
+    """95% confidence half-width of the sample mean."""
+    return summarize(values).ci95
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return ordered[lower]
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac

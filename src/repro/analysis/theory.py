@@ -1,0 +1,79 @@
+"""Closed-form throughput theory for cross-validating the simulator.
+
+Textbook ARQ analysis gives closed forms for the efficiency (delivered
+payloads per transmission) of the classic protocols under independent
+per-message loss.  The test suite drives the simulator into the matching
+regimes and checks the measured numbers against these formulas — an
+end-to-end calibration of the whole stack (engine, channels, endpoints,
+accounting) against results derived with pencil and paper.
+
+Conventions: ``p`` is the probability that a *data* transmission is lost
+(acknowledgment loss is analysed separately), the window is large enough
+to fill the pipe, and losses are independent (Bernoulli channels).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "selective_repeat_efficiency",
+    "go_back_n_efficiency",
+    "stop_and_wait_throughput",
+    "pipelined_throughput_bound",
+]
+
+
+def selective_repeat_efficiency(p: float) -> float:
+    """Selective repeat: every loss costs exactly one retransmission.
+
+    Each transmission independently succeeds with probability ``1 - p``,
+    and only lost messages are resent, so the expected number of
+    transmissions per delivered payload is ``1 / (1 - p)``::
+
+        efficiency = 1 - p
+
+    Block acknowledgment shares this recovery economy (E3), so the same
+    formula bounds its efficiency.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    return 1.0 - p
+
+
+def go_back_n_efficiency(p: float, window: int) -> float:
+    """Go-back-N: every loss triggers a whole-window retransmission.
+
+    The classic result: the expected number of transmissions per
+    delivered payload is ``(1 - p + w*p) / (1 - p)``, hence::
+
+        efficiency = (1 - p) / (1 - p + w * p)
+
+    Derivation sketch: a delivered payload needs a geometric number of
+    "rounds"; each failed round costs ``w`` transmissions (the go-back),
+    each successful one costs 1.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    return (1.0 - p) / (1.0 - p + window * p)
+
+
+def stop_and_wait_throughput(rtt: float, p: float, timeout: float) -> float:
+    """Stop-and-wait (w = 1) goodput with loss and a retransmission timer.
+
+    A success costs one RTT; each failure (probability ``p`` per attempt,
+    counting either direction's loss in ``p``) costs one timeout period.
+    Expected time per payload: ``rtt + timeout * p / (1 - p)``.
+    """
+    if rtt <= 0 or timeout <= 0:
+        raise ValueError("rtt and timeout must be positive")
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    return 1.0 / (rtt + timeout * p / (1.0 - p))
+
+
+def pipelined_throughput_bound(window: int, rtt: float) -> float:
+    """The lossless pipelining bound: ``w / RTT`` payloads per time unit."""
+    if window <= 0 or rtt <= 0:
+        raise ValueError("window and rtt must be positive")
+    return window / rtt

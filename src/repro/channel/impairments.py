@@ -1,0 +1,140 @@
+"""Loss and duplication models for simulated channels.
+
+The paper's channel may *lose* messages (assertion 8 additionally rules out
+duplication for the block-ack protocol, so duplication models exist mainly
+to test baselines and to demonstrate which assumptions each protocol
+needs).  Loss is decided per message at send time; a lost message never
+enters the in-flight set, which matches the paper's set-of-messages channel
+abstraction where a lost message simply leaves the set.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "ScriptedLoss",
+]
+
+
+class LossModel(ABC):
+    """Decides, per message, whether the channel loses it."""
+
+    @abstractmethod
+    def drops(self, rng: random.Random) -> bool:
+        """Return True if the next message should be lost."""
+
+    def reset(self) -> None:
+        """Reset internal state (for stateful models); default no-op."""
+
+
+class NoLoss(LossModel):
+    """A perfect channel: nothing is ever dropped."""
+
+    def drops(self, rng: random.Random) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with fixed probability ``p`` per message."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def drops(self, rng: random.Random) -> bool:
+        return self.p > 0.0 and rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.p})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (Gilbert–Elliott).
+
+    The channel alternates between a GOOD state (loss ``p_good``) and a BAD
+    state (loss ``p_bad``), with geometric sojourn times governed by the
+    transition probabilities.  Bursty loss stresses the recovery-latency
+    experiment (E5): a burst can take out a whole block acknowledgment's
+    worth of messages at once.
+    """
+
+    GOOD = "good"
+    BAD = "bad"
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        p_good: float = 0.0,
+        p_bad: float = 1.0,
+    ) -> None:
+        for name, value in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.p_good = p_good
+        self.p_bad = p_bad
+        self.state = self.GOOD
+
+    def drops(self, rng: random.Random) -> bool:
+        if self.state == self.GOOD:
+            if rng.random() < self.p_good_to_bad:
+                self.state = self.BAD
+        else:
+            if rng.random() < self.p_bad_to_good:
+                self.state = self.GOOD
+        loss_p = self.p_good if self.state == self.GOOD else self.p_bad
+        return loss_p > 0.0 and rng.random() < loss_p
+
+    def reset(self) -> None:
+        self.state = self.GOOD
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(g2b={self.p_good_to_bad}, "
+            f"b2g={self.p_bad_to_good}, pg={self.p_good}, pb={self.p_bad})"
+        )
+
+
+class ScriptedLoss(LossModel):
+    """Drop exactly the messages at the given 0-based send indices.
+
+    Used for deterministic fault injection: E5 drops precisely the one
+    acknowledgment that covers a block, then measures recovery time.
+    """
+
+    def __init__(self, drop_indices: set) -> None:
+        self.drop_indices = set(drop_indices)
+        self._index = 0
+
+    def drops(self, rng: random.Random) -> bool:
+        dropped = self._index in self.drop_indices
+        self._index += 1
+        return dropped
+
+    def reset(self) -> None:
+        self._index = 0
+
+    @property
+    def messages_seen(self) -> int:
+        """How many send decisions this model has made."""
+        return self._index
+
+    def __repr__(self) -> str:
+        return f"ScriptedLoss({sorted(self.drop_indices)!r})"

@@ -1,0 +1,13 @@
+"""Command-line entry points (run with ``python -m repro.cli`` or ``blockack``)."""
+
+__all__ = ["main", "build_parser"]
+
+
+def __getattr__(name):
+    # Lazy import so `python -m repro.cli.main` does not re-import the
+    # module under two names (runpy warning).
+    if name in __all__:
+        from repro.cli import main as _main_module
+
+        return getattr(_main_module, name)
+    raise AttributeError(name)

@@ -1,0 +1,223 @@
+"""Command-line interface: ``blockack`` (or ``python -m repro.cli.main``).
+
+Subcommands
+-----------
+
+``blockack list``
+    Show the available experiments and protocols.
+
+``blockack run e3 [--quick]``
+    Run one experiment (or ``all``) and print its table and verdict.
+
+``blockack transfer --protocol blockack --window 8 --messages 500 ...``
+    Run a single ad-hoc transfer and print its summary (useful for
+    exploring channel conditions interactively).
+
+``blockack check --window 2 --max-send 4 [--timeout-mode simple]``
+    Model-check the abstract protocol exhaustively and print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.channel.delay import UniformDelay
+from repro.channel.impairments import BernoulliLoss, NoLoss
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="blockack",
+        description=(
+            "Block Acknowledgment: Redesigning the Window Protocol — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and protocols")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id, e.g. e3, or 'all'")
+    run_p.add_argument(
+        "--quick", action="store_true", help="reduced replications/sizes"
+    )
+
+    tr = sub.add_parser("transfer", help="run one ad-hoc transfer")
+    tr.add_argument("--protocol", default="blockack")
+    tr.add_argument("--window", type=int, default=8)
+    tr.add_argument("--messages", type=int, default=500)
+    tr.add_argument("--loss", type=float, default=0.0, help="loss probability")
+    tr.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="delay spread around mean 1 (reordering intensity)",
+    )
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="print the first N trace events",
+    )
+
+    chk = sub.add_parser("check", help="model-check the abstract protocol")
+    chk.add_argument("--window", type=int, default=2)
+    chk.add_argument("--max-send", type=int, default=4)
+    chk.add_argument(
+        "--timeout-mode", default="simple",
+        choices=("simple", "per_message", "impatient"),
+    )
+    chk.add_argument("--no-loss", action="store_true")
+
+    cmp_p = sub.add_parser(
+        "compare", help="sweep loss and race protocols (table + ASCII plot)"
+    )
+    cmp_p.add_argument(
+        "--protocols", default="gobackn,blockack,selective-repeat",
+        help="comma-separated protocol names",
+    )
+    cmp_p.add_argument("--window", type=int, default=8)
+    cmp_p.add_argument("--messages", type=int, default=400)
+    cmp_p.add_argument(
+        "--losses", default="0,0.02,0.05,0.1,0.2",
+        help="comma-separated loss probabilities",
+    )
+    cmp_p.add_argument("--jitter", type=float, default=1.0)
+    cmp_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.protocols.registry import protocol_names
+
+    print("experiments:")
+    for spec in EXPERIMENTS.values():
+        print(f"  {spec.exp_id:4s} {spec.title}")
+    print("\nprotocols:")
+    for name in protocol_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(experiment: str, quick: bool) -> int:
+    from repro.experiments.registry import experiment_ids, run_experiment
+
+    ids = experiment_ids() if experiment.lower() == "all" else [experiment]
+    failures = 0
+    for exp_id in ids:
+        result = run_experiment(exp_id, quick=quick)
+        print(result.render())
+        print()
+        if not result.reproduced:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    from repro.protocols.registry import make_pair
+
+    sender, receiver = make_pair(args.protocol, window=args.window)
+    spread = args.jitter
+    link = LinkSpec(
+        delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
+        loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
+    )
+    result = run_transfer(
+        sender,
+        receiver,
+        GreedySource(args.messages),
+        forward=link,
+        reverse=LinkSpec(
+            delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
+            loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
+        ),
+        seed=args.seed,
+        trace=args.trace > 0,
+        max_time=1_000_000.0,
+    )
+    print(result.summary())
+    if args.trace > 0 and result.trace is not None:
+        print()
+        print(result.trace.format(limit=args.trace))
+    return 0 if result.completed and result.in_order else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.verify.actions import AbstractProtocolModel
+    from repro.verify.explorer import Explorer
+
+    model = AbstractProtocolModel(
+        window=args.window,
+        max_send=args.max_send,
+        timeout_mode=args.timeout_mode,
+        allow_loss=not args.no_loss,
+    )
+    explorer = Explorer(model, stop_at_first_violation=False)
+    report = explorer.run()
+    print(report.summary())
+    if report.invariant_violations:
+        state, clauses = report.invariant_violations[0]
+        print("\nfirst violation:", "; ".join(clauses))
+        print("witness trace:")
+        for line in explorer.witness(state):
+            print(f"  {line}")
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.plot import ascii_plot
+    from repro.analysis.report import render_table
+    from repro.protocols.registry import make_pair
+
+    protocols = [name.strip() for name in args.protocols.split(",") if name.strip()]
+    losses = [float(value) for value in args.losses.split(",")]
+    spread = args.jitter
+    series = {name: [] for name in protocols}
+    rows = []
+    failures = 0
+    for loss in losses:
+        cells = [loss]
+        for name in protocols:
+            sender, receiver = make_pair(name, window=args.window)
+            link = lambda: LinkSpec(
+                delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
+                loss=BernoulliLoss(loss) if loss > 0 else NoLoss(),
+            )
+            result = run_transfer(
+                sender, receiver, GreedySource(args.messages),
+                forward=link(), reverse=link(), seed=args.seed,
+                max_time=1_000_000.0,
+            )
+            if not (result.completed and result.in_order):
+                failures += 1
+            series[name].append((loss, result.throughput))
+            cells.append(result.throughput)
+        rows.append(tuple(cells))
+    print(render_table(["loss"] + protocols, rows, title="goodput (msgs/tu)"))
+    print()
+    print(ascii_plot(series, width=56, height=14, x_label="loss probability"))
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.quick)
+    if args.command == "transfer":
+        return _cmd_transfer(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Protocol core: messages, sequence numbering, and window state machines."""
+
+from repro.core.bounded import BoundedReceiverBook, BoundedSenderBook
+from repro.core.messages import BlockAck, CumulativeAck, DataMessage, is_ack, is_data
+from repro.core.numbering import ModularNumbering, Numbering, UnboundedNumbering
+from repro.core.seqnum import SequenceDomain, minimum_domain_size, reconstruct
+from repro.core.window import AcceptOutcome, AckOutcome, ReceiverWindow, SenderWindow
+
+__all__ = [
+    "DataMessage",
+    "BlockAck",
+    "CumulativeAck",
+    "is_data",
+    "is_ack",
+    "SequenceDomain",
+    "reconstruct",
+    "minimum_domain_size",
+    "Numbering",
+    "UnboundedNumbering",
+    "ModularNumbering",
+    "SenderWindow",
+    "ReceiverWindow",
+    "AckOutcome",
+    "AcceptOutcome",
+    "BoundedSenderBook",
+    "BoundedReceiverBook",
+]

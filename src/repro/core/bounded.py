@@ -1,0 +1,191 @@
+"""Bounded-storage protocol state (paper Section V, final form).
+
+The classes here are the byte-exact realisation of the paper's closing
+transformation: **every** counter (``na``, ``ns``, ``nr``, ``vr``) is
+stored mod ``n = 2w``, the ``ackd``/``rcvd`` arrays shrink to ``w`` boolean
+cells indexed mod ``w``, and every comparison in the guards is performed
+with modular arithmetic.  Nothing in these classes ever holds an integer
+that grows with the length of the transfer.
+
+Why the modular comparisons are sound (paper's argument, condensed):
+
+* sender window: assertion 6 gives ``na <= ns <= na + w`` with ``w < n``,
+  so ``(ns - na) mod n`` equals the true difference and the guard
+  ``ns < na + w`` becomes ``(ns - na) mod n < w``;
+* receiver accept test: assertion 11 gives ``nr - w <= v < nr + w``, so
+  ``(v - nr) mod 2w`` lands in ``[0, w)`` exactly when ``v >= nr`` (fresh)
+  and in ``[w, 2w)`` exactly when ``v < nr`` (duplicate);
+* array cells: live ``ackd`` entries lie in ``[na, ns)`` and live ``rcvd``
+  entries in ``[vr, ns)``, both ranges of width at most ``w``, so indexing
+  mod ``w`` never aliases two live numbers.
+
+The unbounded bookkeeping in :mod:`repro.core.window` is the reference;
+``tests/test_bounded.py`` drives both in lockstep over randomized schedules
+and asserts identical observable behaviour (E7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.seqnum import SequenceDomain
+
+__all__ = ["BoundedSenderBook", "BoundedReceiverBook"]
+
+
+class BoundedSenderBook:
+    """Sender state with O(w) storage and mod-``2w`` counters."""
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.w = window
+        self.domain = SequenceDomain(2 * window)
+        self.na = 0  # wire value: true na mod 2w
+        self.ns = 0  # wire value: true ns mod 2w
+        self._ackd = [False] * window
+
+    # -- sending ----------------------------------------------------------
+
+    @property
+    def can_send(self) -> bool:
+        """Bounded form of ``ns < na + w``: ``(ns - na) mod n < w``."""
+        return self.domain.sub(self.ns, self.na) < self.w
+
+    @property
+    def in_flight_window(self) -> int:
+        """Bounded form of ``ns - na``."""
+        return self.domain.sub(self.ns, self.na)
+
+    def take_next(self) -> int:
+        """Allocate the next wire sequence number (action 0, bounded)."""
+        if not self.can_send:
+            raise RuntimeError(f"window full: na={self.na} ns={self.ns}")
+        seq = self.ns
+        self.ns = self.domain.add(self.ns, 1)
+        return seq
+
+    # -- acknowledgments ----------------------------------------------------
+
+    def apply_ack(self, lo_wire: int, hi_wire: int) -> int:
+        """Apply wire block ack ``(lo, hi)`` (action 1', bounded).
+
+        Marks cells for every number from ``lo`` to ``hi`` mod ``n``, then
+        slides ``na``, clearing each cell as it is vacated (the paper:
+        "ackd[na mod w] is set to false in action 1'").  Returns how far
+        ``na`` advanced.
+        """
+        i = lo_wire
+        stop = self.domain.add(hi_wire, 1)
+        # Note: a pair with stop == lo (a "full-domain" wrap) reads as an
+        # empty range.  Real blocks cover at most w < n numbers (assertion
+        # 6), so the case never arises from a conforming peer.
+        while i != stop:
+            self._ackd[i % self.w] = True
+            i = self.domain.add(i, 1)
+        advanced = 0
+        while self._ackd[self.na % self.w]:
+            self._ackd[self.na % self.w] = False
+            self.na = self.domain.add(self.na, 1)
+            advanced += 1
+        return advanced
+
+    def is_acked_cell(self, wire_seq: int) -> bool:
+        """Raw cell inspection for tests: the bit for ``wire_seq``'s slot."""
+        return self._ackd[wire_seq % self.w]
+
+    def outstanding_wire(self) -> list[int]:
+        """Wire numbers sent but not acknowledged, oldest first."""
+        result = []
+        seq = self.na
+        while seq != self.ns:
+            if not self._ackd[seq % self.w]:
+                result.append(seq)
+            seq = self.domain.add(seq, 1)
+        return result
+
+    @property
+    def all_acknowledged(self) -> bool:
+        return self.na == self.ns and not any(self._ackd)
+
+    def __repr__(self) -> str:
+        return f"BoundedSenderBook(na={self.na}, ns={self.ns}, w={self.w})"
+
+
+class BoundedReceiverBook:
+    """Receiver state with O(w) storage and mod-``2w`` counters."""
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.w = window
+        self.domain = SequenceDomain(2 * window)
+        self.nr = 0  # wire value
+        self.vr = 0  # wire value
+        self._rcvd = [False] * window
+        self._payloads: list[Any] = [None] * window
+
+    # -- receiving ----------------------------------------------------------
+
+    def is_duplicate(self, wire_seq: int) -> bool:
+        """Bounded form of ``v < nr``: ``(v - nr) mod 2w >= w``."""
+        return self.domain.sub(wire_seq, self.nr) >= self.w
+
+    def accept(self, wire_seq: int, payload: Any = None) -> bool:
+        """Handle data message ``wire_seq`` (action 3', bounded).
+
+        Returns True if the caller must reply with the duplicate ack
+        ``(wire_seq, wire_seq)``; False if the message was recorded.
+        """
+        if self.is_duplicate(wire_seq):
+            return True
+        cell = wire_seq % self.w
+        if not self._rcvd[cell]:
+            self._rcvd[cell] = True
+            self._payloads[cell] = payload
+        return False
+
+    def advance(self) -> int:
+        """Slide ``vr`` over the received run (action 4, bounded).
+
+        Clears each ``rcvd`` cell as ``vr`` passes it (the paper:
+        "rcvd[vr mod w] is set to false in action 4").
+        """
+        moved = 0
+        while self._rcvd[self.vr % self.w]:
+            self._rcvd[self.vr % self.w] = False
+            self.vr = self.domain.add(self.vr, 1)
+            moved += 1
+        return moved
+
+    @property
+    def ack_ready(self) -> bool:
+        """Bounded form of ``nr < vr``: the counters differ."""
+        return self.nr != self.vr
+
+    def take_block(self) -> tuple[int, int, list[Any]]:
+        """Emit the pending wire block ``(nr, vr - 1)`` (action 5, bounded).
+
+        Returns ``(lo_wire, hi_wire, payloads)``; payloads come out in
+        sequence order and their buffer cells are released.
+        """
+        if not self.ack_ready:
+            raise RuntimeError(f"no block pending: nr={self.nr} vr={self.vr}")
+        lo = self.nr
+        hi = self.domain.sub(self.vr, 1)
+        payloads = []
+        seq = self.nr
+        while seq != self.vr:
+            cell = seq % self.w
+            payloads.append(self._payloads[cell])
+            self._payloads[cell] = None
+            seq = self.domain.add(seq, 1)
+        self.nr = self.vr
+        return lo, hi, payloads
+
+    def buffered_count(self) -> int:
+        """Number of out-of-order messages currently buffered."""
+        return sum(self._rcvd)
+
+    def __repr__(self) -> str:
+        return f"BoundedReceiverBook(nr={self.nr}, vr={self.vr}, w={self.w})"

@@ -1,0 +1,109 @@
+"""Wire message types shared by all protocol implementations.
+
+The paper abstracts a data message to *just its sequence number*; we keep
+an optional payload so the examples can move real bytes, but protocol logic
+never inspects it.  Acknowledgments come in two shapes:
+
+* :class:`BlockAck` — the paper's contribution: a pair ``(lo, hi)``
+  acknowledging every data message with sequence number in ``lo..hi``
+  inclusive.
+* :class:`CumulativeAck` — the traditional go-back-N acknowledgment: a
+  single number meaning "everything up to and including this".
+
+All message types are frozen dataclasses: channel code treats messages as
+immutable values, so a retransmission is a *new* message object and the
+in-flight multiset semantics of the paper carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["DataMessage", "BlockAck", "CumulativeAck", "is_data", "is_ack"]
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """A data message.
+
+    Attributes
+    ----------
+    seq:
+        The sequence number *as carried on the wire*.  For unbounded
+        protocol variants this is the true sequence number; for the
+        Section-V bounded variants it is the true number mod ``2w`` and
+        the receiver reconstructs the rest.
+    payload:
+        Opaque application data; never inspected by protocol logic.
+    attempt:
+        0 for the first transmission, incremented per retransmission.
+        Diagnostic only — the paper's messages carry no such field and no
+        protocol decision may depend on it (tests enforce this by checking
+        behaviour is invariant under it).
+    """
+
+    seq: int
+    payload: Any = None
+    attempt: int = 0
+
+    def __str__(self) -> str:
+        suffix = f"#{self.attempt}" if self.attempt else ""
+        return f"DATA({self.seq}){suffix}"
+
+
+@dataclass(frozen=True)
+class BlockAck:
+    """The paper's block acknowledgment: acks sequence numbers ``lo..hi``.
+
+    Invariant: ``lo <= hi`` for unbounded numbering.  For bounded (mod-n)
+    numbering the pair may wrap, e.g. ``(6, 1)`` in a domain of 8, so the
+    constructor does not enforce ordering; the numbering scheme in
+    :mod:`repro.core.seqnum` gives the pair its meaning.
+
+    ``urgent`` marks acknowledgments that answer a retransmission (the
+    paper's duplicate ``(v, v)`` ack from action 3).  It is endpoint
+    metadata, not wire content: the byte codec does not serialize it,
+    equality ignores it, and no protocol decision depends on it — it only
+    tells transmission schedulers (e.g. the duplex piggyback mux) that
+    delaying this ack would stretch a peer's loss recovery.
+    """
+
+    lo: int
+    hi: int
+    urgent: bool = field(default=False, compare=False)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True if this ack covers exactly one sequence number."""
+        return self.lo == self.hi
+
+    def spans(self, seq: int) -> bool:
+        """True if ``seq`` lies in ``lo..hi`` (unbounded numbering only)."""
+        return self.lo <= seq <= self.hi
+
+    def __str__(self) -> str:
+        return f"ACK({self.lo},{self.hi})"
+
+
+@dataclass(frozen=True)
+class CumulativeAck:
+    """Traditional cumulative acknowledgment: everything ``<= seq``.
+
+    Used only by the go-back-N and alternating-bit baselines.
+    """
+
+    seq: int
+
+    def __str__(self) -> str:
+        return f"CACK({self.seq})"
+
+
+def is_data(message: Any) -> bool:
+    """True if ``message`` is a data message."""
+    return isinstance(message, DataMessage)
+
+
+def is_ack(message: Any) -> bool:
+    """True if ``message`` is an acknowledgment of any kind."""
+    return isinstance(message, (BlockAck, CumulativeAck))

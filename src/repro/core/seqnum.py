@@ -1,0 +1,124 @@
+"""Finite sequence-number arithmetic (paper Section V).
+
+The bounded protocol sends ``m mod n`` on the wire instead of the true
+sequence number ``m``, with ``n = 2w``.  The receiver of a wire number
+reconstructs the true number using a locally known *reference* value ``x``
+for which the protocol invariant guarantees ``x <= y < x + n``:
+
+* the sender reconstructs ack numbers ``i, j`` with reference ``na``
+  (assertions 9, 10: ``na <= i, j < na + w``);
+* the receiver reconstructs data numbers ``v`` with reference
+  ``max(0, nr - w)`` (assertion 11: ``max(0, nr - w) <= v < nr + w``).
+
+Both windows have width at most ``2w - 1 < n``, which is exactly why
+``n = 2w`` suffices — and why ``n = w`` does not (the model-checking
+experiment E8 demonstrates the failure).
+
+The reconstruction function :func:`reconstruct` is the paper's ``f``:
+
+    f(x, y mod n) = n*(x div n) + (y mod n)        if (y mod n) >= (x mod n)
+                    n*(x div n + 1) + (y mod n)    otherwise
+
+:class:`SequenceDomain` packages ``n`` together with the wrap/reconstruct
+helpers and the modular comparisons needed by the fully bounded-storage
+variant of the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "reconstruct",
+    "minimum_domain_size",
+    "SequenceDomain",
+]
+
+
+def reconstruct(reference: int, wire: int, n: int) -> int:
+    """The paper's function ``f``: recover ``y`` from ``y mod n``.
+
+    Parameters
+    ----------
+    reference:
+        A value ``x`` known to satisfy ``x <= y < x + n``.
+    wire:
+        The received value ``y mod n``; must lie in ``0..n-1``.
+    n:
+        The sequence-number domain size.
+
+    Returns the unique ``y`` in ``[reference, reference + n)`` congruent to
+    ``wire`` mod ``n``.
+    """
+    if n <= 0:
+        raise ValueError(f"domain size must be positive, got {n}")
+    if not 0 <= wire < n:
+        raise ValueError(f"wire value {wire} outside domain 0..{n - 1}")
+    if reference < 0:
+        raise ValueError(f"reference must be non-negative, got {reference}")
+    base = reference - (reference % n)  # n * (reference div n)
+    if wire >= reference % n:
+        return base + wire
+    return base + n + wire
+
+
+def minimum_domain_size(window: int) -> int:
+    """Smallest safe wire domain for window size ``w``: the paper's ``2w``."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    return 2 * window
+
+
+@dataclass(frozen=True)
+class SequenceDomain:
+    """A finite sequence-number domain of size ``n``.
+
+    Provides wrapping, reconstruction, and the modular comparisons the
+    bounded-storage protocol performs on its (wrapped) counters.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"domain size must be positive, got {self.n}")
+
+    # -- wire encoding --------------------------------------------------
+
+    def wrap(self, seq: int) -> int:
+        """Encode a true sequence number for the wire: ``seq mod n``."""
+        return seq % self.n
+
+    def reconstruct(self, reference: int, wire: int) -> int:
+        """Recover the true number from its wire encoding; see module doc."""
+        return reconstruct(reference, wire, self.n)
+
+    # -- modular counter arithmetic (bounded-storage variant) -----------
+
+    def add(self, a: int, b: int) -> int:
+        """``(a + b) mod n`` — counter increment in the bounded variant."""
+        return (a + b) % self.n
+
+    def sub(self, a: int, b: int) -> int:
+        """``(a - b) mod n`` — modular distance from ``b`` up to ``a``.
+
+        When the true values satisfy ``b <= a < b + n`` this equals the
+        true difference ``a - b``; the protocol invariant guarantees that
+        precondition everywhere the bounded variant subtracts.
+        """
+        return (a - b) % self.n
+
+    def in_window(self, wire: int, base_wire: int, width: int) -> bool:
+        """True if ``wire`` is within ``width`` slots past ``base_wire``.
+
+        Implements comparisons like ``ns < na + w`` on wrapped counters:
+        valid whenever the true values are within ``n`` of each other,
+        which assertion 6 guarantees for the sender window
+        (``na <= ns <= na + w`` and ``w < n``).
+        """
+        if not 0 < width <= self.n:
+            raise ValueError(f"width must be in 1..{self.n}, got {width}")
+        return self.sub(wire, base_wire) < width
+
+    def __str__(self) -> str:
+        return f"SequenceDomain(n={self.n})"

@@ -1,0 +1,302 @@
+"""Window bookkeeping for the block-acknowledgment protocol.
+
+These two classes are the *unbounded-counter* bookkeeping of the paper's
+Section II processes, factored out so that protocol endpoints, the formal
+model, and tests all share one implementation of the fiddly parts:
+
+* :class:`SenderWindow` owns ``na`` (next to be acknowledged), ``ns``
+  (next to send), the window size ``w``, and the ``ackd`` record for the
+  in-window range.
+* :class:`ReceiverWindow` owns ``nr`` (next to accept), ``vr`` (upper
+  bound of the received-but-unacknowledged run), and the ``rcvd`` record.
+
+The paper reasons with infinite boolean arrays ``ackd[0..]`` / ``rcvd[0..]``
+but notes an implementation needs only ``w`` cells.  Here we store the
+true (unbounded) integers but only for the live window — sets hold just
+the in-window members, so memory is O(w), matching the paper's remark
+while keeping the reasoning simple.  The byte-exact bounded-storage
+variant of Section V lives in :mod:`repro.core.bounded` and is
+equivalence-tested against this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["SenderWindow", "ReceiverWindow", "AckOutcome", "AcceptOutcome"]
+
+
+@dataclass
+class AckOutcome:
+    """Result of applying one block acknowledgment at the sender."""
+
+    newly_acked: list[int] = field(default_factory=list)
+    na_before: int = 0
+    na_after: int = 0
+    stale: bool = False  # every covered number was already acknowledged
+
+    @property
+    def advanced(self) -> int:
+        """How far ``na`` moved."""
+        return self.na_after - self.na_before
+
+
+@dataclass
+class AcceptOutcome:
+    """Result of handling one data message at the receiver."""
+
+    duplicate: bool = False  # message was below nr (already accepted)
+    recorded: bool = False  # message newly recorded in rcvd
+    redundant: bool = False  # in-window but already recorded (protocol
+    # invariant says this cannot happen with safe timeouts; counted so
+    # the E12 ablation can observe invariant decay)
+
+
+class SenderWindow:
+    """Sender-side window state: ``na``, ``ns``, ``ackd``.
+
+    Invariant (paper assertion 6 restricted to the sender):
+    ``na <= ns <= na + K*w``, and ``ackd`` contains only numbers in
+    ``[na, ns)`` (numbers below ``na`` are implicitly acknowledged,
+    numbers at/above ``ns`` have never been sent).
+
+    Two Section-VI extensions are supported:
+
+    * **variable window** — :meth:`resize` changes ``w`` at runtime
+      (within ``max_window``, which fixes the wire-number domain);
+    * **position reuse** (``lookahead = K > 1``) — the paper's closing
+      remark: because block acknowledgments identify *exactly* which
+      positions were received, the sender may reuse acknowledged
+      positions for new messages before older ones are acknowledged.
+      The send guard becomes "fewer than ``w`` messages unacknowledged
+      AND ``ns < na + K*w``"; with ``K = 1`` this degenerates to the
+      paper's action-0 guard (``ns - na < w`` implies both).  The price
+      is a ``2*K*w`` wire domain (live numbers span up to ``K*w`` on each
+      side of ``nr``) — the complexity/number-budget trade-off the paper
+      predicts.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        lookahead: int = 1,
+        max_window: Optional[int] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        if max_window is not None and max_window < window:
+            raise ValueError(
+                f"max_window {max_window} smaller than window {window}"
+            )
+        self.w = window
+        self.lookahead = lookahead
+        self.max_window = max_window if max_window is not None else window
+        self.na = 0
+        self.ns = 0
+        self._ackd: set[int] = set()
+
+    # -- sending --------------------------------------------------------
+
+    @property
+    def unacked_count(self) -> int:
+        """Messages sent but not acknowledged (window occupancy)."""
+        return (self.ns - self.na) - len(self._ackd)
+
+    @property
+    def can_send(self) -> bool:
+        """Send guard.
+
+        ``K = 1``: the paper's action 0 guard ``ns < na + w``.
+        ``K > 1``: position reuse — occupancy below ``w`` and sequence
+        lookahead below ``K*w``.
+        """
+        if self.lookahead == 1:
+            return self.ns < self.na + self.w
+        return (
+            self.unacked_count < self.w
+            and self.ns < self.na + self.lookahead * self.w
+        )
+
+    def resize(self, new_window: int) -> None:
+        """Change the window size at runtime (Section VI remark).
+
+        The new size must stay within ``max_window`` — the wire-number
+        domain is sized from ``max_window`` at construction and cannot
+        grow.  Shrinking below the current occupancy is allowed; sending
+        simply stays blocked until acknowledgments drain the excess.
+        """
+        if not 0 < new_window <= self.max_window:
+            raise ValueError(
+                f"window must be in 1..{self.max_window}, got {new_window}"
+            )
+        self.w = new_window
+
+    @property
+    def in_flight_window(self) -> int:
+        """Number of sequence numbers currently outstanding: ``ns - na``."""
+        return self.ns - self.na
+
+    def take_next(self) -> int:
+        """Allocate the next sequence number (paper action 0 body)."""
+        if not self.can_send:
+            raise RuntimeError(
+                f"window full: na={self.na} ns={self.ns} w={self.w}"
+            )
+        seq = self.ns
+        self.ns += 1
+        return seq
+
+    # -- acknowledgments -------------------------------------------------
+
+    def apply_ack(self, lo: int, hi: int) -> AckOutcome:
+        """Apply block ack ``(lo, hi)`` (paper action 1).
+
+        Records every number in ``lo..hi`` as acknowledged, then slides
+        ``na`` over the acknowledged prefix.
+        """
+        if lo > hi:
+            raise ValueError(f"malformed block ack ({lo}, {hi})")
+        if hi >= self.ns:
+            raise ValueError(
+                f"ack ({lo}, {hi}) covers never-sent numbers (ns={self.ns})"
+            )
+        outcome = AckOutcome(na_before=self.na, na_after=self.na)
+        for seq in range(max(lo, self.na), hi + 1):
+            if seq not in self._ackd:
+                self._ackd.add(seq)
+                outcome.newly_acked.append(seq)
+        while self.na in self._ackd:
+            self._ackd.discard(self.na)
+            self.na += 1
+        outcome.na_after = self.na
+        outcome.stale = not outcome.newly_acked and outcome.advanced == 0
+        return outcome
+
+    def is_acked(self, seq: int) -> bool:
+        """True if ``seq`` has been acknowledged (below ``na`` or recorded)."""
+        return seq < self.na or seq in self._ackd
+
+    def outstanding(self) -> list[int]:
+        """Unacknowledged sequence numbers, ascending (subset of [na, ns))."""
+        return [
+            seq for seq in range(self.na, self.ns) if seq not in self._ackd
+        ]
+
+    @property
+    def oldest_outstanding(self) -> Optional[int]:
+        """``na`` when anything is outstanding (``na`` is never acked)."""
+        return self.na if self.na != self.ns else None
+
+    @property
+    def all_acknowledged(self) -> bool:
+        """True if every sent message has been acknowledged."""
+        return self.na == self.ns
+
+    def check_invariant(self) -> None:
+        """Assert the sender share of paper assertions 6 and 7.
+
+        With position reuse the window bound generalizes to
+        ``ns <= na + K*w`` plus the occupancy bound ``unacked <= w``
+        (occupancy may transiently exceed a *shrunk* ``w`` after
+        :meth:`resize`, bounded by ``max_window``).
+        """
+        assert self.na <= self.ns, (self.na, self.ns)
+        assert self.ns <= self.na + self.lookahead * self.max_window
+        assert self.unacked_count <= self.max_window
+        assert all(self.na < s < self.ns for s in self._ackd) or not self._ackd
+        assert self.na not in self._ackd  # paper: ¬ackd[na]
+
+    def __repr__(self) -> str:
+        return (
+            f"SenderWindow(na={self.na}, ns={self.ns}, w={self.w}, "
+            f"ackd={sorted(self._ackd)})"
+        )
+
+
+class ReceiverWindow:
+    """Receiver-side window state: ``nr``, ``vr``, ``rcvd``, payload buffer.
+
+    Invariant (paper assertion 6 restricted to the receiver):
+    ``nr <= vr`` and every number in ``[nr, vr)`` has been received.
+    Payloads of received-but-not-yet-accepted messages are buffered and
+    released in order as ``nr`` advances.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.w = window
+        self.nr = 0
+        self.vr = 0
+        self._rcvd: set[int] = set()
+        self._payloads: dict[int, Any] = {}
+
+    # -- receiving --------------------------------------------------------
+
+    def accept(self, seq: int, payload: Any = None) -> AcceptOutcome:
+        """Handle data message ``seq`` (paper action 3).
+
+        Returns an outcome telling the caller whether to emit a duplicate
+        acknowledgment ``(seq, seq)``.
+        """
+        if seq < self.nr:
+            return AcceptOutcome(duplicate=True)
+        if seq in self._rcvd or seq < self.vr:
+            return AcceptOutcome(redundant=True)
+        self._rcvd.add(seq)
+        self._payloads[seq] = payload
+        return AcceptOutcome(recorded=True)
+
+    def advance(self) -> int:
+        """Slide ``vr`` over the received run (paper action 4, iterated).
+
+        Returns how far ``vr`` moved.
+        """
+        moved = 0
+        while self.vr in self._rcvd:
+            self._rcvd.discard(self.vr)
+            self.vr += 1
+            moved += 1
+        return moved
+
+    @property
+    def ack_ready(self) -> bool:
+        """Paper action 5 guard: ``nr < vr``."""
+        return self.nr < self.vr
+
+    def take_block(self) -> tuple[int, int, list[Any]]:
+        """Emit the pending block (paper action 5).
+
+        Returns ``(lo, hi, payloads)`` where ``(lo, hi) = (nr, vr - 1)``
+        and ``payloads`` are the newly accepted messages' payloads in
+        sequence order.  Advances ``nr`` to ``vr``.
+        """
+        if not self.ack_ready:
+            raise RuntimeError(f"no block pending: nr={self.nr} vr={self.vr}")
+        lo, hi = self.nr, self.vr - 1
+        payloads = [self._payloads.pop(seq, None) for seq in range(lo, hi + 1)]
+        self.nr = self.vr
+        return lo, hi, payloads
+
+    @property
+    def received_unaccepted(self) -> list[int]:
+        """Out-of-order numbers received above ``vr`` (buffered)."""
+        return sorted(self._rcvd)
+
+    def has_received(self, seq: int) -> bool:
+        """True if ``seq`` was ever received (accepted or buffered)."""
+        return seq < self.vr or seq in self._rcvd
+
+    def check_invariant(self) -> None:
+        """Assert the receiver share of paper assertions 6 and 7."""
+        assert self.nr <= self.vr, (self.nr, self.vr)
+        assert all(s > self.vr for s in self._rcvd) or not self._rcvd
+
+    def __repr__(self) -> str:
+        return (
+            f"ReceiverWindow(nr={self.nr}, vr={self.vr}, w={self.w}, "
+            f"buffered={sorted(self._rcvd)})"
+        )

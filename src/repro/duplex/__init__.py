@@ -1,0 +1,22 @@
+"""Full-duplex operation: two paper protocols plus piggybacked acks."""
+
+from repro.duplex.codec import decode_frame, encode_frame
+from repro.duplex.endpoint import (
+    DuplexEndpoint,
+    DuplexFrame,
+    DuplexStats,
+    PiggybackMux,
+)
+from repro.duplex.runner import DuplexResult, duplex_over_udp, run_duplex
+
+__all__ = [
+    "DuplexEndpoint",
+    "DuplexFrame",
+    "DuplexStats",
+    "PiggybackMux",
+    "DuplexResult",
+    "run_duplex",
+    "duplex_over_udp",
+    "encode_frame",
+    "decode_frame",
+]

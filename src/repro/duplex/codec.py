@@ -1,0 +1,105 @@
+"""Byte framing for duplex (data + piggybacked ack) frames.
+
+Extends the flat wire format of :mod:`repro.wire.codec` with a combined
+frame so duplex sessions can run over byte transports (UDP, serial):
+
+    offset  size  field
+    0       1     frame type: 0x03 duplex
+    1       1     flags: bit0 = has data part, bit1 = has ack part
+    2       2     ack lo    (0 when absent)
+    4       2     ack hi    (0 when absent)
+    6       2     data wire sequence number (0 when absent)
+    8       2     data attempt counter
+    10      2     payload length L
+    12      L     payload bytes
+    12+L    4     CRC-32 over bytes [0, 12+L)
+
+The ``urgent`` ack flag is endpoint metadata and is not carried — a
+standalone urgent ack is simply never held by the peer's mux, so nothing
+downstream needs the bit.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional
+
+from repro.core.messages import BlockAck, DataMessage
+from repro.duplex.endpoint import DuplexFrame
+from repro.wire.codec import CorruptFrame, FrameError, MAX_WIRE_SEQ
+
+__all__ = ["encode_frame", "decode_frame", "DUPLEX_FRAME_TYPE"]
+
+DUPLEX_FRAME_TYPE = 0x03
+_HEADER = struct.Struct(">BBHHHHH")
+_CRC = struct.Struct(">I")
+_FLAG_DATA = 0x01
+_FLAG_ACK = 0x02
+
+
+def _check(value: int, what: str) -> None:
+    if not 0 <= value <= MAX_WIRE_SEQ:
+        raise FrameError(f"{what} {value} does not fit the 16-bit field")
+
+
+def encode_frame(frame: DuplexFrame) -> bytes:
+    """Serialize a duplex frame into checksummed bytes."""
+    flags = 0
+    ack_lo = ack_hi = seq = attempt = 0
+    payload = b""
+    if frame.data is not None:
+        flags |= _FLAG_DATA
+        data = frame.data
+        payload = data.payload if data.payload is not None else b""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise FrameError(
+                f"framed payloads must be bytes, got {type(payload).__name__}"
+            )
+        if len(payload) > 0xFFFF:
+            raise FrameError(f"payload of {len(payload)} bytes exceeds 64 KiB")
+        _check(data.seq, "data sequence number")
+        _check(data.attempt, "attempt counter")
+        seq, attempt = data.seq, data.attempt
+    if frame.ack is not None:
+        flags |= _FLAG_ACK
+        _check(frame.ack.lo, "ack lower bound")
+        _check(frame.ack.hi, "ack upper bound")
+        ack_lo, ack_hi = frame.ack.lo, frame.ack.hi
+    if flags == 0:
+        raise FrameError("refusing to encode an empty duplex frame")
+    body = _HEADER.pack(
+        DUPLEX_FRAME_TYPE, flags, ack_lo, ack_hi, seq, attempt, len(payload)
+    ) + bytes(payload)
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def decode_frame(blob: bytes) -> DuplexFrame:
+    """Parse and validate a duplex frame; raises :class:`CorruptFrame`."""
+    if len(blob) < _HEADER.size + _CRC.size:
+        raise CorruptFrame(f"duplex frame of {len(blob)} bytes is too short")
+    body, trailer = blob[: -_CRC.size], blob[-_CRC.size :]
+    (expected,) = _CRC.unpack(trailer)
+    if zlib.crc32(body) != expected:
+        raise CorruptFrame("CRC mismatch")
+    frame_type, flags, ack_lo, ack_hi, seq, attempt, length = _HEADER.unpack_from(
+        body
+    )
+    if frame_type != DUPLEX_FRAME_TYPE:
+        raise CorruptFrame(f"unexpected frame type 0x{frame_type:02x}")
+    payload = body[_HEADER.size :]
+    if len(payload) != length:
+        raise CorruptFrame(
+            f"length field says {length}, frame carries {len(payload)}"
+        )
+    data: Optional[DataMessage] = None
+    ack: Optional[BlockAck] = None
+    if flags & _FLAG_DATA:
+        data = DataMessage(seq=seq, payload=payload, attempt=attempt)
+    elif length:
+        raise CorruptFrame("payload present without a data part")
+    if flags & _FLAG_ACK:
+        ack = BlockAck(lo=ack_lo, hi=ack_hi)
+    if data is None and ack is None:
+        raise CorruptFrame("frame carries neither data nor ack")
+    return DuplexFrame(data=data, ack=ack)

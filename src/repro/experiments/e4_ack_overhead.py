@@ -1,0 +1,136 @@
+"""E4 — acknowledgment traffic per delivered message.
+
+Claim (Sections I and VI): selective repeat "requires that every data
+message be acknowledged by a distinct acknowledgment message", while
+block acknowledgment lets "a single message acknowledge a large number of
+data messages" — go-back-N's thrift with selective repeat's precision.
+
+The experiment measures acknowledgments sent per delivered payload:
+
+* selective repeat: exactly 1.0 by construction (plus duplicates);
+* block ack + eager acks: 1.0 on in-order traffic, below 1.0 once
+  reordering or recovery creates multi-message blocks;
+* block ack + delayed/counting acks: approaches ``1/k`` where ``k`` is
+  the achievable batch size — the knob Section VI's "more aggressive"
+  remark points at (ablation over the receiver ack policy).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import replicate
+from repro.analysis.report import render_table
+from repro.experiments.common import (
+    SEEDS,
+    SEEDS_QUICK,
+    ExperimentResult,
+    ExperimentSpec,
+    jitter_link,
+    lossy_link,
+    run_protocol,
+)
+from repro.protocols.ack_policy import CountingAckPolicy, DelayedAckPolicy
+
+__all__ = ["EXPERIMENT"]
+
+WINDOW = 16
+
+
+def _variants():
+    """(label, protocol name, extra kwargs) triples under test."""
+    return (
+        ("selective-repeat", "selective-repeat", {}),
+        ("blockack eager", "blockack", {}),
+        ("blockack delay=0.5", "blockack", {"ack_policy_factory": lambda: DelayedAckPolicy(0.5)}),
+        ("blockack count=4", "blockack", {"ack_policy_factory": lambda: CountingAckPolicy(4, 1.0)}),
+        ("blockack count=8", "blockack", {"ack_policy_factory": lambda: CountingAckPolicy(8, 1.0)}),
+    )
+
+
+def _run_variant(name, kwargs, loss_p, spread, total, seed):
+    factory = kwargs.get("ack_policy_factory")
+    extra = {}
+    if factory is not None:
+        extra["ack_policy"] = factory()
+    link = lossy_link(loss_p, spread) if loss_p > 0 else jitter_link(spread)
+    return run_protocol(
+        name, WINDOW, total, link, jitter_link(spread), seed, **extra
+    )
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    seeds = SEEDS_QUICK if quick else SEEDS
+    total = 400 if quick else 2000
+    conditions = (("in-order lossless", 0.0, 0.0), ("reorder+5% loss", 0.05, 1.5))
+
+    rows = []
+    data = {}
+    for cond_label, loss_p, spread in conditions:
+        for label, name, kwargs in _variants():
+            metrics = replicate(
+                lambda seed, n=name, kw=kwargs, lp=loss_p, sp=spread: _run_variant(
+                    n, kw, lp, sp, total, seed
+                ),
+                seeds,
+                metrics=("acks_per_message", "throughput"),
+            )
+            rows.append(
+                (
+                    cond_label,
+                    label,
+                    metrics["acks_per_message"].mean,
+                    metrics["throughput"].mean,
+                )
+            )
+            data[(cond_label, label)] = metrics["acks_per_message"].mean
+
+    table = render_table(
+        ["condition", "variant", "acks/message", "goodput"],
+        rows,
+        title=f"acknowledgment overhead (w={WINDOW})",
+    )
+
+    sr_lossy = data[("reorder+5% loss", "selective-repeat")]
+    ba_lossy = data[("reorder+5% loss", "blockack eager")]
+    ba_count8 = data[("in-order lossless", "blockack count=8")]
+    reproduced = ba_lossy < 0.8 * sr_lossy and ba_count8 <= 0.2
+
+    # the paper's "small added expense": two sequence numbers per ack
+    # instead of one.  In the byte codec an ack frame is 11 bytes; a
+    # single-number ack would save the second 16-bit field: 9 bytes.
+    pair_ack_bytes = 11.0
+    single_ack_bytes = 9.0
+    ba_bytes = ba_lossy * pair_ack_bytes
+    sr_bytes = sr_lossy * single_ack_bytes
+    findings = [
+        f"under reorder+loss, eager block ack sends {ba_lossy:.2f} acks/msg vs "
+        f"selective repeat's {sr_lossy:.2f} — blocks form for free during recovery",
+        f"with a counting policy (k=8) block ack needs only {ba_count8:.3f} "
+        "acks/msg on smooth traffic — one ack covers a whole batch",
+        "selective repeat cannot batch by design: every message needs its own ack",
+        "the paper's 'small added expense' of the second sequence number, in "
+        f"bytes: block ack pays {pair_ack_bytes:.0f}B per (rarer) ack = "
+        f"{ba_bytes:.1f}B of ack traffic per message under reorder+loss, vs "
+        f"{sr_bytes:.1f}B for single-number per-message acks — the pair "
+        "repays itself many times over",
+    ]
+    return ExperimentResult(
+        exp_id="E4",
+        title="Acknowledgment overhead: blocks vs per-message acks",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data={f"{c}/{l}": v for (c, l), v in data.items()},
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E4",
+    title="Ack overhead: one block ack covers many messages",
+    claim=(
+        "Sections I/VI: selective repeat needs a distinct ack per data "
+        "message — 'a severe restriction'; with block acknowledgment a "
+        "single message can acknowledge a large number of data messages."
+    ),
+    run=run,
+)

@@ -1,0 +1,138 @@
+"""E5 — recovery latency after a lost block acknowledgment.
+
+Claim (Section IV): with the simple timeout, "if one acknowledgment
+message (m, n) is lost, process S has to timeout and resend each of the
+messages from m to n, one at a time, with each two successive messages
+separated by a full timeout period" — i.e. recovery costs ~(n−m+1)
+timeout periods.  The sophisticated per-message timeout removes the
+serialization: "successive resendings of different messages do not have
+to be separated by any specific time period".
+
+Setup: the sender transmits a block of ``b`` messages; the receiver
+acknowledges them with a single block ack (delayed-ack batching); that
+one ack is deterministically lost (scripted fault injection).  We measure
+total transfer-completion time as a function of ``b`` for the three
+timeout realizations:
+
+* ``simple``       — expected ~``b * T``  (linear in b, slope T)
+* ``per_message_safe`` — expected ~``T + b * RTT``  (linear, slope RTT << T)
+* ``oracle``       — expected ~``T' + RTT``  (flat: one poll detects all)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.channel.impairments import ScriptedLoss
+from repro.experiments.common import ExperimentResult, ExperimentSpec, fifo_link
+from repro.protocols.ack_policy import DelayedAckPolicy
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+__all__ = ["EXPERIMENT", "measure_recovery"]
+
+ACK_DELAY = 0.25
+# Any period above the 2.25 bound is safe; real deployments must cover the
+# worst-case message lifetime, which dwarfs the typical RTT (cf. the
+# long-tail regime of E6), so we use a representative conservative value.
+TIMEOUT = 10.0
+BLOCK_SIZES = (2, 4, 8, 16)
+
+
+def measure_recovery(mode: str, block_size: int) -> float:
+    """Completion time of a ``block_size`` transfer whose block ack is lost."""
+    sender = BlockAckSender(
+        window=block_size,
+        timeout_mode=mode,
+        timeout_period=TIMEOUT if mode != "oracle" else 0.25,
+    )
+    receiver = BlockAckReceiver(
+        window=block_size, ack_policy=DelayedAckPolicy(ACK_DELAY)
+    )
+    reverse = LinkSpec(
+        delay=fifo_link().delay, loss=ScriptedLoss({0})  # drop the block ack
+    )
+    result = run_transfer(
+        sender,
+        receiver,
+        GreedySource(block_size),
+        forward=fifo_link(),
+        reverse=reverse,
+        seed=0,
+        max_time=10_000.0,
+    )
+    if not (result.completed and result.in_order):
+        raise AssertionError(
+            f"recovery run failed (mode={mode}, b={block_size}): {result.summary()}"
+        )
+    return result.duration
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    block_sizes = (2, 8) if quick else BLOCK_SIZES
+    modes = ("simple", "per_message_safe", "oracle")
+
+    rows = []
+    data = {}
+    for b in block_sizes:
+        times = {mode: measure_recovery(mode, b) for mode in modes}
+        rows.append(
+            (
+                b,
+                times["simple"],
+                times["per_message_safe"],
+                times["oracle"],
+                f"~{b * TIMEOUT:.1f}",
+            )
+        )
+        data[b] = times
+
+    table = render_table(
+        ["block size b", "simple", "per-message (safe)", "oracle (Sec IV)",
+         "paper predicts simple"],
+        rows,
+        title=f"completion time after losing one block ack (T={TIMEOUT}, RTT=2)",
+    )
+
+    b_small, b_large = block_sizes[0], block_sizes[-1]
+    growth = b_large / b_small
+    simple_linear_in_T = (
+        data[b_large]["simple"] / data[b_small]["simple"] > 0.6 * growth
+    )
+    safe_beats_simple = (
+        data[b_large]["per_message_safe"] < 0.6 * data[b_large]["simple"]
+    )
+    oracle_flat = (
+        data[b_large]["oracle"] - data[b_small]["oracle"] < 2.0
+    )
+    reproduced = simple_linear_in_T and safe_beats_simple and oracle_flat
+    findings = [
+        f"simple timeout: recovery grows ~linearly with block size at slope "
+        f"≈T={TIMEOUT} (b={b_large}: {data[b_large]['simple']:.1f}tu)",
+        "per-message safe timers serialize recoveries by one RTT instead of "
+        f"one timeout period (b={b_large}: "
+        f"{data[b_large]['per_message_safe']:.1f}tu)",
+        "the oracle guard (Section IV verbatim) retransmits every covered "
+        f"message at once: flat ~{data[b_large]['oracle']:.1f}tu for any block",
+    ]
+    return ExperimentResult(
+        exp_id="E5",
+        title="Recovery latency: simple vs sophisticated timeouts",
+        claim=EXPERIMENT.claim,
+        data={str(b): times for b, times in data.items()},
+        table=table,
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E5",
+    title="Lost block ack: recovery cost of the simple timeout",
+    claim=(
+        "Section IV: losing one block ack (m, n) costs the simple-timeout "
+        "protocol one full timeout period per covered message; per-message "
+        "timeouts remove the serialized timeout periods."
+    ),
+    run=run,
+)

@@ -1,0 +1,198 @@
+"""E7 — the finite-sequence-number protocol behaves identically.
+
+Claim (Section V): replacing true sequence numbers by numbers mod
+``n = 2w`` — and then shrinking all local state to O(w) — "can be
+performed without altering either the safety or progress properties of
+the protocol": the function ``f`` reconstructs every number exactly, so
+the bounded protocol makes the same decisions at the same instants.
+
+Three implementations are raced under byte-identical schedules (same
+seeds, hence same channel delay/loss draws — the common-random-numbers
+discipline):
+
+* ``unbounded``  — Section II: true numbers on the wire;
+* ``modular``    — same endpoint code, wire numbers mod 2w, reconstruction
+  via ``f`` (Section V, first transformation);
+* ``bounded``    — the byte-exact Section V final programs: O(w) storage,
+  all counters mod 2w.
+
+Checks: (1) identical delivered-payload sequences, (2) identical
+completion times and message counts, (3) the unbounded and modular
+variants make literally identical decisions (full decision-trace
+equality), and the byte-exact variant's wire trace equals the modular
+one's after projecting true numbers mod 2w.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import render_table
+from repro.core.numbering import ModularNumbering
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    fifo_link,
+    jitter_link,
+    lossy_link,
+)
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.protocols.blockack_bounded import (
+    BoundedBlockAckReceiver,
+    BoundedBlockAckSender,
+)
+from repro.sim.runner import run_transfer
+from repro.trace.recorder import decision_diff
+from repro.workloads.sources import GreedySource
+
+__all__ = ["EXPERIMENT", "race_variants"]
+
+WINDOW = 6
+TIMEOUT = 55.0  # safe for every condition used below
+
+
+def _make(variant: str):
+    if variant == "unbounded":
+        sender = BlockAckSender(WINDOW, timeout_mode="simple", timeout_period=TIMEOUT)
+        receiver = BlockAckReceiver(WINDOW)
+    elif variant == "modular":
+        numbering = ModularNumbering(WINDOW)
+        sender = BlockAckSender(
+            WINDOW, numbering=numbering, timeout_mode="simple",
+            timeout_period=TIMEOUT,
+        )
+        receiver = BlockAckReceiver(WINDOW, numbering=numbering)
+    elif variant == "bounded":
+        sender = BoundedBlockAckSender(WINDOW, timeout_period=TIMEOUT)
+        receiver = BoundedBlockAckReceiver(WINDOW)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    return sender, receiver
+
+
+def race_variants(condition: str, total: int, seed: int) -> dict:
+    """Run all three variants under one identical schedule; compare."""
+    links = {
+        "fifo": fifo_link,
+        "reorder": lambda: jitter_link(1.5),
+        "loss+reorder": lambda: lossy_link(0.08, 1.2),
+    }[condition]
+    results = {}
+    for variant in ("unbounded", "modular", "bounded"):
+        sender, receiver = _make(variant)
+        results[variant] = run_transfer(
+            sender,
+            receiver,
+            GreedySource(total),
+            forward=links(),
+            reverse=links(),
+            seed=seed,
+            trace=True,
+            collect_payloads=True,
+            max_time=100_000.0,
+        )
+    return results
+
+
+def _wire_projection(result, domain: int) -> List[tuple]:
+    """Decision trace with sequence numbers projected mod ``domain``."""
+    projected = []
+    for time, actor, kind, seq, seq_hi in result.trace.decision_trace():
+        projected.append(
+            (
+                time,
+                actor,
+                kind,
+                None if seq is None else seq % domain,
+                None if seq_hi is None else seq_hi % domain,
+            )
+        )
+    return projected
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    conditions = ("fifo", "loss+reorder") if quick else (
+        "fifo", "reorder", "loss+reorder"
+    )
+    seeds = (3, 17) if quick else (3, 17, 29, 43)
+    total = 150 if quick else 500
+
+    rows = []
+    all_ok = True
+    data = {}
+    for condition in conditions:
+        for seed in seeds:
+            results = race_variants(condition, total, seed)
+            u, m, b = results["unbounded"], results["modular"], results["bounded"]
+            payloads_equal = (
+                u.delivered_payloads == m.delivered_payloads == b.delivered_payloads
+            )
+            durations_equal = u.duration == m.duration == b.duration
+            counts_equal = (
+                u.sender_stats["data_sent"]
+                == m.sender_stats["data_sent"]
+                == b.sender_stats["data_sent"]
+            )
+            decisions_equal = not decision_diff(
+                u.trace.decision_trace(), m.trace.decision_trace()
+            )
+            wire_equal = not decision_diff(
+                _wire_projection(m, 2 * WINDOW), b.trace.decision_trace()
+            )
+            ok = (
+                payloads_equal
+                and durations_equal
+                and counts_equal
+                and decisions_equal
+                and wire_equal
+                and u.completed
+                and u.in_order
+            )
+            all_ok = all_ok and ok
+            rows.append(
+                (
+                    condition,
+                    seed,
+                    payloads_equal,
+                    durations_equal,
+                    counts_equal,
+                    decisions_equal,
+                    wire_equal,
+                )
+            )
+            data[f"{condition}/{seed}"] = ok
+
+    table = render_table(
+        ["condition", "seed", "payloads =", "durations =", "msg counts =",
+         "decisions(unb,mod) =", "wire(mod,bounded) ="],
+        rows,
+        title=f"three-way equivalence race (w={WINDOW}, n=2w={2 * WINDOW})",
+    )
+    findings = [
+        "the mod-2w wire encoding reconstructs every sequence number exactly "
+        "(identical decision traces, message for message)",
+        "the byte-exact O(w)-storage programs emit identical wire traffic and "
+        "deliver identical payload sequences",
+        "equivalence holds under loss and reorder, not just clean runs",
+    ]
+    return ExperimentResult(
+        exp_id="E7",
+        title="Bounded = unbounded: behavioural equivalence",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data=data,
+        findings=findings,
+        reproduced=all_ok,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E7",
+    title="Finite sequence numbers preserve behaviour exactly",
+    claim=(
+        "Section V: sending (m mod 2w) and reconstructing with f loses no "
+        "information; the modification preserves both safety and progress "
+        "— and bounded storage suffices."
+    ),
+    run=run,
+)

@@ -1,0 +1,184 @@
+"""E8 — exhaustive verification of the invariant (assertions 6 ∧ 7 ∧ 8).
+
+Claim (Section III): the conjunction of assertions 6, 7, and 8 is an
+invariant of the protocol — every reachable state satisfies it, under
+message loss and disorder, for both the simple (Section II) and
+per-message (Section IV) timeout actions.
+
+The experiment explores the *entire* reachable state space of the
+abstract protocol (channels as sets, actions 0–5, environment loss
+transitions) for several window sizes and send bounds, checking the
+invariant at every state and flagging deadlocks.  Two ablations show the
+checks have teeth:
+
+* the ``impatient`` timeout (retransmit whenever anything is outstanding,
+  ignoring the paper's guard) violates assertion 8 within a handful of
+  transitions — the at-most-one-copy-in-transit clause is what the
+  careful timeout guard buys;
+* an undersized wire domain ``n = w`` makes the reconstruction function
+  ``f`` ambiguous: we count decode collisions over the receiver's
+  admissible value range (assertion 11), which are zero for ``n = 2w``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.seqnum import reconstruct
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+from repro.verify.actions import AbstractProtocolModel
+from repro.verify.explorer import Explorer
+
+__all__ = ["EXPERIMENT", "decode_collisions"]
+
+
+def decode_collisions(window: int, domain: int, horizon: int = 40) -> int:
+    """Count values the receiver cannot decode correctly with this domain.
+
+    For each plausible receiver state ``nr`` (up to ``horizon``), assertion
+    11 admits any true ``v`` in ``[max(0, nr - w), nr + w)``.  A collision
+    is a ``v`` in that range whose reconstruction from ``v mod domain``
+    (reference ``max(0, nr - w)``) does not give back ``v``.
+    """
+    collisions = 0
+    for nr in range(horizon):
+        reference = max(0, nr - window)
+        for v in range(reference, nr + window):
+            if reconstruct(reference, v % domain, domain) != v:
+                collisions += 1
+    return collisions
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    configs = (
+        (1, 3, "simple", True),
+        (1, 3, "per_message", True),
+        (2, 4, "simple", True),
+        (2, 4, "per_message", True),
+        (2, 5, "simple", True),
+        (3, 5, "simple", False),
+    )
+    if quick:
+        configs = configs[:4]
+
+    rows = []
+    data = {}
+    all_clean = True
+    for window, max_send, mode, allow_loss in configs:
+        model = AbstractProtocolModel(
+            window=window,
+            max_send=max_send,
+            timeout_mode=mode,
+            allow_loss=allow_loss,
+        )
+        report = Explorer(model, stop_at_first_violation=False).run()
+        label = f"w={window} N={max_send} {mode}" + (" +loss" if allow_loss else "")
+        rows.append(
+            (
+                label,
+                report.states_explored,
+                report.transitions_explored,
+                len(report.invariant_violations),
+                len(report.deadlocks),
+                report.final_states,
+            )
+        )
+        data[label] = report.states_explored
+        all_clean = all_clean and report.ok and not report.truncated
+
+    # ablation 1: the impatient timeout breaks assertion 8
+    impatient = AbstractProtocolModel(2, 4, timeout_mode="impatient")
+    impatient_explorer = Explorer(impatient)
+    impatient_report = impatient_explorer.run()
+    impatient_broken = bool(impatient_report.invariant_violations)
+    witness_lines = []
+    if impatient_broken:
+        bad_state, clauses = impatient_report.invariant_violations[0]
+        witness_lines = impatient_explorer.witness(bad_state)
+        rows.append(
+            (
+                "w=2 N=4 impatient (ablation)",
+                impatient_report.states_explored,
+                impatient_report.transitions_explored,
+                len(impatient_report.invariant_violations),
+                len(impatient_report.deadlocks),
+                impatient_report.final_states,
+            )
+        )
+
+    # ablation 2: n = w decoding is ambiguous, n = 2w is exact
+    coll_w = decode_collisions(window=4, domain=4)
+    coll_2w = decode_collisions(window=4, domain=8)
+
+    # refinement: the timed implementation's traces replay as abstract
+    # executions (every concrete step satisfies the paper's guards)
+    from repro.verify.refinement import check_refinement
+
+    total = 80 if quick else 200
+    refinements = {
+        mode: check_refinement(window=6, total=total, seed=3, timeout_mode=mode)
+        for mode in ("simple", "per_message_safe", "oracle")
+    }
+    refinements_ok = all(report.ok for report in refinements.values())
+    aggressive_refinement = check_refinement(
+        window=6, total=total, seed=3, timeout_mode="aggressive"
+    )
+
+    table = render_table(
+        ["configuration", "states", "transitions", "violations", "deadlocks",
+         "final states"],
+        rows,
+        title="exhaustive exploration of the abstract protocol",
+    )
+    witness = "\n".join(
+        ["", "impatient-timeout violation witness:"]
+        + [f"  {line}" for line in witness_lines[:12]]
+    )
+    reproduced = (
+        all_clean
+        and impatient_broken
+        and coll_2w == 0
+        and coll_w > 0
+        and refinements_ok
+        and not aggressive_refinement.ok
+    )
+    refinement_steps = ", ".join(
+        f"{mode}: {report.steps} steps"
+        for mode, report in refinements.items()
+    )
+    findings = [
+        "the paper invariant (6 ∧ 7 ∧ 8, plus the Section-V decode ranges "
+        "9-11) holds in every reachable state, both timeout variants, with "
+        "loss and reorder enabled",
+        "no deadlocks: every non-final state has an enabled protocol action",
+        "ablation: dropping the timeout guard's channel conjuncts (impatient "
+        "mode) violates assertion 8 "
+        f"({len(impatient_report.invariant_violations)} violating state(s) found, "
+        "witness trace below)",
+        f"ablation: domain n=w gives {coll_w} reconstruction collisions over "
+        f"the assertion-11 range; n=2w gives {coll_2w} — the paper's 2w is tight",
+        "refinement: traces of the timed implementation replay as abstract "
+        f"executions with every guard satisfied ({refinement_steps}); the "
+        "aggressive mode fails the replay at its first premature "
+        "retransmission",
+    ]
+    return ExperimentResult(
+        exp_id="E8",
+        title="Model checking the invariant",
+        claim=EXPERIMENT.claim,
+        table=table + witness,
+        data={**data, "collisions_n_eq_w": coll_w, "collisions_n_eq_2w": coll_2w},
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E8",
+    title="Assertions 6-8 are invariant; ablations show the checks bite",
+    claim=(
+        "Section III: the conjunction of assertions 6, 7 and 8 is an "
+        "invariant of the protocol (safety), insensitive to message loss "
+        "and disorder; Section V: n = 2w suffices for exact reconstruction."
+    ),
+    run=run,
+)

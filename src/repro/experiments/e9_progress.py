@@ -1,0 +1,118 @@
+"""E9 — progress: the potential function keeps climbing.
+
+Claim (Section III-B): the sum ``na + ns + nr + vr`` is incremented
+infinitely often — the sender sends new messages and the receiver accepts
+new messages forever — under action fairness, provided (Section III-C)
+"there are long periods of time during which no sent message is lost".
+
+The experiment runs long randomized fair executions of the abstract model
+with a bounded loss budget (the fault model under which the paper proves
+progress) and checks that every walk (a) completes the transfer, (b) never
+decreases the potential function, and (c) never violates the invariant.
+A second sweep raises the loss pressure to show completion survives even
+aggressive-but-finite loss.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import render_table
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+from repro.verify.actions import AbstractProtocolModel
+from repro.verify.explorer import RandomWalker
+
+__all__ = ["EXPERIMENT"]
+
+
+def _walk(window, max_send, loss_p, loss_budget, seed, timeout_mode="simple"):
+    model = AbstractProtocolModel(
+        window=window, max_send=max_send, timeout_mode=timeout_mode,
+        allow_loss=True,
+    )
+    walker = RandomWalker(
+        model,
+        random.Random(seed),
+        loss_probability=loss_p,
+        loss_budget=loss_budget,
+        max_steps=200_000,
+    )
+    return walker.run()
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    seeds = (1, 2, 3) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
+    configs = (
+        (2, 20, 0.05, 10, "simple"),
+        (2, 20, 0.30, 40, "simple"),
+        (4, 30, 0.30, 60, "per_message"),
+    )
+    if quick:
+        configs = configs[:2]
+
+    rows = []
+    all_ok = True
+    data = {}
+    for window, max_send, loss_p, budget, mode in configs:
+        for seed in seeds:
+            report = _walk(window, max_send, loss_p, budget, seed, mode)
+            monotone = all(
+                later >= earlier
+                for earlier, later in zip(
+                    report.progress_sum_history, report.progress_sum_history[1:]
+                )
+            )
+            ok = (
+                report.completed
+                and monotone
+                and report.invariant_violations == 0
+            )
+            all_ok = all_ok and ok
+            rows.append(
+                (
+                    f"w={window} N={max_send} {mode} loss={loss_p}",
+                    seed,
+                    report.steps,
+                    report.losses_injected,
+                    report.completed,
+                    monotone,
+                    report.invariant_violations,
+                )
+            )
+            data[f"{window}/{max_send}/{loss_p}/{mode}/{seed}"] = ok
+
+    table = render_table(
+        ["configuration", "seed", "steps", "losses", "completed",
+         "sum monotone", "invariant violations"],
+        rows,
+        title="randomized fair executions of the abstract protocol",
+    )
+    findings = [
+        "every fair execution delivers and acknowledges all N messages "
+        "despite injected losses (bounded loss budget = the paper's "
+        "'long periods with no loss' assumption)",
+        "the potential function na+ns+nr+vr never decreases — the paper's "
+        "progress measure",
+        "the invariant held at every step of every walk",
+    ]
+    return ExperimentResult(
+        exp_id="E9",
+        title="Progress under fair scheduling and bounded loss",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data=data,
+        findings=findings,
+        reproduced=all_ok,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E9",
+    title="The sum na+ns+nr+vr increments infinitely often",
+    claim=(
+        "Section III-B/C: the protocol makes progress — actions 0 and 5 "
+        "execute infinitely often under fairness, provided loss is not "
+        "continuous; the proof's potential function is na+ns+nr+vr."
+    ),
+    run=run,
+)

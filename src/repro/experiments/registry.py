@@ -1,0 +1,64 @@
+"""Registry of all experiments, ordered E1..E12."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments import (
+    e1_intro_scenario,
+    e2_lossless_parity,
+    e3_loss_sweep,
+    e4_ack_overhead,
+    e5_timeout_recovery,
+    e6_stenning_domain,
+    e7_bounded_equivalence,
+    e8_model_check,
+    e9_progress,
+    e10_reorder_sweep,
+    e11_special_cases,
+    e12_timeout_ablation,
+    e13_position_reuse,
+)
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "get_experiment", "run_experiment"]
+
+_MODULES = (
+    e1_intro_scenario,
+    e2_lossless_parity,
+    e3_loss_sweep,
+    e4_ack_overhead,
+    e5_timeout_recovery,
+    e6_stenning_domain,
+    e7_bounded_equivalence,
+    e8_model_check,
+    e9_progress,
+    e10_reorder_sweep,
+    e11_special_cases,
+    e12_timeout_ablation,
+    e13_position_reuse,
+)
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    module.EXPERIMENT.exp_id.lower(): module.EXPERIMENT for module in _MODULES
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids in order: ['e1', ..., 'e12']."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Look up one experiment by id (case-insensitive)."""
+    key = exp_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(exp_id).run(quick)

@@ -1,0 +1,43 @@
+"""Alternating-bit protocol as a degenerate block-acknowledgment instance.
+
+The paper traces the window protocol's roots to the alternating-bit
+protocol (Lynch; Bartlett, Scantlebury & Wilkinson) and notes in Section
+VI that earlier designs are special cases of block acknowledgment.  The
+alternating-bit protocol *is* the block-acknowledgment protocol with
+``w = 1``: the wire domain is ``2w = 2`` (the alternating bit), every
+acknowledgment is the singleton block ``(b, b)``, and the single-message
+window makes the go-back-N/selective-repeat distinction vanish.
+
+These factories therefore return genuine
+:class:`~repro.protocols.blockack.BlockAckSender` /
+:class:`~repro.protocols.blockack.BlockAckReceiver` instances configured
+to that corner — both a usable protocol and an executable proof of the
+paper's "special case" remark (tested in ``tests/test_alternating_bit.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.numbering import ModularNumbering
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+
+__all__ = ["make_alternating_bit_sender", "make_alternating_bit_receiver"]
+
+
+def make_alternating_bit_sender(
+    timeout_period: Optional[float] = None,
+    timeout_mode: str = "simple",
+) -> BlockAckSender:
+    """An alternating-bit sender: window 1, wire numbers mod 2."""
+    return BlockAckSender(
+        window=1,
+        numbering=ModularNumbering(window=1),  # domain 2w = 2: the bit
+        timeout_mode=timeout_mode,
+        timeout_period=timeout_period,
+    )
+
+
+def make_alternating_bit_receiver() -> BlockAckReceiver:
+    """An alternating-bit receiver: window 1, wire numbers mod 2."""
+    return BlockAckReceiver(window=1, numbering=ModularNumbering(window=1))

@@ -1,0 +1,528 @@
+"""The block-acknowledgment window protocol on the timed simulator.
+
+This module is the runnable (timed, timer-driven) counterpart of the
+paper's abstract protocol.  One sender and one receiver class cover the
+whole design space of the paper:
+
+* **numbering** — :class:`~repro.core.numbering.UnboundedNumbering`
+  (Section II: true numbers on the wire) or
+  :class:`~repro.core.numbering.ModularNumbering` (Section V: numbers mod
+  ``2w`` on the wire, reconstructed with the paper's function ``f``);
+* **timeout mode** — how the sender resolves the paper's timeout guards
+  with real timers (see below);
+* **ack policy** — how the receiver resolves the nondeterminism of
+  actions 4/5 (see :mod:`repro.protocols.ack_policy`).
+
+Timeout modes
+-------------
+
+The paper's guards read channel and receiver state that a real sender
+cannot see, so a timer realization must *imply* the guard.  Let ``T`` be a
+period no smaller than (max forward transit) + (max ack latency at the
+receiver) + (max reverse transit); see :func:`safe_timeout_period`.
+
+``simple`` — Section II, one timer.
+    The timer restarts on **every** data transmission.  When it fires,
+    every message (and any acknowledgment it triggered) sent before the
+    last transmission has left the channels, which implies the paper's
+    guard ``(na != ns) ∧ C_SR = {} ∧ C_RS = {} ∧ ¬rcvd[nr]`` — the last
+    conjunct because had the receiver been able to acknowledge anything,
+    that acknowledgment would have arrived (or been lost) within ``T``.
+    Only ``na`` is retransmitted, so recovering a lost block ack costs one
+    full ``T`` per covered message: the slowness Section IV fixes.
+
+``per_message_safe`` — our implementable realization of Section IV.
+    One timer per outstanding message, restarted on each transmission of
+    that message.  An expired message ``i`` is retransmitted only when the
+    sender can *prove* the paper's guard ``timeout(i)``:
+
+    * ``i == na`` — then either the receiver never received ``i``
+      (``¬rcvd[i]``) or it accepted ``i`` and the acknowledgment was lost
+      (``i < nr``); both disjuncts of the guard's fifth conjunct are
+      covered, exactly as for the simple timeout.
+    * ``i < hi_acked``, **and** at least the maximum reverse-channel
+      lifetime has elapsed since the sender first learned that — an ack
+      ending past ``i`` was received at some time ``t2``, so the
+      receiver's ``nr`` has passed ``i`` (the guard's ``i < nr``), and
+      the block acknowledgment that covered ``i`` was *sent before* the
+      one received at ``t2`` (blocks are emitted in ``nr`` order), hence
+      has left the channel by ``t2 + reverse_lifetime``: it is provably
+      lost, so ``*RS^i = 0``.  Waiting out that one reverse lifetime is
+      essential — with reordered acknowledgments the covering block can
+      arrive *after* a later block, and retransmitting ``i`` while it is
+      still in flight violates assertion 8 (and, over mod-2w wire
+      numbers, eventually corrupts decoding).
+
+    Messages that expire while ineligible are parked; when an
+    acknowledgment reveals coverage they are released together after the
+    single reverse-lifetime wait, so distinct lost messages recover
+    without serialized timeout periods between them — the Section IV
+    speed-up — while every retransmission provably satisfies the paper's
+    guard.
+
+``oracle`` — Section IV verbatim (simulation-only).
+    The sender polls the exact guard — including the receiver's ``rcvd``
+    array and the channels' in-flight contents — every ``poll_period``.
+    This is the paper's abstract protocol made executable; it exists to
+    validate the timer realizations against (E5) and is flagged as
+    unimplementable outside a simulator.
+
+``aggressive`` — deliberately unsound (E12 ablation).
+    Retransmits any expired unacknowledged message.  With unbounded
+    numbers this merely wastes bandwidth; with bounded (mod-``2w``)
+    numbers it can violate assertion 8 and corrupt or stall the transfer,
+    which is precisely why the paper's guard has the ``¬rcvd[i]``
+    conjunct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.core.messages import BlockAck, DataMessage
+from repro.core.numbering import Numbering, UnboundedNumbering
+from repro.core.window import ReceiverWindow, SenderWindow
+from repro.protocols.ack_policy import AckPolicy, EagerAckPolicy
+from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.sim.timers import Timer, TimerBank
+from repro.trace.events import EventKind
+
+__all__ = [
+    "BlockAckSender",
+    "BlockAckReceiver",
+    "safe_timeout_period",
+    "TIMEOUT_MODES",
+]
+
+TIMEOUT_MODES = ("simple", "per_message_safe", "oracle", "aggressive")
+
+
+def safe_timeout_period(
+    forward_lifetime: float,
+    reverse_lifetime: float,
+    ack_latency: float = 0.0,
+    margin: float = 1e-6,
+) -> float:
+    """Smallest provably safe retransmission period.
+
+    The paper: "the timeout period should be chosen large enough to
+    guarantee that a data message is resent only when the last copy of
+    this message or its acknowledgment is lost during transmission."
+    That bound is (max data transit) + (max time the receiver may sit on
+    an acknowledgment) + (max ack transit), plus a strict margin.
+    """
+    if forward_lifetime < 0 or reverse_lifetime < 0 or ack_latency < 0:
+        raise ValueError("lifetimes and latency must be non-negative")
+    return forward_lifetime + ack_latency + reverse_lifetime + margin
+
+
+class BlockAckSender(SenderEndpoint):
+    """Sender side of the block-acknowledgment protocol.
+
+    Parameters
+    ----------
+    window:
+        The paper's ``w`` — maximum outstanding messages.
+    numbering:
+        Wire numbering scheme; defaults to unbounded (Section II).
+    timeout_mode:
+        One of :data:`TIMEOUT_MODES`; see module docstring.
+    timeout_period:
+        The period ``T``.  Required for timer modes; see
+        :func:`safe_timeout_period`.  For ``oracle`` mode it is the poll
+        period (how often the exact guard is evaluated).
+    reverse_lifetime:
+        Maximum time an acknowledgment can spend in the reverse channel;
+        the ``per_message_safe`` mode's coverage-release wait.  Derived by
+        the runner from the channel when left None; falls back to
+        ``timeout_period`` (which always bounds it) at attach time.
+    lookahead:
+        Position-reuse factor ``K`` (Section VI extension): with ``K > 1``
+        the sender may have up to ``w`` unacknowledged messages spread
+        over a ``K*w``-wide sequence range, reusing acknowledged positions
+        ahead of a stalled ``na``.  Requires a matching
+        ``ModularNumbering(..., lookahead=K)`` when wire numbers are
+        bounded.  ``K = 1`` is the paper's base protocol.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        numbering: Optional[Numbering] = None,
+        timeout_mode: str = "simple",
+        timeout_period: Optional[float] = None,
+        reverse_lifetime: Optional[float] = None,
+        lookahead: int = 1,
+    ) -> None:
+        super().__init__()
+        if timeout_mode not in TIMEOUT_MODES:
+            raise ValueError(
+                f"timeout_mode must be one of {TIMEOUT_MODES}, got {timeout_mode!r}"
+            )
+        self.window = SenderWindow(window, lookahead=lookahead)
+        self.numbering = numbering if numbering is not None else UnboundedNumbering()
+        self.timeout_mode = timeout_mode
+        self.timeout_period = timeout_period
+        self.reverse_lifetime = reverse_lifetime
+        self.hi_acked = -1  # highest sequence number seen in any valid ack
+        self._payloads: Dict[int, Any] = {}
+        self._parked: Set[int] = set()  # expired but not yet eligible
+        self._covered_at: Dict[int, float] = {}  # seq -> time hi_acked passed it
+        self._timer: Optional[Timer] = None  # simple mode
+        self._timers: Optional[TimerBank] = None  # per-message modes
+        self._poll: Optional[Timer] = None  # oracle mode
+        # oracle hooks, wired by enable_oracle()
+        self._oracle_receiver: Optional["BlockAckReceiver"] = None
+        self._oracle_forward = None
+        self._oracle_reverse = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _after_attach(self) -> None:
+        if self.timeout_period is None:
+            raise ValueError(
+                "timeout_period must be set before attaching the sender"
+            )
+        if self.reverse_lifetime is None:
+            # T >= forward + ack latency + reverse, so T always bounds the
+            # reverse lifetime; a tighter value comes from the runner.
+            self.reverse_lifetime = self.timeout_period
+        if self.timeout_mode == "simple":
+            self._timer = Timer(self.sim, self._on_simple_timeout, name="retx")
+        elif self.timeout_mode == "oracle":
+            self._poll = Timer(self.sim, self._on_oracle_poll, name="oracle-poll")
+        else:
+            self._timers = TimerBank(self.sim, self._on_message_timeout, name="retx")
+
+    def enable_oracle(self, forward, reverse, receiver: "BlockAckReceiver") -> None:
+        """Wire the oracle guard's inputs (``oracle`` mode only)."""
+        if self.timeout_mode != "oracle":
+            raise RuntimeError("enable_oracle requires timeout_mode='oracle'")
+        self._oracle_forward = forward
+        self._oracle_reverse = reverse
+        self._oracle_receiver = receiver
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        return self.window.can_send
+
+    def submit(self, payload: Any) -> int:
+        seq = self.window.take_next()  # paper action 0
+        self._payloads[seq] = payload
+        self.stats.submitted += 1
+        self._transmit(seq, attempt=0)
+        return seq
+
+    def resize_window(self, new_window: int) -> None:
+        """Change the flow-control window at runtime (Section VI remark).
+
+        Bounded numbering stays sound because the wire domain was sized
+        from the construction-time (maximum) window; shrinking only
+        tightens the live range, and regrowing is capped at that maximum.
+        Wakes the source if the resize reopened the window.
+        """
+        was_open = self.window.can_send
+        self.window.resize(new_window)
+        if not was_open and self.window.can_send:
+            self._window_opened()
+
+    @property
+    def all_acknowledged(self) -> bool:
+        return self.window.all_acknowledged
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def _transmit(self, seq: int, attempt: int) -> None:
+        message = DataMessage(
+            seq=self.numbering.encode(seq),
+            payload=self._payloads.get(seq),
+            attempt=attempt,
+        )
+        self.stats.data_sent += 1
+        if attempt > 0:
+            self.stats.retransmissions += 1
+            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
+        else:
+            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
+        self.tx.send(message)
+        if self.timeout_mode == "simple":
+            # the single timer measures time since the *last* transmission
+            self._timer.restart(self.timeout_period)
+        elif self.timeout_mode == "oracle":
+            if not self._poll.running:
+                self._poll.start(self.timeout_period)
+        else:
+            self._timers.start(seq, self.timeout_period)
+
+    # ------------------------------------------------------------------
+    # acknowledgment handling (paper action 1)
+    # ------------------------------------------------------------------
+
+    def on_message(self, ack: Any) -> None:
+        if not isinstance(ack, BlockAck):
+            raise TypeError(f"block-ack sender got {ack!r}")
+        self.stats.acks_received += 1
+        lo = self.numbering.decode_at_sender(ack.lo, self.window.na)
+        hi = self.numbering.decode_at_sender(ack.hi, self.window.na)
+        if lo > hi or hi >= self.window.ns:
+            # Provably stale or garbled: with bounded numbering, a very old
+            # duplicate ack decodes beyond the send horizon.  Discard.
+            self.stats.stale_acks += 1
+            self.trace.record(
+                self.actor_name, EventKind.NOTE, detail=f"discarded ack {ack}"
+            )
+            return
+        self.trace.record(self.actor_name, EventKind.RECV_ACK, seq=lo, seq_hi=hi)
+        outcome = self.window.apply_ack(lo, hi)
+        if outcome.stale:
+            self.stats.stale_acks += 1
+        self.hi_acked = max(self.hi_acked, hi)
+        self.stats.acked = self.window.na
+        self.stats.last_ack_time = self.sim.now
+        for seq in outcome.newly_acked:
+            self._payloads.pop(seq, None)
+            if self._timers is not None:
+                self._timers.stop(seq)
+            self._parked.discard(seq)
+            self._covered_at.pop(seq, None)
+        if self.timeout_mode == "simple" and self.window.all_acknowledged:
+            self._timer.stop()
+        if self.timeout_mode == "oracle" and self.window.all_acknowledged:
+            self._poll.stop()
+        if self.timeout_mode == "per_message_safe":
+            self._note_coverage()
+            self._release_parked()
+        if outcome.advanced:
+            self.trace.record(
+                self.actor_name, EventKind.WINDOW_OPEN, seq=self.window.na
+            )
+            self._window_opened()
+
+    # ------------------------------------------------------------------
+    # timeout machinery
+    # ------------------------------------------------------------------
+
+    def _on_simple_timeout(self) -> None:
+        """Section II action 2: retransmit ``na`` only."""
+        if self.window.all_acknowledged:
+            return
+        self.stats.timeouts_fired += 1
+        self.trace.record(
+            self.actor_name, EventKind.TIMEOUT, seq=self.window.na, detail="simple"
+        )
+        self._transmit(self.window.na, attempt=1)
+
+    def _on_message_timeout(self, seq: int) -> None:
+        """Per-message timer expiry (``per_message_safe`` / ``aggressive``)."""
+        if self.window.is_acked(seq):
+            return
+        if self.timeout_mode == "aggressive" or self._eligible(seq):
+            self.stats.timeouts_fired += 1
+            self.trace.record(
+                self.actor_name, EventKind.TIMEOUT, seq=seq,
+                detail=self.timeout_mode,
+            )
+            self._transmit(seq, attempt=1)
+            return
+        covered = self._covered_at.get(seq)
+        if covered is not None:
+            # eligible once the covering block ack has provably drained
+            remaining = covered + self.reverse_lifetime - self.sim.now
+            self._timers.start(seq, max(remaining, 0.0) + 1e-9)
+        else:
+            # Possibly buffered out-of-order at the receiver: retransmitting
+            # now could put a second logical copy in play (assertion 8).
+            # Park it; coverage by a later ack (or becoming na) releases it.
+            self._parked.add(seq)
+
+    def _eligible(self, seq: int) -> bool:
+        """Provable instances of the paper's ``timeout(i)`` guard.
+
+        ``seq == na``: either the receiver never got it, or every ack that
+        could cover it has drained within the timer period (the simple-
+        timeout argument).  ``seq < hi_acked``: the receiver's nr passed
+        it, and the block ack that covered it — sent before the ack whose
+        arrival set ``_covered_at[seq]`` — has drained once a full reverse
+        lifetime has elapsed since then.
+        """
+        if seq == self.window.na:
+            return True
+        covered = self._covered_at.get(seq)
+        return (
+            covered is not None
+            and self.sim.now >= covered + self.reverse_lifetime
+        )
+
+    def _note_coverage(self) -> None:
+        """Record when ``hi_acked`` first passed each outstanding message."""
+        if self.hi_acked < 0:
+            return
+        for seq in self.window.outstanding():
+            if seq < self.hi_acked and seq not in self._covered_at:
+                self._covered_at[seq] = self.sim.now
+
+    def _release_parked(self) -> None:
+        """Retransmit or schedule every parked message that can now move.
+
+        ``na`` is retransmitted immediately (always safe).  Newly covered
+        messages get a timer for the reverse-lifetime drain wait; the
+        expiry path re-checks eligibility and retransmits.
+        """
+        self._parked = {s for s in self._parked if not self.window.is_acked(s)}
+        for seq in sorted(self._parked):
+            if self._eligible(seq):
+                self._parked.discard(seq)
+                self.stats.timeouts_fired += 1
+                self.trace.record(
+                    self.actor_name, EventKind.TIMEOUT, seq=seq, detail="released"
+                )
+                self._transmit(seq, attempt=1)
+            elif seq in self._covered_at and not self._timers.running(seq):
+                remaining = (
+                    self._covered_at[seq] + self.reverse_lifetime - self.sim.now
+                )
+                self._parked.discard(seq)  # the timer owns it now
+                self._timers.start(seq, max(remaining, 0.0) + 1e-9)
+
+    # ------------------------------------------------------------------
+    # oracle mode: the paper's guard, evaluated verbatim
+    # ------------------------------------------------------------------
+
+    def _on_oracle_poll(self) -> None:
+        if self._oracle_receiver is None:
+            raise RuntimeError("oracle mode requires enable_oracle(...) wiring")
+        receiver = self._oracle_receiver
+        for seq in self.window.outstanding():
+            wire = self.numbering.encode(seq)
+            in_forward = self._oracle_forward.count_matching(
+                lambda m, w=wire: isinstance(m, DataMessage) and m.seq == w
+            )
+            if in_forward:
+                continue  # *SR^i != 0
+            covered = self._oracle_reverse.count_matching(
+                lambda m, s=seq: isinstance(m, BlockAck)
+                and self._ack_covers(m, s)
+            )
+            if covered:
+                continue  # *RS^i != 0
+            if not (seq < receiver.oracle_nr or not receiver.oracle_has_received(seq)):
+                continue  # rcvd[i] ∧ i >= nr: receiver will ack it unaided
+            self.stats.timeouts_fired += 1
+            self.trace.record(
+                self.actor_name, EventKind.TIMEOUT, seq=seq, detail="oracle"
+            )
+            self._transmit(seq, attempt=1)
+        if not self.window.all_acknowledged:
+            self._poll.start(self.timeout_period)
+
+    def _ack_covers(self, ack: BlockAck, seq: int) -> bool:
+        """Does in-flight wire ack ``ack`` cover true sequence ``seq``?
+
+        With unbounded numbering this is a plain range test.  With modular
+        numbering the in-flight window is narrower than the domain
+        (assertion 8 + assertion 6), so decoding against ``na`` is exact.
+        """
+        lo = self.numbering.decode_at_sender(ack.lo, self.window.na)
+        hi = self.numbering.decode_at_sender(ack.hi, self.window.na)
+        return lo <= seq <= hi
+
+
+class BlockAckReceiver(ReceiverEndpoint):
+    """Receiver side of the block-acknowledgment protocol.
+
+    Implements paper actions 3 (accept / duplicate-ack), 4 (slide ``vr``),
+    and 5 (emit the block acknowledgment), with the 4/5 nondeterminism
+    resolved by an :class:`~repro.protocols.ack_policy.AckPolicy`.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        numbering: Optional[Numbering] = None,
+        ack_policy: Optional[AckPolicy] = None,
+    ) -> None:
+        super().__init__()
+        self.window = ReceiverWindow(window)
+        self.numbering = numbering if numbering is not None else UnboundedNumbering()
+        self.ack_policy = ack_policy if ack_policy is not None else EagerAckPolicy()
+        self._w = window
+
+    def _after_attach(self) -> None:
+        self.ack_policy.attach(self.sim, self._flush_acks)
+
+    # ------------------------------------------------------------------
+    # data path (paper action 3)
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Any) -> None:
+        if not isinstance(message, DataMessage):
+            raise TypeError(f"block-ack receiver got {message!r}")
+        self.stats.data_received += 1
+        seq = self.numbering.decode_at_receiver(
+            message.seq, self.window.nr, self._w
+        )
+        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=seq)
+        outcome = self.window.accept(seq, message.payload)
+        if outcome.duplicate:
+            # v < nr: already accepted — re-acknowledge with (v, v)
+            self.stats.duplicates += 1
+            self._send_ack(seq, seq, duplicate=True)
+            return
+        if outcome.redundant:
+            self.stats.redundant += 1
+            return
+        if seq != self.window.vr:
+            self.stats.out_of_order += 1
+        pending_before = self.window.vr - self.window.nr
+        self.window.advance()  # paper action 4 (iterated)
+        self.stats.max_buffered = max(
+            self.stats.max_buffered, len(self.window.received_unaccepted)
+        )
+        pending = self.window.vr - self.window.nr
+        if pending > pending_before or pending > 0:
+            self.ack_policy.on_update(pending)
+
+    # ------------------------------------------------------------------
+    # acknowledgment emission (paper action 5)
+    # ------------------------------------------------------------------
+
+    def _flush_acks(self) -> None:
+        self.window.advance()
+        if not self.window.ack_ready:
+            return
+        lo, hi, payloads = self.window.take_block()
+        self._send_ack(lo, hi, duplicate=False)
+        for offset, payload in enumerate(payloads):
+            seq = lo + offset
+            self.trace.record(self.actor_name, EventKind.DELIVER, seq=seq)
+            self._deliver(seq, payload)
+
+    def _send_ack(self, lo: int, hi: int, duplicate: bool) -> None:
+        ack = BlockAck(
+            lo=self.numbering.encode(lo),
+            hi=self.numbering.encode(hi),
+            urgent=duplicate,
+        )
+        self.stats.acks_sent += 1
+        kind = EventKind.RESEND_ACK if duplicate else EventKind.SEND_ACK
+        self.trace.record(self.actor_name, kind, seq=lo, seq_hi=hi)
+        self.tx.send(ack)
+
+    # ------------------------------------------------------------------
+    # oracle accessors (read by BlockAckSender in oracle mode)
+    # ------------------------------------------------------------------
+
+    @property
+    def oracle_nr(self) -> int:
+        return self.window.nr
+
+    def oracle_has_received(self, seq: int) -> bool:
+        return self.window.has_received(seq)

@@ -1,0 +1,165 @@
+"""Byte-exact bounded-storage endpoints (paper Section V, final programs).
+
+:class:`BoundedBlockAckSender` / :class:`BoundedBlockAckReceiver` run the
+protocol exactly as the paper's final Section-V programs do: **no state
+grows with the transfer** — counters live mod ``2w``, the ``ackd``/``rcvd``
+flags and the payload buffers are rings of ``w`` cells, and all guards use
+modular comparisons (via :class:`~repro.core.bounded.BoundedSenderBook` /
+:class:`~repro.core.bounded.BoundedReceiverBook`).
+
+The reference implementation (:mod:`repro.protocols.blockack` with
+:class:`~repro.core.numbering.ModularNumbering`) keeps true sequence
+numbers internally and reconstructs; this one never knows them.  The E7
+equivalence experiment runs both under identical schedules and asserts
+byte-identical wire traffic and identical payload delivery.
+
+The sender uses the Section-II *simple* timeout (one timer, retransmit
+``na``), matching the protocol the paper actually carries through its
+Section-V transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.bounded import BoundedReceiverBook, BoundedSenderBook
+from repro.core.messages import BlockAck, DataMessage
+from repro.protocols.ack_policy import AckPolicy, EagerAckPolicy
+from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.sim.timers import Timer
+from repro.trace.events import EventKind
+
+__all__ = ["BoundedBlockAckSender", "BoundedBlockAckReceiver"]
+
+
+class BoundedBlockAckSender(SenderEndpoint):
+    """Sender with O(w) total state: Section V's final sender program."""
+
+    def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
+        super().__init__()
+        self.book = BoundedSenderBook(window)
+        self.w = window
+        self.timeout_period = timeout_period
+        self._payloads: list = [None] * window  # ring keyed by seq mod w
+        self._timer: Optional[Timer] = None
+        self._delivered_count = 0  # stats only; NOT protocol state
+
+    def _after_attach(self) -> None:
+        if self.timeout_period is None:
+            raise ValueError("timeout_period must be set before attaching")
+        self._timer = Timer(self.sim, self._on_timeout, name="bounded-retx")
+
+    @property
+    def can_accept(self) -> bool:
+        return self.book.can_send
+
+    def submit(self, payload: Any) -> int:
+        wire = self.book.take_next()
+        self._payloads[wire % self.w] = payload
+        self.stats.submitted += 1
+        self._transmit(wire, attempt=0)
+        return wire
+
+    @property
+    def all_acknowledged(self) -> bool:
+        return self.book.all_acknowledged
+
+    def _transmit(self, wire: int, attempt: int) -> None:
+        self.stats.data_sent += 1
+        if attempt > 0:
+            self.stats.retransmissions += 1
+            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=wire)
+        else:
+            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=wire)
+        self.tx.send(
+            DataMessage(
+                seq=wire, payload=self._payloads[wire % self.w], attempt=attempt
+            )
+        )
+        self._timer.restart(self.timeout_period)
+
+    def _on_timeout(self) -> None:
+        if self.book.all_acknowledged:
+            return
+        self.stats.timeouts_fired += 1
+        self.trace.record(
+            self.actor_name, EventKind.TIMEOUT, seq=self.book.na, detail="simple"
+        )
+        self._transmit(self.book.na, attempt=1)
+
+    def on_message(self, ack: Any) -> None:
+        if not isinstance(ack, BlockAck):
+            raise TypeError(f"bounded block-ack sender got {ack!r}")
+        self.stats.acks_received += 1
+        self.trace.record(
+            self.actor_name, EventKind.RECV_ACK, seq=ack.lo, seq_hi=ack.hi
+        )
+        advanced = self.book.apply_ack(ack.lo, ack.hi)
+        if advanced == 0:
+            self.stats.stale_acks += 1
+        self._delivered_count += advanced
+        self.stats.acked = self._delivered_count
+        self.stats.last_ack_time = self.sim.now
+        if self.book.all_acknowledged:
+            self._timer.stop()
+        if advanced:
+            self.trace.record(
+                self.actor_name, EventKind.WINDOW_OPEN, seq=self.book.na
+            )
+            self._window_opened()
+
+
+class BoundedBlockAckReceiver(ReceiverEndpoint):
+    """Receiver with O(w) total state: Section V's final receiver program."""
+
+    def __init__(
+        self, window: int, ack_policy: Optional[AckPolicy] = None
+    ) -> None:
+        super().__init__()
+        self.book = BoundedReceiverBook(window)
+        self.w = window
+        self.ack_policy = ack_policy if ack_policy is not None else EagerAckPolicy()
+        self._delivered_count = 0  # stats only; NOT protocol state
+
+    def _after_attach(self) -> None:
+        self.ack_policy.attach(self.sim, self._flush_acks)
+
+    def on_message(self, message: Any) -> None:
+        if not isinstance(message, DataMessage):
+            raise TypeError(f"bounded block-ack receiver got {message!r}")
+        self.stats.data_received += 1
+        wire = message.seq
+        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=wire)
+        if self.book.accept(wire, message.payload):
+            # v < nr: duplicate of an accepted message — re-ack (v, v)
+            self.stats.duplicates += 1
+            self._send_ack(wire, wire, duplicate=True)
+            return
+        if wire != self.book.vr:
+            self.stats.out_of_order += 1
+        pending_before = self.book.domain.sub(self.book.vr, self.book.nr)
+        self.book.advance()
+        self.stats.max_buffered = max(
+            self.stats.max_buffered, self.book.buffered_count()
+        )
+        pending = self.book.domain.sub(self.book.vr, self.book.nr)
+        if pending > pending_before or pending > 0:
+            self.ack_policy.on_update(pending)
+
+    def _flush_acks(self) -> None:
+        self.book.advance()
+        if not self.book.ack_ready:
+            return
+        lo, hi, payloads = self.book.take_block()
+        self._send_ack(lo, hi, duplicate=False)
+        for offset, payload in enumerate(payloads):
+            wire = self.book.domain.add(lo, offset)
+            self.trace.record(self.actor_name, EventKind.DELIVER, seq=wire)
+            self._delivered_count += 1
+            self._deliver(wire, payload)
+
+    def _send_ack(self, lo: int, hi: int, duplicate: bool) -> None:
+        self.stats.acks_sent += 1
+        kind = EventKind.RESEND_ACK if duplicate else EventKind.SEND_ACK
+        self.trace.record(self.actor_name, kind, seq=lo, seq_hi=hi)
+        self.tx.send(BlockAck(lo=lo, hi=hi, urgent=duplicate))

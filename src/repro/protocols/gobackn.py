@@ -1,0 +1,153 @@
+"""Go-back-N baseline (the "traditional window protocol" of the paper).
+
+Classic go-back-N with cumulative acknowledgments and unbounded internal
+sequence numbers (so it is *safe* under reorder — the unsafe bounded-number
+variant that motivates the paper lives in :mod:`repro.verify.faulty`):
+
+* the receiver accepts **only in-order** data; anything else is discarded
+  and answered with a duplicate cumulative ack for the last accepted
+  message;
+* the sender keeps one timer; on expiry it retransmits the **entire**
+  outstanding window (the "go back");
+* a cumulative ack for ``k`` acknowledges everything ``<= k``; stale
+  (non-advancing) acks are ignored.
+
+Against block acknowledgment this baseline shows both paper claims: equal
+throughput when channels are perfect (E2) and collapse under loss (whole
+windows retransmitted, E3) or reorder (out-of-order arrivals discarded,
+E10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.messages import CumulativeAck, DataMessage
+from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.sim.timers import Timer
+from repro.trace.events import EventKind
+
+__all__ = ["GoBackNSender", "GoBackNReceiver"]
+
+
+class GoBackNSender(SenderEndpoint):
+    """Go-back-N sender: cumulative acks, whole-window retransmission."""
+
+    def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.w = window
+        self.na = 0  # oldest unacknowledged
+        self.ns = 0  # next to send
+        self.timeout_period = timeout_period
+        self._payloads: Dict[int, Any] = {}
+        self._timer: Optional[Timer] = None
+
+    def _after_attach(self) -> None:
+        if self.timeout_period is None:
+            raise ValueError("timeout_period must be set before attaching")
+        self._timer = Timer(self.sim, self._on_timeout, name="gbn-retx")
+
+    # -- application interface -------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        return self.ns < self.na + self.w
+
+    def submit(self, payload: Any) -> int:
+        if not self.can_accept:
+            raise RuntimeError(f"window full: na={self.na} ns={self.ns}")
+        seq = self.ns
+        self.ns += 1
+        self._payloads[seq] = payload
+        self.stats.submitted += 1
+        self._transmit(seq, attempt=0)
+        return seq
+
+    @property
+    def all_acknowledged(self) -> bool:
+        return self.na == self.ns
+
+    # -- transmission -------------------------------------------------------
+
+    def _transmit(self, seq: int, attempt: int) -> None:
+        self.stats.data_sent += 1
+        if attempt > 0:
+            self.stats.retransmissions += 1
+            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
+        else:
+            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
+        self.tx.send(
+            DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
+        )
+        if not self._timer.running:
+            self._timer.start(self.timeout_period)
+
+    def _on_timeout(self) -> None:
+        """Go back: retransmit every outstanding message, restart timer."""
+        if self.all_acknowledged:
+            return
+        self.stats.timeouts_fired += 1
+        self.trace.record(
+            self.actor_name, EventKind.TIMEOUT, seq=self.na, detail="go-back"
+        )
+        for seq in range(self.na, self.ns):
+            self._transmit(seq, attempt=1)
+        self._timer.start(self.timeout_period)
+
+    # -- acknowledgment handling ---------------------------------------------
+
+    def on_message(self, ack: Any) -> None:
+        if not isinstance(ack, CumulativeAck):
+            raise TypeError(f"go-back-N sender got {ack!r}")
+        self.stats.acks_received += 1
+        if ack.seq < self.na:
+            self.stats.stale_acks += 1
+            return
+        if ack.seq >= self.ns:
+            # cannot happen with unbounded numbers; defensive for reuse
+            self.stats.stale_acks += 1
+            return
+        self.trace.record(self.actor_name, EventKind.RECV_ACK, seq=ack.seq)
+        for seq in range(self.na, ack.seq + 1):
+            self._payloads.pop(seq, None)
+        self.na = ack.seq + 1
+        self.stats.acked = self.na
+        self.stats.last_ack_time = self.sim.now
+        if self.all_acknowledged:
+            self._timer.stop()
+        else:
+            self._timer.start(self.timeout_period)  # restart for new oldest
+        self.trace.record(self.actor_name, EventKind.WINDOW_OPEN, seq=self.na)
+        self._window_opened()
+
+
+class GoBackNReceiver(ReceiverEndpoint):
+    """Go-back-N receiver: in-order accept only, cumulative acks."""
+
+    def __init__(self, window: int) -> None:
+        super().__init__()
+        self.w = window  # unused except for symmetry/diagnostics
+        self.nr = 0  # next expected
+
+    def on_message(self, message: Any) -> None:
+        if not isinstance(message, DataMessage):
+            raise TypeError(f"go-back-N receiver got {message!r}")
+        self.stats.data_received += 1
+        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=message.seq)
+        if message.seq == self.nr:
+            self.nr += 1
+            self.trace.record(self.actor_name, EventKind.DELIVER, seq=message.seq)
+            self._deliver(message.seq, message.payload)
+        elif message.seq < self.nr:
+            self.stats.duplicates += 1
+        else:
+            self.stats.out_of_order += 1  # discarded, not buffered
+        if self.nr > 0:
+            self._send_ack(self.nr - 1)
+
+    def _send_ack(self, seq: int) -> None:
+        self.stats.acks_sent += 1
+        self.trace.record(self.actor_name, EventKind.SEND_ACK, seq=seq)
+        self.tx.send(CumulativeAck(seq=seq))

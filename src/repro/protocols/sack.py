@@ -1,0 +1,241 @@
+"""A TCP-SACK-style baseline: cumulative ack plus selective-ack blocks.
+
+Block acknowledgment's idea — tell the sender exactly *which ranges*
+arrived — is where modern transport landed: TCP's SACK option (RFC 2018)
+carries a cumulative acknowledgment plus up to three ``(lo, hi)`` blocks
+of out-of-order data.  This module implements a compact NewReno/SACK-lite
+sender and receiver so the paper's protocol can be compared against its
+descendant:
+
+* the **receiver** acknowledges every arrival with
+  ``SackAck(cum, blocks)``: ``cum`` is the highest in-order sequence
+  received, ``blocks`` the three most relevant buffered runs;
+* the **sender** keeps a scoreboard.  A hole (unacknowledged sequence
+  below SACKed data) is fast-retransmitted once enough evidence
+  accumulates — three duplicate cumulative acks, or three SACKed
+  segments above it (the FACK-style trigger) — without waiting for the
+  retransmission timer, which remains as the backstop.
+
+Differences from the paper's protocol worth noticing in experiments:
+SACK needs effectively unbounded sequence numbers (TCP's 32-bit space +
+PAWS timestamps; this implementation uses true integers), sends one ack
+per arrival like selective repeat (E4's overhead), and its acknowledgment
+is *advisory* — SACKed data may legally be retransmitted — whereas block
+acknowledgment's pairs are definitive, which is what lets the paper bound
+the number space at ``2w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import DataMessage
+from repro.core.window import ReceiverWindow
+from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.sim.timers import Timer
+from repro.trace.events import EventKind
+
+__all__ = ["SackAck", "SackSender", "SackReceiver", "DUP_ACK_THRESHOLD"]
+
+#: duplicate-ack / SACKed-segments-above threshold for fast retransmit
+DUP_ACK_THRESHOLD = 3
+
+#: TCP carries at most 3 SACK blocks alongside a timestamp option
+MAX_SACK_BLOCKS = 3
+
+
+@dataclass(frozen=True)
+class SackAck:
+    """Cumulative acknowledgment plus selective-acknowledgment blocks.
+
+    ``cum`` acknowledges everything ``<= cum`` (-1 when nothing in-order
+    has arrived yet); ``blocks`` are disjoint ``(lo, hi)`` ranges of
+    buffered out-of-order data, most relevant first.
+    """
+
+    cum: int
+    blocks: Tuple[Tuple[int, int], ...] = ()
+
+    def __str__(self) -> str:
+        blocks = ",".join(f"{lo}-{hi}" for lo, hi in self.blocks)
+        return f"SACK(cum={self.cum}{';' + blocks if blocks else ''})"
+
+
+class SackSender(SenderEndpoint):
+    """Scoreboard sender with fast retransmit and a timer backstop."""
+
+    def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.w = window
+        self.na = 0
+        self.ns = 0
+        self.timeout_period = timeout_period
+        self._payloads: Dict[int, Any] = {}
+        self._sacked: Set[int] = set()
+        self._fast_retransmitted: Set[int] = set()  # once per episode
+        self._dup_acks = 0
+        self._timer: Optional[Timer] = None
+
+    def _after_attach(self) -> None:
+        if self.timeout_period is None:
+            raise ValueError("timeout_period must be set before attaching")
+        self._timer = Timer(self.sim, self._on_timeout, name="sack-rto")
+
+    # -- application interface -------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        return self.ns < self.na + self.w
+
+    def submit(self, payload: Any) -> int:
+        if not self.can_accept:
+            raise RuntimeError(f"window full: na={self.na} ns={self.ns}")
+        seq = self.ns
+        self.ns += 1
+        self._payloads[seq] = payload
+        self.stats.submitted += 1
+        self._transmit(seq, attempt=0)
+        return seq
+
+    @property
+    def all_acknowledged(self) -> bool:
+        return self.na == self.ns
+
+    # -- transmission ------------------------------------------------------
+
+    def _transmit(self, seq: int, attempt: int) -> None:
+        self.stats.data_sent += 1
+        if attempt > 0:
+            self.stats.retransmissions += 1
+            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
+        else:
+            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
+        self.tx.send(
+            DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
+        )
+        if not self._timer.running:
+            self._timer.start(self.timeout_period)
+
+    def _on_timeout(self) -> None:
+        """RTO backstop: resend the oldest hole, reset the episode."""
+        if self.all_acknowledged:
+            return
+        self.stats.timeouts_fired += 1
+        self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=self.na)
+        self._fast_retransmitted.clear()  # new recovery episode
+        self._dup_acks = 0
+        self._transmit(self.na, attempt=1)
+        self._timer.start(self.timeout_period)
+
+    # -- acknowledgment handling ---------------------------------------------
+
+    def on_message(self, ack: Any) -> None:
+        if not isinstance(ack, SackAck):
+            raise TypeError(f"SACK sender got {ack!r}")
+        self.stats.acks_received += 1
+        self.trace.record(
+            self.actor_name, EventKind.RECV_ACK, seq=ack.cum,
+            detail=ack.blocks,
+        )
+        advanced = False
+        if ack.cum + 1 > self.na:
+            for seq in range(self.na, ack.cum + 1):
+                self._payloads.pop(seq, None)
+                self._sacked.discard(seq)
+                self._fast_retransmitted.discard(seq)
+            self.na = ack.cum + 1
+            self._dup_acks = 0
+            advanced = True
+            self.stats.acked = self.na
+            self.stats.last_ack_time = self.sim.now
+            if self.all_acknowledged:
+                self._timer.stop()
+            else:
+                self._timer.start(self.timeout_period)
+        else:
+            self._dup_acks += 1
+            self.stats.stale_acks += 1
+
+        for lo, hi in ack.blocks:
+            for seq in range(max(lo, self.na), min(hi + 1, self.ns)):
+                self._sacked.add(seq)
+
+        self._fast_retransmit_holes()
+        if advanced:
+            self.trace.record(self.actor_name, EventKind.WINDOW_OPEN, seq=self.na)
+            self._window_opened()
+
+    def _fast_retransmit_holes(self) -> None:
+        """Resend holes with enough reordering evidence above them."""
+        if not self._sacked:
+            return
+        sacked_sorted = sorted(self._sacked)
+        for seq in range(self.na, sacked_sorted[-1]):
+            if seq in self._sacked or seq in self._fast_retransmitted:
+                continue
+            above = sum(1 for s in sacked_sorted if s > seq)
+            if above >= DUP_ACK_THRESHOLD or self._dup_acks >= DUP_ACK_THRESHOLD:
+                self._fast_retransmitted.add(seq)
+                self.trace.record(
+                    self.actor_name, EventKind.TIMEOUT, seq=seq,
+                    detail="fast-retransmit",
+                )
+                self._transmit(seq, attempt=1)
+
+
+class SackReceiver(ReceiverEndpoint):
+    """Out-of-order buffering receiver emitting cum + SACK blocks."""
+
+    def __init__(self, window: int) -> None:
+        super().__init__()
+        self.window = ReceiverWindow(window)
+
+    def on_message(self, message: Any) -> None:
+        if not isinstance(message, DataMessage):
+            raise TypeError(f"SACK receiver got {message!r}")
+        self.stats.data_received += 1
+        seq = message.seq
+        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=seq)
+        outcome = self.window.accept(seq, message.payload)
+        if outcome.duplicate:
+            self.stats.duplicates += 1
+        elif outcome.redundant:
+            self.stats.redundant += 1
+        elif seq != self.window.vr:
+            self.stats.out_of_order += 1
+        self.window.advance()
+        self.stats.max_buffered = max(
+            self.stats.max_buffered, len(self.window.received_unaccepted)
+        )
+        while self.window.ack_ready:
+            lo, hi, payloads = self.window.take_block()
+            for offset, payload in enumerate(payloads):
+                self.trace.record(self.actor_name, EventKind.DELIVER, seq=lo + offset)
+                self._deliver(lo + offset, payload)
+        self._send_ack(recent=seq)
+
+    def _send_ack(self, recent: int) -> None:
+        cum = self.window.nr - 1
+        blocks = self._sack_blocks(recent)
+        self.stats.acks_sent += 1
+        self.trace.record(
+            self.actor_name, EventKind.SEND_ACK, seq=cum, detail=blocks
+        )
+        self.tx.send(SackAck(cum=cum, blocks=blocks))
+
+    def _sack_blocks(self, recent: int) -> Tuple[Tuple[int, int], ...]:
+        """Up to three buffered runs, the one containing ``recent`` first."""
+        buffered = self.window.received_unaccepted
+        if not buffered:
+            return ()
+        runs: List[List[int]] = []
+        for seq in buffered:
+            if runs and seq == runs[-1][1] + 1:
+                runs[-1][1] = seq
+            else:
+                runs.append([seq, seq])
+        runs.sort(key=lambda run: (not run[0] <= recent <= run[1], -run[1]))
+        return tuple((lo, hi) for lo, hi in runs[:MAX_SACK_BLOCKS])

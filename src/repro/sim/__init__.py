@@ -1,0 +1,16 @@
+"""Discrete-event simulation engine: virtual clock, timers, RNG streams."""
+
+from repro.sim.engine import Event, ScheduleInPastError, SimulationError, Simulator
+from repro.sim.randomness import RandomStreams, stream_seed
+from repro.sim.timers import Timer, TimerBank
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "ScheduleInPastError",
+    "Timer",
+    "TimerBank",
+    "RandomStreams",
+    "stream_seed",
+]

@@ -1,0 +1,231 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-list simulator: a priority queue of
+:class:`Event` objects ordered by virtual time, drained by
+:class:`Simulator.run`.  All protocol machinery in this package (channels,
+timers, senders, receivers) is written against this engine.
+
+Design notes
+------------
+
+* Virtual time is a ``float`` in abstract "time units".  Experiments
+  typically interpret one unit as one mean one-way channel delay, but the
+  engine itself attaches no meaning to the unit.
+* Ties in event time are broken by insertion order, which makes executions
+  deterministic given a seeded random number generator.  Determinism is
+  load-bearing: the trace-equivalence experiment (E7) replays two protocol
+  variants under identical schedules and asserts identical behaviour.
+* Events may be cancelled in O(1) by marking; the queue lazily discards
+  cancelled entries when they surface.  This is the standard "lazy
+  deletion" idiom for binary-heap event lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError", "ScheduleInPastError"]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when an event is scheduled with a negative delay."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule` and should not be
+    constructed directly.  An event can be cancelled with :meth:`cancel`;
+    cancelled events are silently skipped when their time comes.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        # heapq requires a total order; break time ties by insertion order
+        # so that executions are reproducible.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6g}, {name}, {state})"
+
+
+class Simulator:
+    """An event-driven virtual-time simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run(until=100.0)
+
+    Callbacks run with the clock set to their scheduled time and may
+    schedule further events.  The simulator is single-threaded and
+    re-entrant scheduling from inside callbacks is the normal mode of
+    operation.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: float = 0.0
+        self._counter = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock and introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue.
+
+        O(queue length); intended for tests and debugging, not hot paths.
+        """
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._discard_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, which can be cancelled.  A zero delay is
+        allowed and runs after all events already scheduled for the current
+        instant.
+        """
+        if delay < 0:
+            raise ScheduleInPastError(
+                f"cannot schedule event {delay} time units in the past"
+            )
+        event = Event(self._now + delay, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns True if an event ran, False if the queue was empty.
+        """
+        self._discard_cancelled_head()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be strictly later than this
+            time.  The clock is advanced to ``until`` on exit so that
+            subsequent relative scheduling behaves intuitively.
+        max_events:
+            Stop after executing this many events (a runaway guard).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                self._discard_cancelled_head()
+                if not self._queue:
+                    break
+                if until is not None and self._queue[0].time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain, guarded by ``max_events``."""
+        self.run(max_events=max_events)
+        self._discard_cancelled_head()
+        if self._queue:
+            raise SimulationError(
+                f"event queue not drained after {max_events} events; "
+                "possible livelock"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _discard_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

@@ -1,0 +1,315 @@
+"""End-to-end transfer harness: wire endpoints, channels, and a source.
+
+:func:`run_transfer` is the one entry point every experiment, example, and
+integration test uses: it builds the two channels from :class:`LinkSpec`
+descriptions, attaches a sender/receiver pair and a traffic source,
+derives a provably safe timeout period when the sender has none, runs the
+simulation to completion (or a time/event budget), and returns a
+:class:`TransferResult` with full statistics and the end-to-end
+correctness verdict (exactly-once, in-order delivery of every submitted
+payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.channel.channel import Channel
+from repro.channel.delay import ConstantDelay, DelayModel
+from repro.channel.impairments import LossModel, NoLoss
+from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.trace.recorder import NullRecorder, TraceRecorder
+from repro.workloads.sources import Source
+
+__all__ = ["LinkSpec", "TransferResult", "run_transfer"]
+
+
+@dataclass
+class LinkSpec:
+    """Description of one unidirectional link.
+
+    With ``bit_error_rate > 0`` the link carries checksummed byte frames
+    (see :mod:`repro.wire`): messages are serialized, bits flip in
+    transit, and frames failing CRC validation are discarded — corruption
+    becomes clean loss, as on a real link.  Framed links require byte
+    payloads.
+    """
+
+    delay: Optional[DelayModel] = None  # default: ConstantDelay(1.0)
+    loss: Optional[LossModel] = None  # default: NoLoss()
+    max_lifetime: Optional[float] = None  # channel aging bound
+    bit_error_rate: float = 0.0  # frames the link, flips bits in transit
+    duplicate_probability: float = 0.0  # assumption-boundary ablations only
+
+    def build(self, sim: Simulator, rng, name: str):
+        channel = Channel(
+            sim,
+            delay=self.delay if self.delay is not None else ConstantDelay(1.0),
+            loss=self.loss if self.loss is not None else NoLoss(),
+            rng=rng,
+            max_lifetime=self.max_lifetime,
+            duplicate_probability=self.duplicate_probability,
+            name=name,
+        )
+        if self.bit_error_rate > 0.0:
+            from repro.wire.framed import FramedChannel  # cycle guard
+
+            return FramedChannel(channel, self.bit_error_rate, rng=rng)
+        return channel
+
+
+@dataclass
+class TransferResult:
+    """Everything measured during one simulated transfer."""
+
+    completed: bool  # source exhausted, all acked, all delivered
+    duration: float  # virtual time at completion (or cutoff)
+    delivered: int
+    submitted: int
+    in_order: bool  # payloads arrived exactly once, in order
+    sender_stats: dict = field(default_factory=dict)
+    receiver_stats: dict = field(default_factory=dict)
+    forward_stats: dict = field(default_factory=dict)
+    reverse_stats: dict = field(default_factory=dict)
+    delivered_payloads: List[Any] = field(default_factory=list)
+    trace: Any = None
+    timeout_period: float = 0.0
+    monitor: Any = None  # InvariantMonitor when monitor_invariants=True
+    latencies: List[float] = field(default_factory=list)  # submit -> deliver
+
+    def latency_percentile(self, q: float) -> float:
+        """Submit-to-deliver latency percentile (requires latencies)."""
+        from repro.analysis.stats import percentile  # cycle guard
+
+        return percentile(self.latencies, q)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean submit-to-deliver latency across all payloads."""
+        if not self.latencies:
+            raise ValueError("no latencies recorded")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered payloads per unit virtual time."""
+        return self.delivered / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def goodput_efficiency(self) -> float:
+        """Delivered payloads per data transmission (retransmission waste)."""
+        sent = self.sender_stats.get("data_sent", 0)
+        return self.delivered / sent if sent else 0.0
+
+    @property
+    def acks_per_message(self) -> float:
+        """Acknowledgment messages per delivered payload (E4 metric)."""
+        acks = self.receiver_stats.get("acks_sent", 0)
+        return acks / self.delivered if self.delivered else 0.0
+
+    def summary(self) -> str:
+        status = "completed" if self.completed else "INCOMPLETE"
+        order = "in-order" if self.in_order else "ORDER VIOLATION"
+        return (
+            f"{status}/{order}: {self.delivered}/{self.submitted} delivered in "
+            f"{self.duration:.2f}tu, throughput={self.throughput:.4f}/tu, "
+            f"efficiency={self.goodput_efficiency:.3f}, "
+            f"acks/msg={self.acks_per_message:.3f}"
+        )
+
+
+def _derive_timeout(sender, receiver, forward: Channel, reverse: Channel) -> None:
+    """Give the sender a provably safe timeout period if it has none.
+
+    Also fills in the sender's ``reverse_lifetime`` (the coverage-release
+    drain wait of the per-message-safe mode) with the tight channel bound
+    when the sender has the attribute and no explicit value.
+    """
+    from repro.protocols.blockack import safe_timeout_period  # cycle guard
+
+    reverse_bound = reverse.effective_max_lifetime
+    if (
+        hasattr(sender, "reverse_lifetime")
+        and sender.reverse_lifetime is None
+        and reverse_bound is not None
+    ):
+        sender.reverse_lifetime = reverse_bound + 0.05
+    if getattr(sender, "timeout_period", None) is not None:
+        return
+
+    forward_bound = forward.effective_max_lifetime
+    if forward_bound is None or reverse_bound is None:
+        raise ValueError(
+            "cannot derive a safe timeout: a channel has unbounded message "
+            "lifetime; set LinkSpec.max_lifetime (the paper's aging "
+            "mechanism) or pass an explicit timeout_period"
+        )
+    ack_latency = 0.0
+    policy = getattr(receiver, "ack_policy", None)
+    if policy is not None:
+        ack_latency = policy.max_latency
+    sender.timeout_period = safe_timeout_period(
+        forward_bound, reverse_bound, ack_latency, margin=0.05
+    )
+
+
+def run_transfer(
+    sender: SenderEndpoint,
+    receiver: ReceiverEndpoint,
+    source: Source,
+    forward: Optional[LinkSpec] = None,
+    reverse: Optional[LinkSpec] = None,
+    seed: int = 0,
+    max_time: Optional[float] = None,
+    max_events: int = 20_000_000,
+    collect_payloads: bool = False,
+    trace: bool = False,
+    trace_capacity: Optional[int] = None,
+    monitor_invariants: bool = False,
+    record_channel_drops: bool = False,
+) -> TransferResult:
+    """Run one complete transfer and measure it.
+
+    The simulation stops when the source is exhausted, every payload is
+    acknowledged at the sender, and the channels have drained — or when
+    ``max_time``/``max_events`` is hit, in which case the result is marked
+    incomplete.
+
+    With ``monitor_invariants=True`` an
+    :class:`~repro.verify.runtime.InvariantMonitor` watches every channel
+    event for breaches of the paper's invariant (returned as
+    ``result.monitor``); safe configurations stay clean over arbitrarily
+    long adversarial runs.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    forward_spec = forward if forward is not None else LinkSpec()
+    reverse_spec = reverse if reverse is not None else LinkSpec()
+    forward_channel = forward_spec.build(sim, streams.get("channel.forward"), "SR")
+    reverse_channel = reverse_spec.build(sim, streams.get("channel.reverse"), "RS")
+
+    recorder = (
+        TraceRecorder(sim, capacity=trace_capacity) if trace else NullRecorder()
+    )
+    if trace and record_channel_drops:
+        # channel loss/aging events appear in the trace as DROP records —
+        # required by the refinement replay (repro.verify.refinement)
+        from repro.core.messages import BlockAck, DataMessage
+        from repro.trace.events import EventKind as _EK
+
+        def drop_observer(channel_name):
+            def observe(kind, message):
+                if kind not in ("lose", "age"):
+                    return
+                if isinstance(message, DataMessage):
+                    recorder.record(
+                        f"channel:{channel_name}", _EK.DROP, seq=message.seq
+                    )
+                elif isinstance(message, BlockAck):
+                    recorder.record(
+                        f"channel:{channel_name}", _EK.DROP,
+                        seq=message.lo, seq_hi=message.hi,
+                    )
+
+            return observe
+
+        forward_channel.add_observer(drop_observer("SR"))
+        reverse_channel.add_observer(drop_observer("RS"))
+
+    delivered_payloads: List[Any] = []
+    delivered_seqs: List[int] = []
+    submit_times: dict = {}
+    latencies: List[float] = []
+
+    original_submit = sender.submit
+
+    def timed_submit(payload: Any) -> int:
+        seq = original_submit(payload)
+        submit_times[seq] = sim.now
+        return seq
+
+    sender.submit = timed_submit
+
+    def on_deliver(seq: int, payload: Any) -> None:
+        delivered_seqs.append(seq)
+        delivered_payloads.append(payload)  # kept for the ordering check
+        submitted_at = submit_times.pop(seq, None)
+        if submitted_at is not None:
+            latencies.append(sim.now - submitted_at)
+
+    receiver.on_deliver = on_deliver
+    _derive_timeout(sender, receiver, forward_channel, reverse_channel)
+
+    monitor = None
+    if monitor_invariants:
+        from repro.verify.runtime import InvariantMonitor  # cycle guard
+
+        numbering = getattr(sender, "numbering", None)
+        domain = numbering.domain_size if numbering is not None else None
+        if domain is None and hasattr(sender, "book"):
+            domain = sender.book.domain.n  # byte-exact bounded endpoints
+        monitor = InvariantMonitor(
+            sender, receiver, forward_channel, reverse_channel, domain=domain
+        )
+
+    sender.attach(sim, forward_channel, recorder)
+    receiver.attach(sim, reverse_channel, recorder)
+    forward_channel.connect(receiver.on_message)
+    reverse_channel.connect(sender.on_message)
+    if (
+        getattr(sender, "timeout_mode", None) == "oracle"
+        and hasattr(sender, "enable_oracle")
+    ):
+        sender.enable_oracle(forward_channel, reverse_channel, receiver)
+
+    source.attach(sim, sender)
+
+    def finished() -> bool:
+        return (
+            source.exhausted
+            and sender.all_acknowledged
+            and len(delivered_payloads) >= source.total
+        )
+
+    events = 0
+    while not finished():
+        if max_time is not None and sim.now > max_time:
+            break
+        if events >= max_events:
+            break
+        if not sim.step():
+            break  # queue empty: either finished or deadlocked
+        events += 1
+
+    forward_stats = forward_channel.stats.as_dict()
+    reverse_stats = reverse_channel.stats.as_dict()
+    for channel, stats in (
+        (forward_channel, forward_stats),
+        (reverse_channel, reverse_stats),
+    ):
+        if hasattr(channel, "discarded"):  # framed link: corruption counters
+            stats["corrupted"] = channel.corrupted
+            stats["discarded"] = channel.discarded
+            stats["bytes_sent"] = channel.bytes_sent
+
+    in_order = delivered_payloads == source.submitted[: len(delivered_payloads)]
+    result = TransferResult(
+        completed=finished(),
+        duration=sim.now,
+        delivered=len(delivered_payloads),
+        submitted=len(source.submitted),
+        in_order=in_order and len(delivered_payloads) == len(source.submitted),
+        sender_stats=sender.stats.as_dict(),
+        receiver_stats=receiver.stats.as_dict(),
+        forward_stats=forward_stats,
+        reverse_stats=reverse_stats,
+        delivered_payloads=delivered_payloads if collect_payloads else [],
+        trace=recorder if trace else None,
+        timeout_period=getattr(sender, "timeout_period", 0.0) or 0.0,
+        monitor=monitor,
+        latencies=latencies,
+    )
+    return result

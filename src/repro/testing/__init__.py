@@ -1,0 +1,5 @@
+"""Public conformance kit for third-party endpoint implementations."""
+
+from repro.testing.conformance import SCENARIOS, ConformanceError, check_conformance
+
+__all__ = ["check_conformance", "ConformanceError", "SCENARIOS"]

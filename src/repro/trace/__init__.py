@@ -1,0 +1,12 @@
+"""Structured protocol traces: recording, filtering, equivalence checking."""
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.recorder import NullRecorder, TraceRecorder, decision_diff
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "decision_diff",
+]

@@ -1,0 +1,73 @@
+"""Structured protocol trace events.
+
+A trace is a list of :class:`TraceEvent` records describing everything a
+protocol endpoint or channel did, in virtual-time order.  Traces serve
+three masters:
+
+* debugging — ``print(recorder.format())`` reads like a protocol analyser;
+* the bounded-equivalence experiment (E7) — two protocol variants run under
+  identical schedules must produce *identical decision traces* (modulo the
+  wire encoding of sequence numbers);
+* tests — asserting on trace shapes is often clearer than poking at
+  endpoint internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+__all__ = ["EventKind", "TraceEvent"]
+
+
+class EventKind(Enum):
+    """What happened."""
+
+    SEND_DATA = "send_data"  # sender put a (new) data message on the wire
+    RESEND_DATA = "resend_data"  # sender retransmitted after a timeout
+    RECV_DATA = "recv_data"  # receiver got a data message
+    SEND_ACK = "send_ack"  # receiver put an acknowledgment on the wire
+    RESEND_ACK = "resend_ack"  # receiver re-acked a duplicate data message
+    RECV_ACK = "recv_ack"  # sender got an acknowledgment
+    DELIVER = "deliver"  # receiver released a payload to the application
+    ACCEPT = "accept"  # receiver accepted (committed) a sequence number
+    TIMEOUT = "timeout"  # a retransmission timer fired
+    WINDOW_OPEN = "window_open"  # sender window reopened (na advanced)
+    DROP = "drop"  # channel lost a message
+    NOTE = "note"  # free-form annotation
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped protocol event."""
+
+    time: float
+    actor: str  # "sender", "receiver", "channel:SR", ...
+    kind: EventKind
+    seq: Optional[int] = None  # primary sequence number, if any
+    seq_hi: Optional[int] = None  # block upper bound, for ack events
+    detail: Any = None  # free-form extra payload
+
+    def format(self) -> str:
+        """Render one analyser-style line."""
+        if self.seq is not None and self.seq_hi is not None:
+            subject = f"({self.seq},{self.seq_hi})"
+        elif self.seq is not None:
+            subject = str(self.seq)
+        else:
+            subject = ""
+        detail = f" {self.detail}" if self.detail is not None else ""
+        return (
+            f"{self.time:10.4f}  {self.actor:<10}  "
+            f"{self.kind.value:<12} {subject}{detail}"
+        )
+
+    def decision_key(self) -> tuple:
+        """The behaviour-defining projection used for trace equivalence.
+
+        Excludes ``detail`` (which may carry variant-specific wire
+        encodings) and keeps what the protocol *decided*: who did what to
+        which true sequence numbers, when.
+        """
+        return (self.time, self.actor, self.kind, self.seq, self.seq_hi)

@@ -1,0 +1,132 @@
+"""Trace collection and comparison."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.trace.events import EventKind, TraceEvent
+
+__all__ = ["TraceRecorder", "NullRecorder", "decision_diff"]
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records in virtual-time order."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        self._sim = sim
+        self._events: List[TraceEvent] = []
+        self._capacity = capacity
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(
+        self,
+        actor: str,
+        kind: EventKind,
+        seq: Optional[int] = None,
+        seq_hi: Optional[int] = None,
+        detail=None,
+    ) -> None:
+        """Append one event stamped with the current virtual time."""
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            return
+        self._events.append(
+            TraceEvent(
+                time=self._sim.now,
+                actor=actor,
+                kind=kind,
+                seq=seq,
+                seq_hi=seq_hi,
+                detail=detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._events
+
+    def filter(
+        self,
+        kind: Optional[EventKind] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching all given criteria."""
+        result = self._events
+        if kind is not None:
+            result = [e for e in result if e.kind is kind]
+        if actor is not None:
+            result = [e for e in result if e.actor == actor]
+        if predicate is not None:
+            result = [e for e in result if predicate(e)]
+        return list(result)
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for e in self._events if e.kind is kind)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the (possibly truncated) trace as analyser-style text."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [event.format() for event in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)
+
+    def decision_trace(self) -> List[tuple]:
+        """Behaviour-defining projection of the whole trace (see E7)."""
+        return [event.decision_key() for event in self._events]
+
+
+class NullRecorder:
+    """A recorder that drops everything; used on hot benchmark paths.
+
+    Duck-typed stand-in for :class:`TraceRecorder` — same interface, no
+    storage, so endpoints need no ``if trace is not None`` litter.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, actor, kind, seq=None, seq_hi=None, detail=None) -> None:
+        pass
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def filter(self, kind=None, actor=None, predicate=None) -> List[TraceEvent]:
+        return []
+
+    def count(self, kind: EventKind) -> int:
+        return 0
+
+    def format(self, limit=None) -> str:
+        return "(tracing disabled)"
+
+    def decision_trace(self) -> List[tuple]:
+        return []
+
+
+def decision_diff(
+    left: Iterable[tuple], right: Iterable[tuple], limit: int = 10
+) -> List[str]:
+    """First differences between two decision traces (empty = identical)."""
+    differences: List[str] = []
+    left_list, right_list = list(left), list(right)
+    for index, (a, b) in enumerate(zip(left_list, right_list)):
+        if a != b:
+            differences.append(f"@{index}: {a!r} != {b!r}")
+            if len(differences) >= limit:
+                return differences
+    if len(left_list) != len(right_list):
+        differences.append(
+            f"length mismatch: {len(left_list)} vs {len(right_list)} events"
+        )
+    return differences

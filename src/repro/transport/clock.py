@@ -1,0 +1,157 @@
+"""A wall-clock scheduler with the simulator's scheduling interface.
+
+Everything in this library — senders, receivers, timers, ack policies —
+talks to a scheduler through three things: ``schedule(delay, fn, *args)``
+returning a cancellable handle, the ``now`` property, and nothing else.
+:class:`RealtimeScheduler` implements that same surface over
+``time.monotonic`` and a worker thread, so **the exact protocol endpoint
+objects that run in simulation run unchanged over real transports**
+(:mod:`repro.transport.udp`).
+
+Concurrency model: one worker thread owns every callback.  ``schedule``
+may be called from any thread (the UDP receive thread, the application);
+callbacks themselves always execute serialized on the worker, which is
+the same single-threaded discipline the simulation provides — endpoint
+code needs no locks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+__all__ = ["RealtimeScheduler", "RealtimeEvent"]
+
+
+class RealtimeEvent:
+    """Cancellable handle for a scheduled callback (mirrors sim.Event)."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback, args) -> None:
+        self.time = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "RealtimeEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class RealtimeScheduler:
+    """Wall-clock event loop compatible with the simulator's interface.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with RealtimeScheduler() as clock:
+            sender.attach(clock, transport)
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[RealtimeEvent] = []
+        self._lock = threading.Condition()
+        self._counter = itertools.count()
+        self._origin = time.monotonic()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._exceptions: List[BaseException] = []
+
+    # -- the simulator-compatible surface ---------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds since the scheduler was created."""
+        return time.monotonic() - self._origin
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> RealtimeEvent:
+        """Schedule ``callback(*args)`` on the worker, ``delay`` from now.
+
+        Thread-safe; a zero delay runs as soon as the worker is free.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s in the past")
+        event = RealtimeEvent(
+            self.now + delay, next(self._counter), callback, args
+        )
+        with self._lock:
+            heapq.heappush(self._heap, event)
+            self._lock.notify()
+        return event
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> RealtimeEvent:
+        """Run ``callback`` on the worker thread as soon as possible."""
+        return self.schedule(0.0, callback, *args)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "RealtimeScheduler":
+        if self._running:
+            raise RuntimeError("scheduler already running")
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name="repro-clock", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain_timeout: float = 1.0) -> None:
+        """Stop the worker; raises the first callback exception, if any."""
+        with self._lock:
+            self._running = False
+            self._lock.notify()
+        if self._thread is not None:
+            self._thread.join(timeout=drain_timeout)
+            self._thread = None
+        if self._exceptions:
+            raise self._exceptions[0]
+
+    def __enter__(self) -> "RealtimeScheduler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def failed(self) -> bool:
+        """True if a callback raised (the exception re-raises on stop)."""
+        return bool(self._exceptions)
+
+    # -- worker --------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while self._running:
+                    while self._heap and self._heap[0].cancelled:
+                        heapq.heappop(self._heap)
+                    if not self._heap:
+                        self._lock.wait(timeout=0.1)
+                        continue
+                    wait = self._heap[0].time - self.now
+                    if wait <= 0:
+                        event = heapq.heappop(self._heap)
+                        break
+                    self._lock.wait(timeout=min(wait, 0.1))
+                else:
+                    return
+            try:
+                event.callback(*event.args)
+            except BaseException as error:  # noqa: BLE001 - surfaced on stop
+                self._exceptions.append(error)
+                with self._lock:
+                    self._running = False
+                    return

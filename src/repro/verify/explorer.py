@@ -1,0 +1,214 @@
+"""Explicit-state exploration of the abstract protocol (E8, E9).
+
+:class:`Explorer` performs breadth-first search over every state reachable
+from the initial state of an :class:`~repro.verify.actions.AbstractProtocolModel`,
+checking the paper's invariant (assertions 6 ∧ 7 ∧ 8) at each state and
+recording predecessor links so that any violation or deadlock comes with a
+replayable witness trace.
+
+:class:`RandomWalker` complements the exhaustive search with long
+randomized fair executions used by the progress experiment (E9): it
+verifies that the potential function ``na + ns + nr + vr`` (the paper's
+progress measure) keeps increasing, and that all ``max_send`` messages are
+eventually delivered and acknowledged despite losses.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.verify.actions import AbstractProtocolModel, Transition
+from repro.verify.invariants import check_invariant
+from repro.verify.state import SystemState
+
+__all__ = ["Explorer", "ExplorationReport", "RandomWalker", "WalkReport"]
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one exhaustive state-space exploration."""
+
+    states_explored: int = 0
+    transitions_explored: int = 0
+    final_states: int = 0
+    invariant_violations: List[Tuple[SystemState, List[str]]] = field(
+        default_factory=list
+    )
+    deadlocks: List[SystemState] = field(default_factory=list)
+    truncated: bool = False  # hit max_states before exhausting the space
+    max_channel_occupancy: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation and no deadlock was found."""
+        return not self.invariant_violations and not self.deadlocks
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"{status}: {self.states_explored} states, "
+            f"{self.transitions_explored} transitions, "
+            f"{len(self.invariant_violations)} invariant violations, "
+            f"{len(self.deadlocks)} deadlocks"
+            + (" (truncated)" if self.truncated else "")
+        )
+
+
+class Explorer:
+    """Breadth-first explicit-state model checker."""
+
+    def __init__(
+        self,
+        model: AbstractProtocolModel,
+        max_states: int = 2_000_000,
+        stop_at_first_violation: bool = True,
+    ) -> None:
+        self.model = model
+        self.max_states = max_states
+        self.stop_at_first_violation = stop_at_first_violation
+        self._parent: Dict[SystemState, Optional[Tuple[SystemState, Transition]]] = {}
+
+    def run(self) -> ExplorationReport:
+        """Explore all reachable states; return the report."""
+        report = ExplorationReport()
+        start = self.model.initial()
+        frontier = deque([start])
+        self._parent = {start: None}
+
+        while frontier:
+            if report.states_explored >= self.max_states:
+                report.truncated = True
+                break
+            state = frontier.popleft()
+            report.states_explored += 1
+            report.max_channel_occupancy = max(
+                report.max_channel_occupancy, len(state.c_sr) + len(state.c_rs)
+            )
+
+            clauses = check_invariant(state, self.model.window)
+            if clauses:
+                report.invariant_violations.append((state, clauses))
+                if self.stop_at_first_violation:
+                    return report
+                continue  # don't expand corrupted states
+
+            transitions = list(self.model.transitions(state))
+            protocol_enabled = [t for t in transitions if not t.is_environment]
+            if self.model.is_final(state):
+                report.final_states += 1
+            elif not protocol_enabled:
+                report.deadlocks.append(state)
+                if self.stop_at_first_violation:
+                    return report
+
+            for transition in transitions:
+                report.transitions_explored += 1
+                successor = transition.target
+                if successor not in self._parent:
+                    self._parent[successor] = (state, transition)
+                    frontier.append(successor)
+        return report
+
+    def witness(self, state: SystemState) -> List[str]:
+        """Replayable trace from the initial state to ``state``.
+
+        Each line is ``action[detail]  =>  state description``.  Only valid
+        for states discovered by the most recent :meth:`run`.
+        """
+        if state not in self._parent:
+            raise KeyError("state was not reached in the last exploration")
+        steps: List[str] = []
+        cursor: Optional[SystemState] = state
+        while cursor is not None:
+            link = self._parent[cursor]
+            if link is None:
+                steps.append(f"initial  =>  {cursor.describe()}")
+                break
+            predecessor, transition = link
+            steps.append(f"{transition}  =>  {cursor.describe()}")
+            cursor = predecessor
+        steps.reverse()
+        return steps
+
+
+@dataclass
+class WalkReport:
+    """Outcome of one randomized fair execution."""
+
+    steps: int = 0
+    losses_injected: int = 0
+    completed: bool = False  # reached the final state
+    invariant_violations: int = 0
+    progress_sum_history: List[int] = field(default_factory=list)
+
+    @property
+    def final_progress_sum(self) -> int:
+        return self.progress_sum_history[-1] if self.progress_sum_history else 0
+
+
+class RandomWalker:
+    """Randomized fair executions of the abstract model (E9).
+
+    At each step a transition is chosen uniformly among the enabled
+    protocol actions; independently, with probability ``loss_probability``
+    and while the loss budget lasts, an environment loss is injected
+    instead.  A bounded loss budget realises the paper's fairness
+    assumption that "there are long periods of time during which no sent
+    message is lost" — with it, every walk must reach the final state.
+    """
+
+    def __init__(
+        self,
+        model: AbstractProtocolModel,
+        rng: random.Random,
+        loss_probability: float = 0.1,
+        loss_budget: int = 20,
+        max_steps: int = 100_000,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(f"loss_probability must be in [0,1], got {loss_probability}")
+        self.model = model
+        self.rng = rng
+        self.loss_probability = loss_probability
+        self.loss_budget = loss_budget
+        self.max_steps = max_steps
+
+    def run(self) -> WalkReport:
+        report = WalkReport()
+        state = self.model.initial()
+        losses_left = self.loss_budget
+
+        for _ in range(self.max_steps):
+            report.progress_sum_history.append(
+                state.na + state.ns + state.nr + state.vr
+            )
+            if check_invariant(state, self.model.window):
+                report.invariant_violations += 1
+            if self.model.is_final(state):
+                report.completed = True
+                break
+
+            transitions = list(self.model.transitions(state))
+            protocol = [t for t in transitions if not t.is_environment]
+            environment = [t for t in transitions if t.is_environment]
+            choice: Optional[Transition] = None
+            if (
+                environment
+                and losses_left > 0
+                and self.rng.random() < self.loss_probability
+            ):
+                choice = self.rng.choice(environment)
+                losses_left -= 1
+                report.losses_injected += 1
+            elif protocol:
+                choice = self.rng.choice(protocol)
+            elif environment:  # pragma: no cover - no protocol action enabled
+                choice = self.rng.choice(environment)
+            else:  # pragma: no cover - deadlock; invariant checks catch it
+                break
+            state = choice.target
+            report.steps += 1
+        return report

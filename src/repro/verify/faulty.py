@@ -1,0 +1,133 @@
+"""Deliberately vulnerable baselines for the paper's motivating scenario.
+
+Section I of the paper motivates block acknowledgment with a failure
+scenario: a go-back-N protocol with **bounded** sequence numbers and
+**cumulative** acknowledgments silently corrupts the transfer when an old
+acknowledgment is delayed in the channel and delivered after the sequence
+number space has wrapped.  The classes here implement exactly that naive
+protocol so the scenario (and a randomized search around it) can be
+replayed and the violation observed — see :mod:`repro.verify.scenarios`.
+
+``NaiveGbnSender``/``NaiveGbnReceiver`` are correct for FIFO channels with
+domain ``D >= w + 1`` (the classic go-back-N safety condition); the bug
+the paper exploits is that no finite ``D`` is safe once acknowledgments
+can be reordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["NaiveGbnSender", "NaiveGbnReceiver", "GbnViolation"]
+
+
+@dataclass
+class GbnViolation:
+    """Evidence of a safety violation: messages the sender believes were
+    delivered but the receiver never accepted."""
+
+    phantom_seqs: List[int]  # true sequence numbers falsely considered acked
+    stale_ack_wire: int  # the wire number of the ack that caused it
+
+    def __str__(self) -> str:
+        return (
+            f"stale cumulative ack (wire {self.stale_ack_wire}) convinced the "
+            f"sender that messages {self.phantom_seqs} were delivered; the "
+            "receiver never accepted them"
+        )
+
+
+class NaiveGbnSender:
+    """Go-back-N sender with wire sequence numbers mod ``domain``.
+
+    Tracks true sequence numbers internally (``na``, ``ns``) but receives
+    only wire (mod-``domain``) cumulative acknowledgments, which it
+    resolves — as any bounded-number cumulative scheme must — to the
+    outstanding message whose wire number matches.
+    """
+
+    def __init__(self, window: int, domain: int) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if domain < window + 1:
+            raise ValueError(
+                f"go-back-N needs domain >= w + 1 = {window + 1}, got {domain}"
+            )
+        self.w = window
+        self.domain = domain
+        self.na = 0  # oldest unacknowledged true sequence number
+        self.ns = 0  # next true sequence number to send
+
+    @property
+    def can_send(self) -> bool:
+        return self.ns < self.na + self.w
+
+    def send_new(self) -> tuple[int, int]:
+        """Allocate the next message; returns ``(true_seq, wire_seq)``."""
+        if not self.can_send:
+            raise RuntimeError(f"window full: na={self.na} ns={self.ns}")
+        seq = self.ns
+        self.ns += 1
+        return seq, seq % self.domain
+
+    def retransmit_all(self) -> List[tuple[int, int]]:
+        """Go-back-N timeout: resend every outstanding message."""
+        return [(seq, seq % self.domain) for seq in range(self.na, self.ns)]
+
+    def on_cumulative_ack(self, wire_ack: int) -> List[int]:
+        """Apply a wire cumulative ack; returns true seqs newly deemed acked.
+
+        The ack means "everything up to (true number ≡ wire_ack mod D)".
+        With reordering, a stale ack can match a *newer* outstanding
+        message's wire number; the naive resolution (the newest plausible
+        match, as in a real wrapped-counter implementation) then slides
+        ``na`` over messages that were never delivered.
+        """
+        matches = [
+            seq for seq in range(self.na, self.ns) if seq % self.domain == wire_ack
+        ]
+        if not matches:
+            return []  # duplicate of an already-passed ack: ignored
+        upto = max(matches)
+        newly = list(range(self.na, upto + 1))
+        self.na = upto + 1
+        return newly
+
+
+class NaiveGbnReceiver:
+    """Go-back-N receiver: accepts strictly in order, acks cumulatively."""
+
+    def __init__(self, domain: int) -> None:
+        if domain <= 0:
+            raise ValueError(f"domain must be positive, got {domain}")
+        self.domain = domain
+        self.nr = 0  # next true sequence number expected
+        self.accepted: List[int] = []
+
+    def on_data(self, wire_seq: int) -> Optional[int]:
+        """Handle a data message; returns the wire cumulative ack to send.
+
+        In-order data is accepted and acknowledged; anything else re-acks
+        the last accepted message (the classic go-back-N duplicate ack).
+        Returns None before anything was accepted (nothing to ack yet).
+        """
+        if wire_seq == self.nr % self.domain:
+            self.accepted.append(self.nr)
+            self.nr += 1
+        if self.nr == 0:
+            return None
+        return (self.nr - 1) % self.domain
+
+
+def detect_violation(
+    sender: NaiveGbnSender,
+    receiver: NaiveGbnReceiver,
+    stale_ack_wire: int,
+    newly_acked: List[int],
+) -> Optional[GbnViolation]:
+    """Check whether an ack application acknowledged undelivered messages."""
+    phantoms = [seq for seq in newly_acked if seq not in receiver.accepted]
+    if phantoms:
+        return GbnViolation(phantom_seqs=phantoms, stale_ack_wire=stale_ack_wire)
+    return None

@@ -1,0 +1,239 @@
+"""Refinement checking: timed runs are executions of the abstract spec.
+
+The model checker (E8) verifies the *abstract* protocol; the timed
+implementations realize its guards with timers.  The missing link is the
+claim that every behaviour the timed implementation exhibits is one the
+abstract protocol allows — a simulation/refinement relation.  This module
+checks it mechanically:
+
+1. run a timed transfer with full tracing (endpoint events **and**
+   channel loss events);
+2. replay the trace, event by event, against the paper's guarded-command
+   semantics: every send must satisfy action 0's guard, every
+   retransmission the Section-IV ``timeout(i)`` guard, every reception a
+   matching in-flight message, every emitted acknowledgment exactly the
+   block actions 4+5 would produce — with the invariant (assertions
+   6 ∧ 7 ∧ 8 ∧ 9–11) checked after every step.
+
+A safe timer configuration must replay cleanly: any step the abstract
+guard forbids is a protocol bug (this check retroactively catches the
+coverage-release bug documented in ``protocols/blockack.py``).  The
+``aggressive`` mode fails the replay at its first premature
+retransmission, which is the expected shape.
+
+The replay consumes traces from runs with **unbounded numbering** (so
+trace sequence numbers are the abstract ones); bounded variants are tied
+to unbounded ones by the E7 equivalence instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.verify.invariants import check_invariant
+from repro.verify.state import SystemState, initial_state
+
+__all__ = ["RefinementReport", "replay_trace", "check_refinement"]
+
+
+@dataclass
+class RefinementReport:
+    """Outcome of replaying one trace against the abstract semantics."""
+
+    steps: int = 0
+    errors: List[str] = field(default_factory=list)
+    invariant_violations: List[str] = field(default_factory=list)
+    final_state: Optional[SystemState] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.invariant_violations
+
+    def summary(self) -> str:
+        status = "REFINES" if self.ok else "VIOLATES"
+        return (
+            f"{status}: {self.steps} abstract steps, "
+            f"{len(self.errors)} guard errors, "
+            f"{len(self.invariant_violations)} invariant violations"
+        )
+
+
+class _Replayer:
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self.state = initial_state()
+        self.report = RefinementReport()
+
+    def fail(self, event: TraceEvent, reason: str) -> None:
+        self.report.errors.append(f"{event.format().strip()}: {reason}")
+
+    def step(self, event: TraceEvent, new_state: SystemState) -> None:
+        self.state = new_state
+        self.report.steps += 1
+        clauses = check_invariant(new_state, self.window)
+        if clauses:
+            self.report.invariant_violations.append(
+                f"after {event.format().strip()}: {'; '.join(clauses)}"
+            )
+
+    # -- the abstract actions, guard-checked --------------------------------
+
+    def send_data(self, event: TraceEvent) -> None:
+        state = self.state
+        if event.seq != state.ns:
+            return self.fail(event, f"sent {event.seq}, abstract ns={state.ns}")
+        if not state.ns < state.na + self.window:
+            return self.fail(event, "action 0 guard: window full")
+        self.step(event, state.with_sr_added(state.ns).replace(ns=state.ns + 1))
+
+    def resend_data(self, event: TraceEvent) -> None:
+        state = self.state
+        seq = event.seq
+        # the paper's timeout(i) guard (Section IV)
+        if not state.na <= seq < state.ns:
+            return self.fail(event, f"resend {seq} outside [na, ns)")
+        if state.is_ackd(seq):
+            return self.fail(event, f"resend {seq}: already acknowledged")
+        if state.count_sr(seq) != 0:
+            return self.fail(event, f"resend {seq}: a copy is still in C_SR")
+        if not (seq < state.nr or not state.is_rcvd(seq)):
+            return self.fail(event, f"resend {seq}: buffered at the receiver")
+        if state.count_rs(seq) != 0:
+            return self.fail(event, f"resend {seq}: a covering ack is in C_RS")
+        self.step(event, state.with_sr_added(seq))
+
+    def drop_data(self, event: TraceEvent) -> None:
+        state = self.state
+        if state.count_sr(event.seq) == 0:
+            return self.fail(event, f"lost data {event.seq} not in C_SR")
+        self.step(event, state.with_sr_removed(event.seq))
+
+    def drop_ack(self, event: TraceEvent) -> None:
+        state = self.state
+        pair = (event.seq, event.seq_hi)
+        if pair not in state.c_rs:
+            return self.fail(event, f"lost ack {pair} not in C_RS")
+        self.step(event, state.with_rs_removed(pair))
+
+    def recv_data(self, event: TraceEvent, emits_dup_ack: bool) -> None:
+        state = self.state
+        seq = event.seq
+        if state.count_sr(seq) == 0:
+            return self.fail(event, f"received data {seq} not in C_SR")
+        after = state.with_sr_removed(seq)
+        if seq < after.nr:
+            if not emits_dup_ack:
+                return self.fail(
+                    event, f"duplicate {seq} accepted without a (v,v) ack"
+                )
+            self.step(event, after.with_rs_added((seq, seq)))
+        else:
+            if emits_dup_ack:
+                return self.fail(event, f"fresh data {seq} answered as duplicate")
+            self.step(event, after.replace(rcvd=after.rcvd | {seq}))
+
+    def send_ack(self, event: TraceEvent) -> None:
+        state = self.state
+        lo, hi = event.seq, event.seq_hi
+        # actions 4 (advance vr over the received run) then 5 (emit block)
+        vr = state.vr
+        while vr in state.rcvd:
+            vr += 1
+        if not (lo == state.nr and hi == vr - 1 and state.nr < vr):
+            return self.fail(
+                event,
+                f"ack ({lo},{hi}) but actions 4+5 would produce "
+                f"({state.nr},{vr - 1})",
+            )
+        after = state.replace(vr=vr)
+        self.step(event, after.with_rs_added((lo, hi)).replace(nr=vr))
+
+    def recv_ack(self, event: TraceEvent) -> None:
+        state = self.state
+        pair = (event.seq, event.seq_hi)
+        if pair not in state.c_rs:
+            return self.fail(event, f"received ack {pair} not in C_RS")
+        after = state.with_rs_removed(pair)
+        ackd = set(after.ackd)
+        ackd.update(range(pair[0], pair[1] + 1))
+        na = after.na
+        while na in ackd:
+            na += 1
+        self.step(event, after.replace(na=na, ackd=frozenset(ackd)))
+
+
+def replay_trace(events: List[TraceEvent], window: int) -> RefinementReport:
+    """Replay a timed-run trace against the abstract semantics."""
+    replayer = _Replayer(window)
+    index = 0
+    while index < len(events):
+        event = events[index]
+        kind = event.kind
+        if kind is EventKind.SEND_DATA:
+            replayer.send_data(event)
+        elif kind is EventKind.RESEND_DATA:
+            replayer.resend_data(event)
+        elif kind is EventKind.DROP:
+            if event.seq_hi is None:
+                replayer.drop_data(event)
+            else:
+                replayer.drop_ack(event)
+        elif kind is EventKind.RECV_DATA:
+            # a duplicate reception is immediately followed by its (v,v)
+            emits_dup = (
+                index + 1 < len(events)
+                and events[index + 1].kind is EventKind.RESEND_ACK
+                and events[index + 1].seq == event.seq
+            )
+            replayer.recv_data(event, emits_dup)
+            if emits_dup:
+                index += 1  # the RESEND_ACK was part of action 3
+        elif kind is EventKind.SEND_ACK:
+            replayer.send_ack(event)
+        elif kind is EventKind.RECV_ACK:
+            replayer.recv_ack(event)
+        # TIMEOUT, DELIVER, WINDOW_OPEN, ACCEPT, NOTE: bookkeeping only
+        index += 1
+        if len(replayer.report.errors) >= 10:
+            break
+    replayer.report.final_state = replayer.state
+    return replayer.report
+
+
+def check_refinement(
+    window: int,
+    total: int,
+    seed: int,
+    timeout_mode: str = "per_message_safe",
+    loss: float = 0.08,
+    spread: float = 1.2,
+) -> RefinementReport:
+    """Run one traced timed transfer and replay it against the spec."""
+    from repro.channel.delay import UniformDelay
+    from repro.channel.impairments import BernoulliLoss, NoLoss
+    from repro.core.messages import BlockAck, DataMessage
+    from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+    from repro.sim.runner import LinkSpec, run_transfer
+    from repro.workloads.sources import GreedySource
+
+    sender = BlockAckSender(window, timeout_mode=timeout_mode)
+    if timeout_mode == "oracle":
+        sender.timeout_period = 0.25
+    receiver = BlockAckReceiver(window)
+    low = max(0.0, 1.0 - spread / 2)
+    link = lambda: LinkSpec(
+        delay=UniformDelay(low, 1.0 + spread / 2),
+        loss=BernoulliLoss(loss) if loss > 0 else NoLoss(),
+    )
+    result = run_transfer(
+        sender, receiver, GreedySource(total),
+        forward=link(), reverse=link(), seed=seed,
+        trace=True, record_channel_drops=True, max_time=1_000_000.0,
+    )
+    if not (result.completed and result.in_order):
+        report = RefinementReport()
+        report.errors.append(f"transfer itself failed: {result.summary()}")
+        return report
+    return replay_trace(result.trace.events, window)

@@ -1,0 +1,209 @@
+"""Runtime invariant monitoring for live simulations.
+
+The model checker (E8) verifies assertions 6 ∧ 7 ∧ 8 exhaustively, but
+only for small windows and short transfers.  :class:`InvariantMonitor`
+complements it at full scale: it observes a *running* timed simulation —
+every channel send, delivery, loss — and checks the observable
+consequences of the paper's invariant continuously:
+
+* **one wire per number (assertion 8 + 6).**  In-flight data messages
+  occupy true sequence numbers in ``[na, ns)``, a range narrower than the
+  wire domain, so no two in-flight data messages may carry the same wire
+  number; likewise no sequence number may be covered by two in-flight
+  acknowledgments, and no in-flight data message's number may be covered
+  by any in-flight acknowledgment.
+* **counter ordering (assertion 6).**  ``na <= nr <= vr`` across the two
+  endpoints, sampled at every channel event.
+
+A safe protocol configuration produces zero violations over arbitrarily
+long adversarial runs; the ``aggressive`` timeout mode produces them
+readily — which is how this monitor earns its keep in the test suite (it
+detects, at runtime and at scale, exactly the class of bug whose
+exhaustive form E8 catches in the small).
+
+Note the deliberate scope: the monitor checks *wire-level multiplicity*,
+which the invariant implies but which requires no decoding.  It therefore
+works identically for unbounded and mod-2w numbering, and cannot itself
+be fooled by the decode ambiguity that broken configurations create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.messages import BlockAck, DataMessage
+
+__all__ = ["InvariantMonitor", "MonitorViolation"]
+
+
+@dataclass
+class MonitorViolation:
+    """One observed breach of the invariant's runtime consequences."""
+
+    time: float
+    clause: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:.4f} {self.clause}: {self.detail}"
+
+
+@dataclass
+class _FlightState:
+    """Wire-level occupancy of one direction."""
+
+    data_wires: dict = field(default_factory=dict)  # wire -> count
+    ack_spans: list = field(default_factory=list)  # list of (lo, hi) wires
+
+
+class InvariantMonitor:
+    """Attach to a sender/receiver pair and its channels; collect violations.
+
+    Parameters
+    ----------
+    sender, receiver:
+        Block-ack endpoints (reference or bounded); used for the counter-
+        ordering check when they expose ``window``/``book`` state.
+    forward, reverse:
+        The two :class:`~repro.channel.channel.Channel` objects.
+    domain:
+        Wire-number domain size (``2*K*w``), needed to interpret wrapped
+        ack spans; None for unbounded numbering.
+    strict:
+        If True, raise ``AssertionError`` at the first violation instead
+        of collecting.
+    """
+
+    def __init__(
+        self,
+        sender: Any,
+        receiver: Any,
+        forward: Any,
+        reverse: Any,
+        domain: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.domain = domain
+        self.strict = strict
+        self.violations: List[MonitorViolation] = []
+        self._forward = _FlightState()
+        self._sim = forward.sim
+        forward.add_observer(self._on_forward_event)
+        reverse.add_observer(self._on_reverse_event)
+        self._reverse = _FlightState()
+
+    # ------------------------------------------------------------------
+    # channel observers
+    # ------------------------------------------------------------------
+
+    def _on_forward_event(self, kind: str, message: Any) -> None:
+        if not isinstance(message, DataMessage):
+            return
+        wires = self._forward.data_wires
+        if kind in ("send", "duplicate"):
+            wires[message.seq] = wires.get(message.seq, 0) + 1
+            if wires[message.seq] > 1:
+                self._flag(
+                    "8: duplicate data in transit",
+                    f"two in-flight data messages carry wire seq {message.seq}",
+                )
+            if self._covered_by_ack(message.seq):
+                self._flag(
+                    "8: data coexists with covering ack",
+                    f"data wire seq {message.seq} sent while an in-flight "
+                    "acknowledgment covers it",
+                )
+        else:  # deliver / lose / age all remove the copy
+            count = wires.get(message.seq, 0) - 1
+            if count <= 0:
+                wires.pop(message.seq, None)
+            else:
+                wires[message.seq] = count
+        self._check_counters()
+
+    def _on_reverse_event(self, kind: str, message: Any) -> None:
+        if not isinstance(message, BlockAck):
+            return
+        spans = self._reverse.ack_spans
+        span = (message.lo, message.hi)
+        if kind in ("send", "duplicate"):
+            covered = self._span_wires(span)
+            for wire in covered:
+                if any(
+                    wire in self._span_wires(existing) for existing in spans
+                ):
+                    self._flag(
+                        "8: overlapping acks in transit",
+                        f"wire seq {wire} covered by two in-flight acks",
+                    )
+                    break
+            for wire in covered:
+                if wire in self._forward.data_wires:
+                    self._flag(
+                        "8: ack coexists with covered data",
+                        f"ack {span} sent while data wire seq {wire} in flight",
+                    )
+                    break
+            spans.append(span)
+        else:
+            if span in spans:
+                spans.remove(span)
+        self._check_counters()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _span_wires(self, span) -> set:
+        lo, hi = span
+        if self.domain is None:
+            return set(range(lo, hi + 1))
+        if hi >= lo:
+            return set(range(lo, hi + 1))
+        return set(range(lo, self.domain)) | set(range(0, hi + 1))
+
+    def _covered_by_ack(self, wire: int) -> bool:
+        return any(
+            wire in self._span_wires(span) for span in self._reverse.ack_spans
+        )
+
+    def _check_counters(self) -> None:
+        sender_state = getattr(self.sender, "window", None) or getattr(
+            self.sender, "book", None
+        )
+        receiver_state = getattr(self.receiver, "window", None) or getattr(
+            self.receiver, "book", None
+        )
+        if sender_state is None or receiver_state is None:
+            return
+        if self.domain is not None:
+            return  # wrapped counters are not directly comparable
+        na = sender_state.na
+        nr = receiver_state.nr
+        vr = receiver_state.vr
+        if not na <= nr <= vr:
+            self._flag("6: counter ordering", f"na={na} nr={nr} vr={vr}")
+
+    def _flag(self, clause: str, detail: str) -> None:
+        violation = MonitorViolation(self._sim.now, clause, detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise AssertionError(str(violation))
+
+    @property
+    def clean(self) -> bool:
+        """True if no violation has been observed."""
+        return not self.violations
+
+    def report(self, limit: int = 10) -> str:
+        """Human-readable summary of observed violations."""
+        if self.clean:
+            return "invariant monitor: clean"
+        lines = [f"invariant monitor: {len(self.violations)} violation(s)"]
+        lines += [f"  {v}" for v in self.violations[:limit]]
+        if len(self.violations) > limit:
+            lines.append(f"  ... ({len(self.violations) - limit} more)")
+        return "\n".join(lines)

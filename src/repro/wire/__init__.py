@@ -1,0 +1,21 @@
+"""Byte-level wire format: checksummed frames and bit-error links."""
+
+from repro.wire.codec import (
+    MAX_WIRE_SEQ,
+    CorruptFrame,
+    FrameError,
+    decode_message,
+    encode_message,
+    frame_overhead,
+)
+from repro.wire.framed import FramedChannel
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "frame_overhead",
+    "CorruptFrame",
+    "FrameError",
+    "MAX_WIRE_SEQ",
+    "FramedChannel",
+]

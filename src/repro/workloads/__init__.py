@@ -1,0 +1,17 @@
+"""Application traffic sources for driving protocol senders."""
+
+from repro.workloads.sources import (
+    BurstySource,
+    GreedySource,
+    PoissonSource,
+    ReplaySource,
+    Source,
+)
+
+__all__ = [
+    "Source",
+    "GreedySource",
+    "PoissonSource",
+    "BurstySource",
+    "ReplaySource",
+]

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(12345)
+
+
+def drain(sim: Simulator, max_events: int = 1_000_000) -> None:
+    """Run a simulator until its queue is empty (guarded)."""
+    sim.run(max_events=max_events)

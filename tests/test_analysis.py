@@ -1,0 +1,124 @@
+"""Tests for statistics, replication, and table rendering."""
+
+import pytest
+
+from repro.analysis.metrics import extract, replicate
+from repro.analysis.report import format_cell, render_table
+from repro.analysis.stats import percentile, summarize
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.runner import run_transfer
+from repro.workloads.sources import GreedySource
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.ci95 == 0.0
+        assert summary.n == 1
+
+    def test_mean_and_stdev(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stdev == pytest.approx(1.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+
+    def test_ci_uses_student_t(self):
+        # n=3, dof=2: t=4.303, half-width = 4.303 * 1 / sqrt(3)
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.ci95 == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+
+    def test_interval_overlap(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([5.0, 5.1, 4.9])
+        assert not a.overlaps(b)
+        assert a.overlaps(summarize([1.0, 1.2, 0.8]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_large_sample_falls_back_to_normal(self):
+        summary = summarize([float(i % 7) for i in range(200)])
+        assert summary.ci95 > 0
+
+    def test_str_format(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_extremes(self):
+        assert percentile([1, 2, 3], 0) == 1.0
+        assert percentile([1, 2, 3], 100) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        table = render_table(["name", "value"], [("a", 1), ("bbbb", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_included(self):
+        table = render_table(["x"], [(1,)], title="results")
+        assert table.startswith("results")
+
+    def test_float_formatting(self):
+        assert format_cell(3.14159265) == "3.142"
+        assert format_cell(True) == "yes"
+        assert format_cell("text") == "text"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+
+class TestReplicate:
+    def _run(self, seed):
+        sender = BlockAckSender(4)
+        receiver = BlockAckReceiver(4)
+        return run_transfer(sender, receiver, GreedySource(40), seed=seed)
+
+    def test_aggregates_default_metrics(self):
+        metrics = replicate(self._run, seeds=(1, 2, 3))
+        assert metrics["throughput"].n == 3
+        assert metrics["goodput_efficiency"].mean == 1.0
+
+    def test_custom_metric_from_stats_dict(self):
+        metrics = replicate(self._run, seeds=(1, 2), metrics=("data_sent",))
+        assert metrics["data_sent"].mean == 40.0
+
+    def test_extract_unknown_metric(self):
+        result = self._run(1)
+        with pytest.raises(KeyError):
+            extract(result, "nonexistent")
+
+    def test_correctness_enforced(self):
+        def broken(seed):
+            sender = BlockAckSender(2)
+            receiver = BlockAckReceiver(2)
+            return run_transfer(
+                sender, receiver, GreedySource(1000), seed=seed, max_time=2.0
+            )
+
+        with pytest.raises(AssertionError):
+            replicate(broken, seeds=(1,))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(self._run, seeds=())

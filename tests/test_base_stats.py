@@ -1,0 +1,38 @@
+"""Tests for the endpoint statistics containers and derived metrics."""
+
+from repro.protocols.base import ReceiverStats, SenderStats
+
+
+class TestSenderStats:
+    def test_efficiency(self):
+        stats = SenderStats(data_sent=10, acked=8)
+        assert stats.efficiency == 0.8
+
+    def test_efficiency_with_no_sends(self):
+        assert SenderStats().efficiency == 0.0
+
+    def test_as_dict_round_trips_counters(self):
+        stats = SenderStats(
+            submitted=5, data_sent=7, retransmissions=2,
+            acks_received=4, stale_acks=1, timeouts_fired=2, acked=5,
+        )
+        as_dict = stats.as_dict()
+        assert as_dict["data_sent"] == 7
+        assert as_dict["retransmissions"] == 2
+        assert as_dict["stale_acks"] == 1
+
+
+class TestReceiverStats:
+    def test_acks_per_delivery(self):
+        stats = ReceiverStats(acks_sent=5, delivered=10)
+        assert stats.acks_per_delivery == 0.5
+
+    def test_acks_per_delivery_with_nothing_delivered(self):
+        assert ReceiverStats(acks_sent=5).acks_per_delivery == 0.0
+
+    def test_as_dict_keys(self):
+        keys = set(ReceiverStats().as_dict())
+        assert {
+            "data_received", "duplicates", "redundant", "out_of_order",
+            "acks_sent", "delivered", "max_buffered",
+        } <= keys

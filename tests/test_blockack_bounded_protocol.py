@@ -1,0 +1,85 @@
+"""Tests for the byte-exact Section-V bounded endpoints."""
+
+import pytest
+
+from repro.channel.delay import UniformDelay
+from repro.channel.impairments import BernoulliLoss
+from repro.protocols.blockack_bounded import (
+    BoundedBlockAckReceiver,
+    BoundedBlockAckSender,
+)
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+
+def run_bounded(total=150, w=6, forward=None, reverse=None, seed=0):
+    sender = BoundedBlockAckSender(w)
+    receiver = BoundedBlockAckReceiver(w)
+    return run_transfer(
+        sender, receiver, GreedySource(total),
+        forward=forward, reverse=reverse, seed=seed,
+        collect_payloads=True, max_time=100_000.0,
+    )
+
+
+class TestBoundedTransfer:
+    def test_lossless_completes_in_order(self):
+        result = run_bounded()
+        assert result.completed and result.in_order
+
+    def test_long_transfer_wraps_many_generations(self):
+        # 150 messages through a domain of 12: the counters wrap 12+ times
+        result = run_bounded(total=150, w=6)
+        assert result.completed and result.in_order
+
+    def test_lossy_reordering_transfer(self):
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.08)
+        )
+        result = run_bounded(forward=link(), reverse=link(), seed=3)
+        assert result.completed and result.in_order
+
+    def test_payloads_arrive_exactly_once(self):
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)
+        )
+        result = run_bounded(total=100, forward=link(), reverse=link(), seed=4)
+        assert result.delivered_payloads == [("msg", i) for i in range(100)]
+
+    def test_window_one(self):
+        result = run_bounded(total=40, w=1)
+        assert result.completed and result.in_order
+        assert abs(result.throughput - 0.5) < 0.05
+
+    def test_no_state_growth(self):
+        # protocol state must stay O(w): counters bounded by 2w, rings by w
+        sender = BoundedBlockAckSender(4)
+        receiver = BoundedBlockAckReceiver(4)
+        result = run_transfer(
+            sender, receiver, GreedySource(500), seed=0,
+        )
+        assert result.completed
+        assert 0 <= sender.book.na < 8 and 0 <= sender.book.ns < 8
+        assert 0 <= receiver.book.nr < 8 and 0 <= receiver.book.vr < 8
+        assert len(sender.book._ackd) == 4
+        assert len(receiver.book._rcvd) == 4
+
+    def test_attach_requires_timeout(self, sim):
+        from repro.channel.channel import Channel
+
+        sender = BoundedBlockAckSender(4)
+        with pytest.raises(ValueError):
+            sender.attach(sim, Channel(sim))
+
+    def test_wrong_message_types_rejected(self, sim):
+        from repro.channel.channel import Channel
+        from repro.core.messages import BlockAck, DataMessage
+
+        sender = BoundedBlockAckSender(4, timeout_period=3.0)
+        sender.attach(sim, Channel(sim))
+        with pytest.raises(TypeError):
+            sender.on_message(DataMessage(0))
+        receiver = BoundedBlockAckReceiver(4)
+        receiver.attach(sim, Channel(sim))
+        with pytest.raises(TypeError):
+            receiver.on_message(BlockAck(0, 0))

@@ -1,0 +1,242 @@
+"""Unit and lockstep-equivalence tests for the bounded-storage books.
+
+The bounded books (Section V final form) must behave identically to the
+unbounded reference bookkeeping under every schedule.  Besides unit tests
+for the modular mechanics, a hypothesis-driven lockstep test runs random
+operation sequences against both representations simultaneously and
+asserts observational equivalence at every step.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounded import BoundedReceiverBook, BoundedSenderBook
+from repro.core.window import ReceiverWindow, SenderWindow
+
+
+class TestBoundedSenderBook:
+    def test_initial_state(self):
+        book = BoundedSenderBook(4)
+        assert book.can_send
+        assert book.all_acknowledged
+
+    def test_take_next_wraps_mod_2w(self):
+        book = BoundedSenderBook(2)  # domain 4
+        seqs = []
+        for _ in range(8):
+            seqs.append(book.take_next())
+            book.apply_ack(seqs[-1], seqs[-1])
+        assert seqs == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_window_closes(self):
+        book = BoundedSenderBook(2)
+        book.take_next()
+        book.take_next()
+        assert not book.can_send
+        with pytest.raises(RuntimeError):
+            book.take_next()
+
+    def test_ack_advances_and_clears_cells(self):
+        book = BoundedSenderBook(2)
+        book.take_next()
+        book.take_next()
+        advanced = book.apply_ack(0, 1)
+        assert advanced == 2
+        assert book.na == 2
+        assert book.all_acknowledged
+        assert not book.is_acked_cell(0)  # cells cleared on slide
+
+    def test_out_of_order_ack_recorded_but_no_advance(self):
+        book = BoundedSenderBook(4)
+        for _ in range(4):
+            book.take_next()
+        assert book.apply_ack(2, 3) == 0
+        assert book.apply_ack(0, 1) == 4
+
+    def test_outstanding_wire(self):
+        book = BoundedSenderBook(4)
+        for _ in range(4):
+            book.take_next()
+        book.apply_ack(1, 2)
+        assert book.outstanding_wire() == [0, 3]
+
+    def test_wrapped_ack_pair(self):
+        # windows that straddle the mod-2w boundary produce wrapped pairs
+        book = BoundedSenderBook(2)  # domain 4
+        for _ in range(3):
+            wire = book.take_next()
+            book.apply_ack(wire, wire)
+        book.take_next()  # wire 3
+        book.take_next()  # wire 0 (wrapped)
+        advanced = book.apply_ack(3, 0)  # wrapped block (3, 0)
+        assert advanced == 2
+        assert book.all_acknowledged
+
+    def test_full_domain_wrap_reads_as_empty(self):
+        # a pair whose wrap would cover the whole domain cannot come from a
+        # conforming peer (blocks cover at most w < n numbers); the loop
+        # reads it as an empty range and acknowledges nothing
+        book = BoundedSenderBook(2)
+        book.take_next()
+        assert book.apply_ack(1, 0) == 0  # (1,0) in domain 4: empty
+        assert not book.all_acknowledged
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BoundedSenderBook(0)
+
+
+class TestBoundedReceiverBook:
+    def test_in_order_accept_and_block(self):
+        book = BoundedReceiverBook(4)
+        assert book.accept(0, "p0") is False
+        book.advance()
+        lo, hi, payloads = book.take_block()
+        assert (lo, hi) == (0, 0)
+        assert payloads == ["p0"]
+
+    def test_duplicate_detection_mod_domain(self):
+        book = BoundedReceiverBook(4)  # domain 8
+        book.accept(0)
+        book.advance()
+        book.take_block()
+        assert book.accept(0) is True  # true 0 again: duplicate
+        assert book.is_duplicate(0)
+
+    def test_out_of_order_buffer_and_release(self):
+        book = BoundedReceiverBook(4)
+        book.accept(2, "p2")
+        book.accept(1, "p1")
+        book.advance()
+        assert not book.ack_ready
+        book.accept(0, "p0")
+        book.advance()
+        lo, hi, payloads = book.take_block()
+        assert (lo, hi) == (0, 2)
+        assert payloads == ["p0", "p1", "p2"]
+
+    def test_wrapped_block(self):
+        book = BoundedReceiverBook(2)  # domain 4
+        for wire in (0, 1, 2):
+            book.accept(wire, f"p{wire}")
+            book.advance()
+            book.take_block()
+        book.accept(3, "p3")
+        book.accept(0, "p4")  # wrapped second generation
+        book.advance()
+        lo, hi, payloads = book.take_block()
+        assert (lo, hi) == (3, 0)
+        assert payloads == ["p3", "p4"]
+
+    def test_buffered_count(self):
+        book = BoundedReceiverBook(4)
+        book.accept(1)
+        book.accept(3)
+        assert book.buffered_count() == 2
+
+    def test_take_block_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            BoundedReceiverBook(4).take_block()
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BoundedReceiverBook(0)
+
+
+# ----------------------------------------------------------------------
+# lockstep equivalence: bounded books vs unbounded reference
+# ----------------------------------------------------------------------
+
+W = 4
+
+
+def _sender_step(op, window: SenderWindow, book: BoundedSenderBook):
+    """Apply one operation to both representations; compare observables."""
+    if op == "send":
+        if window.can_send:
+            true_seq = window.take_next()
+            wire = book.take_next()
+            assert wire == true_seq % (2 * W)
+        else:
+            assert not book.can_send
+    assert window.can_send == book.can_send
+    assert window.in_flight_window == book.in_flight_window
+    assert window.all_acknowledged == book.all_acknowledged
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["send", "ack_lo", "ack_mid"]), max_size=60))
+def test_sender_lockstep_equivalence(ops):
+    """Random send/ack schedules: bounded sender mirrors the reference."""
+    window = SenderWindow(W)
+    book = BoundedSenderBook(W)
+    for op in ops:
+        if op == "send":
+            _sender_step(op, window, book)
+        else:
+            outstanding = window.outstanding()
+            if not outstanding:
+                continue
+            # ack either the oldest outstanding or a mid-window block
+            if op == "ack_lo":
+                lo = hi = outstanding[0]
+            else:
+                lo = hi = outstanding[len(outstanding) // 2]
+            before_na = window.na
+            window.apply_ack(lo, hi)
+            advanced = book.apply_ack(lo % (2 * W), hi % (2 * W))
+            assert advanced == window.na - before_na
+        assert book.na == window.na % (2 * W)
+        assert book.ns == window.ns % (2 * W)
+        assert sorted(book.outstanding_wire()) == sorted(
+            s % (2 * W) for s in window.outstanding()
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_receiver_lockstep_equivalence(data):
+    """Random arrival schedules: bounded receiver mirrors the reference."""
+    window = ReceiverWindow(W)
+    book = BoundedReceiverBook(W)
+    next_new = 0
+    arrivals = data.draw(
+        st.lists(st.sampled_from(["new", "skip", "old", "flush"]), max_size=60)
+    )
+    pending_new = []
+    for op in arrivals:
+        if op == "new" or op == "skip":
+            # deliver either the next expected or one ahead (reorder)
+            if op == "skip" and window.vr + 1 < window.nr + W:
+                seq = None
+                for candidate in range(window.vr, window.nr + W):
+                    if candidate >= next_new:
+                        pending_new.append(candidate)
+                if pending_new:
+                    seq = pending_new.pop()
+                    next_new = max(next_new, seq + 1)
+            else:
+                seq = next_new
+                next_new += 1
+            if seq is None or seq >= window.nr + W:
+                continue
+            ref = window.accept(seq, f"p{seq}")
+            dup = book.accept(seq % (2 * W), f"p{seq}")
+            assert dup == ref.duplicate
+            window.advance()
+            book.advance()
+        elif op == "old" and window.nr > 0:
+            seq = window.nr - 1
+            ref = window.accept(seq, None)
+            dup = book.accept(seq % (2 * W), None)
+            assert ref.duplicate and dup
+        elif op == "flush":
+            assert window.ack_ready == book.ack_ready
+            if window.ack_ready:
+                ref_lo, ref_hi, ref_payloads = window.take_block()
+                lo, hi, payloads = book.take_block()
+                assert lo == ref_lo % (2 * W)
+                assert hi == ref_hi % (2 * W)
+                assert payloads == ref_payloads
+        assert book.nr == window.nr % (2 * W)
+        assert book.vr == window.vr % (2 * W)

@@ -1,0 +1,104 @@
+"""Unit tests for loss models."""
+
+import random
+
+import pytest
+
+from repro.channel.impairments import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    ScriptedLoss,
+)
+
+
+class TestNoLoss:
+    def test_never_drops(self, rng):
+        model = NoLoss()
+        assert not any(model.drops(rng) for _ in range(100))
+
+
+class TestBernoulliLoss:
+    def test_zero_never_drops(self, rng):
+        model = BernoulliLoss(0.0)
+        assert not any(model.drops(rng) for _ in range(100))
+
+    def test_one_always_drops(self, rng):
+        model = BernoulliLoss(1.0)
+        assert all(model.drops(rng) for _ in range(100))
+
+    def test_rate_matches_probability(self, rng):
+        model = BernoulliLoss(0.3)
+        drops = sum(model.drops(rng) for _ in range(10000))
+        assert abs(drops / 10000 - 0.3) < 0.02
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+
+class TestGilbertElliottLoss:
+    def test_starts_good(self):
+        model = GilbertElliottLoss(0.1, 0.5)
+        assert model.state == GilbertElliottLoss.GOOD
+
+    def test_good_state_lossless_by_default(self, rng):
+        model = GilbertElliottLoss(0.0, 1.0)  # never leaves GOOD
+        assert not any(model.drops(rng) for _ in range(100))
+
+    def test_bad_state_drops_by_default(self, rng):
+        model = GilbertElliottLoss(1.0, 0.0)  # enters BAD immediately, stays
+        model.drops(rng)
+        assert model.state == GilbertElliottLoss.BAD
+        assert all(model.drops(rng) for _ in range(20))
+
+    def test_losses_are_bursty(self, rng):
+        # with sticky states, loss runs should be much longer than
+        # independent Bernoulli at the same average rate
+        model = GilbertElliottLoss(0.02, 0.2, p_good=0.0, p_bad=1.0)
+        outcomes = [model.drops(rng) for _ in range(20000)]
+        runs = []
+        current = 0
+        for dropped in outcomes:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs and max(runs) >= 5  # long bursts exist
+
+    def test_reset_returns_to_good(self, rng):
+        model = GilbertElliottLoss(1.0, 0.0)
+        model.drops(rng)
+        model.reset()
+        assert model.state == GilbertElliottLoss.GOOD
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(2.0, 0.5)
+
+
+class TestScriptedLoss:
+    def test_drops_exact_indices(self, rng):
+        model = ScriptedLoss({0, 2})
+        outcomes = [model.drops(rng) for _ in range(4)]
+        assert outcomes == [True, False, True, False]
+
+    def test_empty_script_never_drops(self, rng):
+        model = ScriptedLoss(set())
+        assert not any(model.drops(rng) for _ in range(10))
+
+    def test_messages_seen_counter(self, rng):
+        model = ScriptedLoss({1})
+        for _ in range(5):
+            model.drops(rng)
+        assert model.messages_seen == 5
+
+    def test_reset_restarts_indexing(self, rng):
+        model = ScriptedLoss({0})
+        assert model.drops(rng) is True
+        assert model.drops(rng) is False
+        model.reset()
+        assert model.drops(rng) is True

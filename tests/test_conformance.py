@@ -1,0 +1,61 @@
+"""Run the public conformance kit against every shipped protocol."""
+
+import pytest
+
+from repro.protocols.registry import make_pair, protocol_names
+from repro.testing import ConformanceError, check_conformance
+
+WINDOW = 6
+
+#: protocols whose throughput legitimately misses the pipelining bound
+#: under some conformance condition (go-back-N collapses under the
+#: reorder scenario's jitter, and under loss its goodput is window-bound
+#: in a different way) — they still must pass every correctness gate.
+NO_PIPELINING_GATE = {"gobackn"}
+
+
+@pytest.mark.parametrize("name", protocol_names())
+def test_shipped_protocol_conforms(name):
+    check_conformance(
+        lambda: make_pair(name, window=WINDOW),
+        window=WINDOW,
+        total=120,
+        seeds=(1, 2),
+        check_pipelining=name not in NO_PIPELINING_GATE,
+    )
+
+
+def test_tcp_sack_conforms():
+    check_conformance(
+        lambda: make_pair("tcp-sack", window=WINDOW),
+        window=WINDOW,
+        total=120,
+    )
+
+
+class TestKitCatchesBrokenImplementations:
+    def test_never_retransmitting_sender_fails_loss_recovery(self):
+        from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+
+        def broken_factory():
+            sender = BlockAckSender(WINDOW, timeout_period=10_000.0)
+            return sender, BlockAckReceiver(WINDOW)
+
+        with pytest.raises(ConformanceError) as excinfo:
+            check_conformance(broken_factory, window=WINDOW, total=60)
+        assert excinfo.value.scenario in ("loss-recovery", "adversity-soak")
+
+    def test_stop_and_wait_fails_pipelining(self):
+        from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+
+        def slow_factory():
+            # window 1 disguised as window 6: violates the pipelining gate
+            return BlockAckSender(1), BlockAckReceiver(1)
+
+        with pytest.raises(ConformanceError) as excinfo:
+            check_conformance(slow_factory, window=WINDOW, total=60)
+        assert excinfo.value.scenario == "pipelining"
+
+    def test_error_message_names_scenario(self):
+        error = ConformanceError("lossless", "oops")
+        assert "[lossless]" in str(error)

@@ -1,0 +1,218 @@
+"""Tests for full-duplex operation with piggybacked acknowledgments."""
+
+import random
+
+import pytest
+
+from repro.channel.delay import ConstantDelay, UniformDelay
+from repro.channel.impairments import BernoulliLoss
+from repro.core.messages import BlockAck, DataMessage
+from repro.core.numbering import ModularNumbering
+from repro.duplex.endpoint import DuplexEndpoint, DuplexFrame, PiggybackMux
+from repro.duplex.runner import run_duplex
+from repro.sim.runner import LinkSpec
+from repro.workloads.sources import GreedySource, PoissonSource
+
+
+def make_endpoints(window=8, bounded=True, hold=1.0):
+    numbering = ModularNumbering(window) if bounded else None
+    return (
+        DuplexEndpoint("A", window, numbering=numbering, standalone_delay=hold),
+        DuplexEndpoint("B", window, numbering=numbering, standalone_delay=hold),
+    )
+
+
+class TestPiggybackMux:
+    def _mux(self, sim, hold=0.5):
+        sent = []
+
+        class FakeChannel:
+            def send(self, frame):
+                sent.append(frame)
+
+        return PiggybackMux(sim, FakeChannel(), standalone_delay=hold), sent
+
+    def test_data_alone_goes_immediately(self, sim):
+        mux, sent = self._mux(sim)
+        mux.send(DataMessage(seq=0, payload="p"))
+        assert len(sent) == 1
+        assert sent[0].data is not None and sent[0].ack is None
+
+    def test_ack_rides_on_next_data(self, sim):
+        mux, sent = self._mux(sim)
+        mux.send(BlockAck(0, 2))
+        assert sent == []  # held
+        mux.send(DataMessage(seq=5))
+        assert len(sent) == 1
+        assert sent[0].ack == BlockAck(0, 2)
+        assert sent[0].data.seq == 5
+        assert mux.stats.piggybacked_acks == 1
+
+    def test_held_ack_flushes_after_delay(self, sim):
+        mux, sent = self._mux(sim, hold=0.5)
+        mux.send(BlockAck(0, 0))
+        sim.run()
+        assert len(sent) == 1
+        assert sent[0].data is None and sent[0].ack == BlockAck(0, 0)
+        assert mux.stats.standalone_acks == 1
+
+    def test_adjacent_held_acks_not_flushed_twice(self, sim):
+        mux, sent = self._mux(sim)
+        mux.send(BlockAck(0, 1))
+        mux.send(BlockAck(2, 4))  # adjacent: no merge fn -> old flushed
+        sim.run()
+        assert len(sent) == 2  # without a merge function both go standalone
+
+    def test_urgent_ack_never_delayed(self, sim):
+        mux, sent = self._mux(sim)
+        mux.send(BlockAck(3, 3, urgent=True))
+        assert len(sent) == 1  # immediate, no hold
+
+    def test_urgent_flushes_held_first(self, sim):
+        mux, sent = self._mux(sim)
+        mux.send(BlockAck(0, 1))
+        mux.send(BlockAck(5, 5, urgent=True))
+        assert len(sent) == 2
+        assert sent[0].ack == BlockAck(0, 1)
+        assert sent[1].ack == BlockAck(5, 5)
+
+    def test_wrong_type_rejected(self, sim):
+        mux, _ = self._mux(sim)
+        with pytest.raises(TypeError):
+            mux.send("junk")
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PiggybackMux(sim, None, standalone_delay=-1.0)
+
+
+class TestMergeAdjacent:
+    def test_unbounded_adjacency(self):
+        endpoint = DuplexEndpoint("X", 8)
+        merged = endpoint._merge_adjacent(BlockAck(0, 3), BlockAck(4, 6))
+        assert merged == BlockAck(0, 6)
+        assert endpoint._merge_adjacent(BlockAck(0, 3), BlockAck(5, 6)) is None
+
+    def test_bounded_wraparound_adjacency(self):
+        endpoint = DuplexEndpoint("X", 8, numbering=ModularNumbering(8))
+        merged = endpoint._merge_adjacent(BlockAck(14, 15), BlockAck(0, 2))
+        assert merged == BlockAck(14, 2)  # wraps mod 16
+
+
+class TestDuplexTransfers:
+    def test_lossless_bidirectional(self):
+        a, b = make_endpoints()
+        result = run_duplex(
+            a, b, GreedySource(200), GreedySource(200),
+            link_ab=LinkSpec(delay=ConstantDelay(1.0)),
+            link_ba=LinkSpec(delay=ConstantDelay(1.0)),
+            seed=1, max_time=100_000.0,
+        )
+        assert result.correct
+        assert result.a_to_b_delivered == result.b_to_a_delivered == 200
+
+    def test_lossy_jitter_bidirectional(self):
+        a, b = make_endpoints()
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.08)
+        )
+        result = run_duplex(
+            a, b, GreedySource(200), GreedySource(200),
+            link_ab=link(), link_ba=link(), seed=2, max_time=500_000.0,
+        )
+        assert result.correct
+
+    def test_asymmetric_traffic(self):
+        # heavy one way, trickle the other
+        a, b = make_endpoints()
+        result = run_duplex(
+            a, b, GreedySource(300), GreedySource(20),
+            link_ab=LinkSpec(delay=ConstantDelay(1.0)),
+            link_ba=LinkSpec(delay=ConstantDelay(1.0)),
+            seed=3, max_time=100_000.0,
+        )
+        assert result.correct
+        assert result.a_to_b_delivered == 300
+        assert result.b_to_a_delivered == 20
+
+    def test_one_way_only(self):
+        a, b = make_endpoints()
+        result = run_duplex(
+            a, b, GreedySource(100), GreedySource(0),
+            seed=4, max_time=100_000.0,
+        )
+        assert result.correct
+        assert result.b_to_a_delivered == 0
+
+    def test_poisson_piggybacking_is_effective(self):
+        a, b = make_endpoints(hold=1.0)
+        link = lambda: LinkSpec(delay=UniformDelay(0.8, 1.2))
+        result = run_duplex(
+            a, b,
+            PoissonSource(250, rate=1.5, rng=random.Random(1)),
+            PoissonSource(250, rate=1.5, rng=random.Random(2)),
+            link_ab=link(), link_ba=link(), seed=5, max_time=500_000.0,
+        )
+        assert result.correct
+        # arrivals within the hold window: 1 - e^{-1.5} ~ 0.78
+        assert result.piggyback_ratio() > 0.5
+
+    def test_piggybacking_reduces_frames(self):
+        def run_with_hold(hold):
+            a, b = make_endpoints(hold=hold)
+            link = lambda: LinkSpec(delay=UniformDelay(0.8, 1.2))
+            return run_duplex(
+                a, b,
+                PoissonSource(250, rate=1.5, rng=random.Random(1)),
+                PoissonSource(250, rate=1.5, rng=random.Random(2)),
+                link_ab=link(), link_ba=link(), seed=5, max_time=500_000.0,
+            )
+
+        tight = run_with_hold(0.05)
+        generous = run_with_hold(1.0)
+        assert tight.correct and generous.correct
+        frames_tight = tight.a_mux["frames_sent"] + tight.b_mux["frames_sent"]
+        frames_generous = (
+            generous.a_mux["frames_sent"] + generous.b_mux["frames_sent"]
+        )
+        assert frames_generous < 0.85 * frames_tight
+
+    def test_duplex_over_framed_noisy_links(self):
+        class ByteSource(GreedySource):
+            def _make_payload(self):
+                return f"m{len(self.submitted):04d}".encode()
+
+        a, b = make_endpoints()
+        # NOTE: duplex frames are composite objects; the byte codec frames
+        # flat messages, so duplex links use plain channels here
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+        )
+        result = run_duplex(
+            a, b, ByteSource(150), ByteSource(150),
+            link_ab=link(), link_ba=link(), seed=6, max_time=500_000.0,
+        )
+        assert result.correct
+
+    def test_soak_many_seeds(self):
+        for seed in range(5):
+            a, b = make_endpoints(window=5)
+            link = lambda: LinkSpec(
+                delay=UniformDelay(0.3, 1.7), loss=BernoulliLoss(0.12)
+            )
+            result = run_duplex(
+                a, b, GreedySource(120), GreedySource(120),
+                link_ab=link(), link_ba=link(), seed=seed,
+                max_time=500_000.0,
+            )
+            assert result.correct, f"seed={seed}: {result.summary()}"
+
+    def test_unbounded_channels_rejected(self):
+        from repro.channel.delay import ExponentialDelay
+
+        a, b = make_endpoints()
+        with pytest.raises(ValueError, match="bounded"):
+            run_duplex(
+                a, b, GreedySource(10), GreedySource(10),
+                link_ab=LinkSpec(delay=ExponentialDelay(1.0)),
+            )

@@ -1,0 +1,115 @@
+"""The no-duplication assumption boundary.
+
+Assertion 8 demands at most one copy of every message or acknowledgment
+in transit — the paper's channels may lose and reorder but never
+duplicate.  These tests map that boundary:
+
+* the channel's duplication knob works mechanically;
+* a duplicating channel immediately trips the runtime invariant monitor
+  (the protocol's precondition is violated by the environment);
+* with *unbounded* numbering the protocol happens to survive duplication
+  (duplicates are recognized by value) — an implementation robustness
+  fact, not a paper guarantee;
+* the *monitor* reports exactly the clause the paper singles out.
+"""
+
+import random
+
+from repro.channel.channel import Channel
+from repro.channel.delay import ConstantDelay, UniformDelay
+from repro.core.numbering import ModularNumbering
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+
+class TestChannelDuplication:
+    def test_duplicates_deliver_twice(self, sim):
+        channel = Channel(
+            sim, delay=ConstantDelay(1.0), duplicate_probability=1.0,
+            rng=random.Random(1),
+        )
+        received = []
+        channel.connect(received.append)
+        channel.send("x")
+        sim.run()
+        assert received == ["x", "x"]
+        assert channel.stats.duplicated == 1
+
+    def test_zero_probability_is_default(self, sim):
+        channel = Channel(sim, rng=random.Random(1))
+        received = []
+        channel.connect(received.append)
+        for index in range(50):
+            channel.send(index)
+        sim.run()
+        assert len(received) == 50
+        assert channel.stats.duplicated == 0
+
+    def test_stats_reconcile_with_duplication(self, sim):
+        channel = Channel(
+            sim, duplicate_probability=0.5, rng=random.Random(2)
+        )
+        channel.connect(lambda m: None)
+        for index in range(200):
+            channel.send(index)
+        sim.run()
+        stats = channel.stats
+        assert (
+            stats.delivered + stats.lost + stats.aged_out
+            == stats.sent + stats.duplicated
+        )
+
+
+class TestProtocolUnderDuplication:
+    def test_monitor_flags_duplicating_environment(self):
+        sender = BlockAckSender(6, timeout_mode="per_message_safe")
+        receiver = BlockAckReceiver(6)
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=LinkSpec(
+                delay=UniformDelay(0.5, 1.5), duplicate_probability=0.3
+            ),
+            reverse=LinkSpec(delay=UniformDelay(0.5, 1.5)),
+            seed=3, monitor_invariants=True, max_time=100_000.0,
+        )
+        assert not result.monitor.clean
+        assert any(
+            "duplicate data in transit" in violation.clause
+            for violation in result.monitor.violations
+        )
+
+    def test_unbounded_numbering_happens_to_survive(self):
+        # duplicates of true-numbered messages are recognized by value,
+        # so the unbounded implementation stays correct (robustness
+        # beyond the paper's model — its proofs do NOT cover this)
+        sender = BlockAckSender(6, timeout_mode="per_message_safe")
+        receiver = BlockAckReceiver(6)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), duplicate_probability=0.2
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(200),
+            forward=link(), reverse=link(), seed=4, max_time=100_000.0,
+        )
+        assert result.completed and result.in_order
+        assert result.receiver_stats["duplicates"] > 0
+
+    def test_bounded_numbering_survives_mild_duplication_with_margin(self):
+        # with mod-2w numbers, duplicates age out of the decode window
+        # long before nr can run a full window past them on these short
+        # links, so mild duplication is absorbed too — the danger zone
+        # needs duplicates that outlive w messages of progress
+        numbering = ModularNumbering(6)
+        sender = BlockAckSender(
+            6, numbering=numbering, timeout_mode="per_message_safe"
+        )
+        receiver = BlockAckReceiver(6, numbering=numbering)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.9, 1.1), duplicate_probability=0.1
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(150),
+            forward=link(), reverse=link(), seed=5, max_time=100_000.0,
+        )
+        assert result.completed and result.in_order

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; letting them rot defeats the
+point.  Marked slow — run with ``pytest -m slow`` or plain ``pytest``
+(the default suite includes them; deselect with ``-m 'not slow'``).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 10
+    names = {script.stem for script in EXAMPLES}
+    assert "quickstart" in names

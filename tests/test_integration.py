@@ -1,0 +1,203 @@
+"""Cross-module integration tests: whole transfers under adversity.
+
+These tests exercise the full stack — engine, channels, endpoints,
+sources, runner — in configurations chosen to hit the protocol's corner
+cases: tiny windows, huge windows, brutal loss, extreme jitter, delayed
+acks, bursty arrivals, and the paper's bounded-number mode throughout.
+"""
+
+import pytest
+
+from repro.channel.delay import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.channel.impairments import BernoulliLoss, GilbertElliottLoss
+from repro.core.numbering import ModularNumbering
+from repro.protocols.ack_policy import CountingAckPolicy, DelayedAckPolicy
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.protocols.registry import make_pair, protocol_names
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import BurstySource, GreedySource, PoissonSource
+
+
+def assert_correct(result, label=""):
+    assert result.completed, f"{label}: {result.summary()}"
+    assert result.in_order, f"{label}: {result.summary()}"
+
+
+class TestAllProtocolsUnderAdversity:
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_loss_and_reorder(self, name):
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.08)
+        )
+        sender, receiver = make_pair(name, window=6)
+        result = run_transfer(
+            sender, receiver, GreedySource(120),
+            forward=link(), reverse=link(), seed=21, max_time=500_000.0,
+        )
+        assert_correct(result, name)
+
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_bursty_loss(self, name):
+        link = lambda: LinkSpec(
+            delay=ConstantDelay(1.0),
+            loss=GilbertElliottLoss(0.02, 0.3, p_good=0.0, p_bad=0.8),
+        )
+        sender, receiver = make_pair(name, window=6)
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=link(), reverse=link(), seed=22, max_time=500_000.0,
+        )
+        assert_correct(result, name)
+
+
+class TestBlockAckCornerConfigurations:
+    @pytest.mark.parametrize("window", [1, 2, 3, 17, 64])
+    def test_window_sizes_bounded_wire(self, window):
+        numbering = ModularNumbering(window)
+        sender = BlockAckSender(
+            window, numbering=numbering, timeout_mode="per_message_safe"
+        )
+        receiver = BlockAckReceiver(window, numbering=numbering)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(max(60, 4 * window)),
+            forward=link(), reverse=link(), seed=23, max_time=500_000.0,
+        )
+        assert_correct(result, f"w={window}")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_many_seeds_heavy_adversity(self, seed):
+        """Soak: 8 independent heavy loss+reorder runs over mod-2w wire."""
+        numbering = ModularNumbering(5)
+        sender = BlockAckSender(
+            5, numbering=numbering, timeout_mode="per_message_safe"
+        )
+        receiver = BlockAckReceiver(5, numbering=numbering)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.2, 2.5), loss=BernoulliLoss(0.15)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=link(), reverse=link(), seed=seed, max_time=500_000.0,
+        )
+        assert_correct(result, f"seed={seed}")
+
+    def test_long_tail_delays_with_aging(self):
+        sender = BlockAckSender(8, timeout_mode="simple")
+        receiver = BlockAckReceiver(8)
+        link = lambda: LinkSpec(
+            delay=ExponentialDelay(0.5, offset=0.5),
+            loss=BernoulliLoss(0.03),
+            max_lifetime=10.0,
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(200),
+            forward=link(), reverse=link(), seed=24, max_time=500_000.0,
+        )
+        assert_correct(result)
+
+    def test_delayed_acks_with_loss(self):
+        sender = BlockAckSender(8, timeout_mode="per_message_safe")
+        receiver = BlockAckReceiver(8, ack_policy=DelayedAckPolicy(0.5))
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.08)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(150),
+            forward=link(), reverse=link(), seed=25, max_time=500_000.0,
+        )
+        assert_correct(result)
+        assert result.acks_per_message < 1.0
+
+    def test_counting_acks_with_bursty_source(self):
+        sender = BlockAckSender(16, timeout_mode="per_message_safe")
+        receiver = BlockAckReceiver(16, ack_policy=CountingAckPolicy(4, 1.0))
+        result = run_transfer(
+            sender, receiver, BurstySource(200, burst_size=8, gap=3.0),
+            seed=26, max_time=500_000.0,
+        )
+        assert_correct(result)
+        assert result.acks_per_message <= 0.5
+
+    def test_poisson_arrivals_with_loss(self):
+        import random
+
+        sender = BlockAckSender(8)
+        receiver = BlockAckReceiver(8)
+        result = run_transfer(
+            sender, receiver,
+            PoissonSource(150, rate=1.0, rng=random.Random(3)),
+            forward=LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)),
+            reverse=LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)),
+            seed=27, max_time=500_000.0,
+        )
+        assert_correct(result)
+
+
+class TestObservableInvariants:
+    def test_sender_window_invariant_after_transfer(self):
+        sender = BlockAckSender(6)
+        receiver = BlockAckReceiver(6)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=link(), reverse=link(), seed=30, max_time=500_000.0,
+        )
+        assert_correct(result)
+        sender.window.check_invariant()
+        receiver.window.check_invariant()
+
+    def test_conservation_of_messages(self):
+        """Channel arithmetic: sent = delivered + lost + aged, both ways."""
+        sender = BlockAckSender(6)
+        receiver = BlockAckReceiver(6)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=link(), reverse=link(), seed=31, max_time=500_000.0,
+        )
+        for stats in (result.forward_stats, result.reverse_stats):
+            assert stats["sent"] == (
+                stats["delivered"] + stats["lost"] + stats["aged_out"]
+            )
+
+    def test_sender_receiver_counters_reconcile(self):
+        sender = BlockAckSender(6)
+        receiver = BlockAckReceiver(6)
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=link(), reverse=link(), seed=32, max_time=500_000.0,
+        )
+        assert result.sender_stats["data_sent"] == result.forward_stats["sent"]
+        assert (
+            result.receiver_stats["data_received"]
+            == result.forward_stats["delivered"]
+        )
+        assert result.receiver_stats["delivered"] == 100
+        assert result.sender_stats["acked"] == 100
+
+    def test_redundant_receptions_never_happen_with_safe_timers(self):
+        """Assertion 8's visible consequence: a receiver never sees an
+        in-window message twice when timers respect the safe bound."""
+        for seed in range(5):
+            sender = BlockAckSender(6, timeout_mode="per_message_safe")
+            receiver = BlockAckReceiver(6)
+            link = lambda: LinkSpec(
+                delay=UniformDelay(0.3, 1.7), loss=BernoulliLoss(0.12)
+            )
+            result = run_transfer(
+                sender, receiver, GreedySource(120),
+                forward=link(), reverse=link(), seed=seed,
+                max_time=500_000.0,
+            )
+            assert_correct(result, f"seed={seed}")
+            assert result.receiver_stats["redundant"] == 0

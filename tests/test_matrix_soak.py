@@ -1,0 +1,91 @@
+"""Combinatorial soak: every block-ack configuration axis, crossed.
+
+One test per point of (timeout mode x numbering x ack policy x channel
+condition), each with the runtime invariant monitor armed.  Shallow
+individually, the matrix catches interaction bugs none of the focused
+tests would (the coverage-release bug lived at exactly such an
+intersection: per-message timers x bounded numbers x reordered acks).
+"""
+
+import itertools
+
+import pytest
+
+from repro.channel.delay import ConstantDelay, UniformDelay
+from repro.channel.impairments import BernoulliLoss, GilbertElliottLoss, NoLoss
+from repro.core.numbering import ModularNumbering
+from repro.protocols.ack_policy import (
+    CountingAckPolicy,
+    DelayedAckPolicy,
+    EagerAckPolicy,
+)
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+WINDOW = 5
+TOTAL = 80
+
+TIMEOUT_MODES = ("simple", "per_message_safe")
+NUMBERINGS = ("unbounded", "mod2w", "mod2w-K2")
+ACK_POLICIES = ("eager", "delayed", "counting")
+CONDITIONS = ("fifo", "jitter", "loss", "burst-loss")
+
+
+def make_numbering(kind):
+    if kind == "unbounded":
+        return None, 1
+    if kind == "mod2w":
+        return ModularNumbering(WINDOW), 1
+    return ModularNumbering(WINDOW, lookahead=2), 2
+
+
+def make_policy(kind):
+    if kind == "eager":
+        return EagerAckPolicy()
+    if kind == "delayed":
+        return DelayedAckPolicy(0.4)
+    return CountingAckPolicy(3, 0.8)
+
+
+def make_link(kind):
+    if kind == "fifo":
+        return lambda: LinkSpec(delay=ConstantDelay(1.0))
+    if kind == "jitter":
+        return lambda: LinkSpec(delay=UniformDelay(0.2, 1.8))
+    if kind == "loss":
+        return lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+        )
+    return lambda: LinkSpec(
+        delay=ConstantDelay(1.0),
+        loss=GilbertElliottLoss(0.03, 0.4, p_good=0.0, p_bad=0.7),
+    )
+
+
+MATRIX = list(itertools.product(TIMEOUT_MODES, NUMBERINGS, ACK_POLICIES, CONDITIONS))
+
+
+@pytest.mark.parametrize(
+    "mode,numbering_kind,policy_kind,condition",
+    MATRIX,
+    ids=["-".join(point) for point in MATRIX],
+)
+def test_matrix_point(mode, numbering_kind, policy_kind, condition):
+    numbering, lookahead = make_numbering(numbering_kind)
+    sender = BlockAckSender(
+        WINDOW, numbering=numbering, timeout_mode=mode, lookahead=lookahead
+    )
+    receiver = BlockAckReceiver(
+        WINDOW, numbering=numbering, ack_policy=make_policy(policy_kind)
+    )
+    link = make_link(condition)
+    result = run_transfer(
+        sender, receiver, GreedySource(TOTAL),
+        forward=link(), reverse=link(), seed=13,
+        monitor_invariants=True, max_time=500_000.0,
+    )
+    label = f"{mode}/{numbering_kind}/{policy_kind}/{condition}"
+    assert result.completed, f"{label}: {result.summary()}"
+    assert result.in_order, f"{label}: {result.summary()}"
+    assert result.monitor.clean, f"{label}: {result.monitor.report()}"

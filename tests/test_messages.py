@@ -1,0 +1,69 @@
+"""Unit tests for wire message types."""
+
+import pytest
+
+from repro.core.messages import BlockAck, CumulativeAck, DataMessage, is_ack, is_data
+
+
+class TestDataMessage:
+    def test_fields(self):
+        msg = DataMessage(seq=5, payload=b"x", attempt=2)
+        assert msg.seq == 5
+        assert msg.payload == b"x"
+        assert msg.attempt == 2
+
+    def test_defaults(self):
+        msg = DataMessage(seq=0)
+        assert msg.payload is None
+        assert msg.attempt == 0
+
+    def test_immutable(self):
+        msg = DataMessage(seq=1)
+        with pytest.raises(AttributeError):
+            msg.seq = 2
+
+    def test_str_shows_attempt_only_for_retransmissions(self):
+        assert str(DataMessage(seq=3)) == "DATA(3)"
+        assert str(DataMessage(seq=3, attempt=1)) == "DATA(3)#1"
+
+    def test_equality_by_value(self):
+        assert DataMessage(1, "p") == DataMessage(1, "p")
+        assert DataMessage(1) != DataMessage(2)
+
+
+class TestBlockAck:
+    def test_singleton(self):
+        assert BlockAck(4, 4).is_singleton
+        assert not BlockAck(4, 6).is_singleton
+
+    def test_spans(self):
+        ack = BlockAck(3, 7)
+        assert ack.spans(3) and ack.spans(5) and ack.spans(7)
+        assert not ack.spans(2) and not ack.spans(8)
+
+    def test_wrapped_pair_is_representable(self):
+        # mod-n numbering may legitimately produce hi < lo on the wire
+        ack = BlockAck(6, 1)
+        assert ack.lo == 6 and ack.hi == 1
+
+    def test_str(self):
+        assert str(BlockAck(2, 5)) == "ACK(2,5)"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            BlockAck(1, 2).lo = 0
+
+
+class TestPredicates:
+    def test_is_data(self):
+        assert is_data(DataMessage(0))
+        assert not is_data(BlockAck(0, 0))
+        assert not is_data("junk")
+
+    def test_is_ack_covers_both_kinds(self):
+        assert is_ack(BlockAck(0, 0))
+        assert is_ack(CumulativeAck(0))
+        assert not is_ack(DataMessage(0))
+
+    def test_cumulative_ack_str(self):
+        assert str(CumulativeAck(9)) == "CACK(9)"

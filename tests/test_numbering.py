@@ -1,0 +1,82 @@
+"""Unit tests for wire numbering schemes."""
+
+import pytest
+
+from repro.core.numbering import ModularNumbering, UnboundedNumbering
+
+
+class TestUnboundedNumbering:
+    def test_encode_is_identity(self):
+        numbering = UnboundedNumbering()
+        assert numbering.encode(12345) == 12345
+
+    def test_decodes_are_identity(self):
+        numbering = UnboundedNumbering()
+        assert numbering.decode_at_sender(7, na=3) == 7
+        assert numbering.decode_at_receiver(7, nr=3, w=4) == 7
+
+    def test_domain_is_none(self):
+        assert UnboundedNumbering().domain_size is None
+
+
+class TestModularNumbering:
+    def test_default_domain_is_2w(self):
+        assert ModularNumbering(8).domain_size == 16
+
+    def test_encode_wraps(self):
+        numbering = ModularNumbering(4)  # n = 8
+        assert numbering.encode(0) == 0
+        assert numbering.encode(8) == 0
+        assert numbering.encode(11) == 3
+
+    def test_sender_decode_within_ack_window(self):
+        # assertion 9/10: na <= value < na + w
+        w = 4
+        numbering = ModularNumbering(w)
+        for na in range(0, 30):
+            for value in range(na, na + w):
+                wire = numbering.encode(value)
+                assert numbering.decode_at_sender(wire, na) == value
+
+    def test_receiver_decode_within_data_window(self):
+        # assertion 11: max(0, nr - w) <= value < nr + w
+        w = 4
+        numbering = ModularNumbering(w)
+        for nr in range(0, 30):
+            low = max(0, nr - w)
+            for value in range(low, nr + w):
+                wire = numbering.encode(value)
+                assert numbering.decode_at_receiver(wire, nr, w) == value
+
+    def test_undersized_domain_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            ModularNumbering(4, domain_size=7)
+
+    def test_undersized_domain_allowed_when_explicit(self):
+        numbering = ModularNumbering(4, domain_size=4, strict=False)
+        assert numbering.domain_size == 4
+
+    def test_undersized_domain_misdecodes(self):
+        # the paper's reason for n = 2w: n = w is ambiguous across the
+        # receiver's full admissible range
+        w = 4
+        numbering = ModularNumbering(w, domain_size=w, strict=False)
+        nr = 6
+        collisions = [
+            value
+            for value in range(max(0, nr - w), nr + w)
+            if numbering.decode_at_receiver(numbering.encode(value), nr, w)
+            != value
+        ]
+        assert collisions  # ambiguity exists
+
+    def test_oversized_domain_also_works(self):
+        w = 4
+        numbering = ModularNumbering(w, domain_size=32)
+        for na in range(20):
+            for value in range(na, na + w):
+                assert numbering.decode_at_sender(numbering.encode(value), na) == value
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ModularNumbering(0)

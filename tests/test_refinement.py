@@ -1,0 +1,141 @@
+"""Refinement tests: timed traces replay as abstract-spec executions."""
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.verify.refinement import check_refinement, replay_trace
+
+
+def ev(kind, seq=None, seq_hi=None, t=0.0, actor="x"):
+    return TraceEvent(time=t, actor=actor, kind=kind, seq=seq, seq_hi=seq_hi)
+
+
+class TestTimedModesRefineTheSpec:
+    @pytest.mark.parametrize("mode", ["simple", "per_message_safe", "oracle"])
+    def test_safe_modes_refine(self, mode):
+        report = check_refinement(
+            window=6, total=150, seed=3, timeout_mode=mode
+        )
+        assert report.ok, report.summary() + "\n" + "\n".join(
+            report.errors + report.invariant_violations
+        )
+        assert report.steps > 150  # sends + receptions + acks at minimum
+
+    @pytest.mark.parametrize("seed", [1, 2, 5, 8])
+    def test_refinement_across_seeds(self, seed):
+        report = check_refinement(
+            window=5, total=120, seed=seed, timeout_mode="per_message_safe",
+            loss=0.12, spread=1.5,
+        )
+        assert report.ok, "\n".join(report.errors[:5])
+
+    def test_lossless_run_refines(self):
+        report = check_refinement(
+            window=8, total=100, seed=0, timeout_mode="simple", loss=0.0,
+            spread=0.0,
+        )
+        assert report.ok
+
+    def test_aggressive_mode_violates_the_guard(self):
+        report = check_refinement(
+            window=6, total=200, seed=3, timeout_mode="aggressive"
+        )
+        assert not report.ok
+        assert any("buffered at the receiver" in error for error in report.errors)
+
+    def test_final_state_is_quiescent(self):
+        report = check_refinement(
+            window=4, total=60, seed=4, timeout_mode="per_message_safe"
+        )
+        assert report.ok
+        state = report.final_state
+        assert state.na == state.ns == state.nr == state.vr == 60
+        assert state.c_sr == () and state.c_rs == ()
+
+
+class TestReplayerGuards:
+    def test_clean_exchange_replays(self):
+        events = [
+            ev(EventKind.SEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),
+            ev(EventKind.SEND_ACK, seq=0, seq_hi=0),
+            ev(EventKind.RECV_ACK, seq=0, seq_hi=0),
+        ]
+        report = replay_trace(events, window=4)
+        assert report.ok
+        assert report.final_state.na == 1
+
+    def test_out_of_order_send_rejected(self):
+        report = replay_trace([ev(EventKind.SEND_DATA, seq=3)], window=4)
+        assert not report.ok
+
+    def test_window_overflow_rejected(self):
+        events = [ev(EventKind.SEND_DATA, seq=i) for i in range(3)]
+        report = replay_trace(events, window=2)
+        assert any("window full" in error for error in report.errors)
+
+    def test_reception_of_never_sent_data_rejected(self):
+        report = replay_trace([ev(EventKind.RECV_DATA, seq=0)], window=4)
+        assert any("not in C_SR" in error for error in report.errors)
+
+    def test_premature_retransmission_rejected(self):
+        events = [
+            ev(EventKind.SEND_DATA, seq=0),
+            ev(EventKind.RESEND_DATA, seq=0),  # copy still in C_SR
+        ]
+        report = replay_trace(events, window=4)
+        assert any("still in C_SR" in error for error in report.errors)
+
+    def test_legal_retransmission_after_loss(self):
+        events = [
+            ev(EventKind.SEND_DATA, seq=0),
+            ev(EventKind.DROP, seq=0),
+            ev(EventKind.RESEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),
+            ev(EventKind.SEND_ACK, seq=0, seq_hi=0),
+            ev(EventKind.RECV_ACK, seq=0, seq_hi=0),
+        ]
+        report = replay_trace(events, window=4)
+        assert report.ok
+
+    def test_wrong_ack_block_rejected(self):
+        events = [
+            ev(EventKind.SEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),
+            ev(EventKind.SEND_ACK, seq=0, seq_hi=1),  # 1 was never received
+        ]
+        report = replay_trace(events, window=4)
+        assert any("actions 4+5" in error for error in report.errors)
+
+    def test_duplicate_must_emit_dup_ack(self):
+        events = [
+            ev(EventKind.SEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),
+            ev(EventKind.SEND_ACK, seq=0, seq_hi=0),
+            ev(EventKind.DROP, seq=0, seq_hi=0),  # the ack is lost
+            ev(EventKind.RESEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),  # duplicate, but no RESEND_ACK
+        ]
+        report = replay_trace(events, window=4)
+        assert any("without a (v,v) ack" in error for error in report.errors)
+
+    def test_duplicate_with_dup_ack_accepted(self):
+        events = [
+            ev(EventKind.SEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),
+            ev(EventKind.SEND_ACK, seq=0, seq_hi=0),
+            ev(EventKind.DROP, seq=0, seq_hi=0),
+            ev(EventKind.RESEND_DATA, seq=0),
+            ev(EventKind.RECV_DATA, seq=0),
+            ev(EventKind.RESEND_ACK, seq=0, seq_hi=0),
+            ev(EventKind.RECV_ACK, seq=0, seq_hi=0),
+        ]
+        report = replay_trace(events, window=4)
+        assert report.ok
+        assert report.final_state.na == 1
+
+    def test_phantom_ack_reception_rejected(self):
+        report = replay_trace(
+            [ev(EventKind.RECV_ACK, seq=0, seq_hi=0)], window=4
+        )
+        assert any("not in C_RS" in error for error in report.errors)

@@ -1,0 +1,132 @@
+"""Tests for the runtime invariant monitor."""
+
+import pytest
+
+from repro.channel.delay import ConstantDelay, UniformDelay
+from repro.channel.impairments import BernoulliLoss
+from repro.core.numbering import ModularNumbering
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.protocols.blockack_bounded import (
+    BoundedBlockAckReceiver,
+    BoundedBlockAckSender,
+)
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+
+def adversarial_link():
+    return LinkSpec(delay=UniformDelay(0.3, 1.7), loss=BernoulliLoss(0.12))
+
+
+class TestCleanConfigurations:
+    @pytest.mark.parametrize("mode", ["simple", "per_message_safe"])
+    def test_safe_timer_modes_stay_clean(self, mode):
+        numbering = ModularNumbering(6)
+        sender = BlockAckSender(6, numbering=numbering, timeout_mode=mode)
+        receiver = BlockAckReceiver(6, numbering=numbering)
+        result = run_transfer(
+            sender, receiver, GreedySource(300),
+            forward=adversarial_link(), reverse=adversarial_link(),
+            seed=3, monitor_invariants=True, max_time=1_000_000.0,
+        )
+        assert result.completed and result.in_order
+        assert result.monitor.clean, result.monitor.report()
+
+    def test_unbounded_numbering_clean(self):
+        sender = BlockAckSender(6, timeout_mode="per_message_safe")
+        receiver = BlockAckReceiver(6)
+        result = run_transfer(
+            sender, receiver, GreedySource(300),
+            forward=adversarial_link(), reverse=adversarial_link(),
+            seed=4, monitor_invariants=True, max_time=1_000_000.0,
+        )
+        assert result.monitor.clean
+
+    def test_bounded_endpoints_clean(self):
+        sender = BoundedBlockAckSender(6)
+        receiver = BoundedBlockAckReceiver(6)
+        result = run_transfer(
+            sender, receiver, GreedySource(300),
+            forward=adversarial_link(), reverse=adversarial_link(),
+            seed=5, monitor_invariants=True, max_time=1_000_000.0,
+        )
+        assert result.completed and result.in_order
+        assert result.monitor.clean
+
+    def test_position_reuse_clean(self):
+        numbering = ModularNumbering(6, lookahead=2)
+        sender = BlockAckSender(
+            6, numbering=numbering, timeout_mode="per_message_safe", lookahead=2
+        )
+        receiver = BlockAckReceiver(6, numbering=numbering)
+        result = run_transfer(
+            sender, receiver, GreedySource(250),
+            forward=adversarial_link(), reverse=adversarial_link(),
+            seed=6, monitor_invariants=True, max_time=1_000_000.0,
+        )
+        assert result.completed and result.in_order
+        assert result.monitor.clean
+
+    def test_monitor_absent_by_default(self):
+        sender = BlockAckSender(4)
+        receiver = BlockAckReceiver(4)
+        result = run_transfer(sender, receiver, GreedySource(10))
+        assert result.monitor is None
+
+
+class TestViolationDetection:
+    def test_premature_aggressive_timers_flagged(self):
+        numbering = ModularNumbering(6)
+        sender = BlockAckSender(
+            6, numbering=numbering, timeout_mode="aggressive",
+            timeout_period=1.0,  # far below the safe bound
+        )
+        receiver = BlockAckReceiver(6, numbering=numbering)
+        result = run_transfer(
+            sender, receiver, GreedySource(100),
+            forward=adversarial_link(), reverse=adversarial_link(),
+            seed=3, monitor_invariants=True, max_time=5_000.0,
+        )
+        assert not result.monitor.clean
+        clauses = {v.clause for v in result.monitor.violations}
+        assert any("8" in clause for clause in clauses)
+
+    def test_premature_simple_timer_flagged(self):
+        sender = BlockAckSender(
+            4, timeout_mode="simple", timeout_period=0.5
+        )
+        receiver = BlockAckReceiver(4)
+        result = run_transfer(
+            sender, receiver, GreedySource(50),
+            forward=LinkSpec(delay=ConstantDelay(1.0), loss=BernoulliLoss(0.2)),
+            reverse=LinkSpec(delay=ConstantDelay(1.0), loss=BernoulliLoss(0.2)),
+            seed=7, monitor_invariants=True, max_time=5_000.0,
+        )
+        assert not result.monitor.clean
+
+    def test_report_format(self):
+        sender = BlockAckSender(4, timeout_mode="simple", timeout_period=0.5)
+        receiver = BlockAckReceiver(4)
+        result = run_transfer(
+            sender, receiver, GreedySource(50),
+            forward=LinkSpec(delay=ConstantDelay(1.0), loss=BernoulliLoss(0.2)),
+            reverse=LinkSpec(delay=ConstantDelay(1.0), loss=BernoulliLoss(0.2)),
+            seed=7, monitor_invariants=True, max_time=5_000.0,
+        )
+        report = result.monitor.report(limit=2)
+        assert "violation" in report
+        assert "t=" in report
+
+    def test_strict_mode_raises(self, sim):
+        from repro.channel.channel import Channel
+        from repro.core.messages import DataMessage
+        from repro.verify.runtime import InvariantMonitor
+
+        forward = Channel(sim, delay=ConstantDelay(5.0))
+        reverse = Channel(sim, delay=ConstantDelay(5.0))
+        forward.connect(lambda m: None)
+        reverse.connect(lambda m: None)
+        monitor = InvariantMonitor(None, None, forward, reverse, strict=True)
+        forward.send(DataMessage(0))
+        with pytest.raises(AssertionError):
+            forward.send(DataMessage(0))  # second copy of the same number

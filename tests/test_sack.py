@@ -1,0 +1,195 @@
+"""Tests for the TCP-SACK-style baseline."""
+
+import pytest
+
+from repro.channel.delay import ConstantDelay, UniformDelay
+from repro.channel.impairments import BernoulliLoss, ScriptedLoss
+from repro.protocols.sack import (
+    DUP_ACK_THRESHOLD,
+    SackAck,
+    SackReceiver,
+    SackSender,
+)
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.trace.events import EventKind
+from repro.workloads.sources import GreedySource
+
+
+def run_sack(total=200, w=8, forward=None, reverse=None, seed=0, trace=False):
+    return run_transfer(
+        SackSender(w), SackReceiver(w), GreedySource(total),
+        forward=forward, reverse=reverse, seed=seed, trace=trace,
+        max_time=500_000.0,
+    )
+
+
+class TestSackAckMessage:
+    def test_str(self):
+        assert "cum=4" in str(SackAck(cum=4, blocks=((6, 8),)))
+
+    def test_empty_blocks_default(self):
+        assert SackAck(cum=0).blocks == ()
+
+
+class TestTransferBehaviour:
+    def test_lossless_in_order(self):
+        result = run_sack()
+        assert result.completed and result.in_order
+
+    def test_lossless_parity_with_pipelining_bound(self):
+        result = run_sack(total=400, w=8)
+        assert abs(result.throughput - 4.0) < 0.2
+
+    def test_loss_recovery(self):
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+        )
+        result = run_sack(forward=link(), reverse=link(), seed=3)
+        assert result.completed and result.in_order
+
+    def test_heavy_loss_backstopped_by_timer(self):
+        link = lambda: LinkSpec(
+            delay=ConstantDelay(1.0), loss=BernoulliLoss(0.3)
+        )
+        result = run_sack(total=100, forward=link(), reverse=link(), seed=4)
+        assert result.completed and result.in_order
+
+    def test_one_ack_per_arrival(self):
+        result = run_sack(total=300)
+        assert (
+            result.receiver_stats["acks_sent"]
+            == result.receiver_stats["data_received"]
+        )
+
+
+class TestFastRetransmit:
+    def test_single_loss_recovers_without_timeout(self):
+        # one data message lost in a full window: the SACK blocks above it
+        # trigger fast retransmit; the RTO must never fire
+        result = run_transfer(
+            SackSender(8), SackReceiver(8), GreedySource(8),
+            forward=LinkSpec(delay=ConstantDelay(1.0), loss=ScriptedLoss({2})),
+            reverse=LinkSpec(delay=ConstantDelay(1.0)),
+            seed=0, trace=True, max_time=1000.0,
+        )
+        assert result.completed and result.in_order
+        fast = result.trace.filter(
+            kind=EventKind.TIMEOUT, predicate=lambda e: e.detail == "fast-retransmit"
+        )
+        assert len(fast) == 1 and fast[0].seq == 2
+        assert result.sender_stats["timeouts_fired"] == 0
+
+    def test_fast_retransmit_needs_threshold(self, sim):
+        from repro.channel.channel import Channel
+
+        sender = SackSender(8, timeout_period=100.0)
+        channel = Channel(sim)
+        channel.connect(lambda m: None)
+        sender.attach(sim, channel)
+        for index in range(5):
+            sender.submit(f"p{index}")
+        # hole at 0; evidence grows one SACKed segment at a time
+        sender.on_message(SackAck(cum=-1, blocks=((1, 1),)))
+        sender.on_message(SackAck(cum=-1, blocks=((1, 2),)))
+        assert sender.stats.retransmissions == 0  # only 2 above the hole
+        sender.on_message(SackAck(cum=-1, blocks=((1, 3),)))
+        assert sender.stats.retransmissions == 1  # threshold reached
+
+    def test_each_hole_fast_retransmitted_once(self, sim):
+        from repro.channel.channel import Channel
+
+        sender = SackSender(8, timeout_period=100.0)
+        channel = Channel(sim)
+        channel.connect(lambda m: None)
+        sender.attach(sim, channel)
+        for index in range(6):
+            sender.submit(f"p{index}")
+        sender.on_message(SackAck(cum=-1, blocks=((1, 4),)))
+        first = sender.stats.retransmissions
+        sender.on_message(SackAck(cum=-1, blocks=((1, 5),)))
+        assert sender.stats.retransmissions == first  # 0 not resent again
+
+    def test_timeout_resets_episode(self, sim):
+        from repro.channel.channel import Channel
+
+        sender = SackSender(4, timeout_period=5.0)
+        channel = Channel(sim)
+        channel.connect(lambda m: None)
+        sender.attach(sim, channel)
+        for index in range(4):
+            sender.submit(f"p{index}")
+        sender.on_message(SackAck(cum=-1, blocks=((1, 3),)))
+        assert 0 in sender._fast_retransmitted
+        sim.run(until=6.0)  # RTO fires
+        assert sender.stats.timeouts_fired == 1
+        assert not sender._fast_retransmitted  # new episode
+
+
+class TestReceiverSackBlocks:
+    def _receiver(self, sim):
+        from repro.channel.channel import Channel
+        from repro.core.messages import DataMessage
+
+        receiver = SackReceiver(16)
+        channel = Channel(sim)
+        acks = []
+        channel.connect(lambda m: None)
+        receiver.attach(sim, channel)
+        receiver.tx.send = acks.append  # capture directly
+        return receiver, acks
+
+    def test_blocks_report_buffered_runs(self, sim):
+        from repro.core.messages import DataMessage
+
+        receiver, acks = self._receiver(sim)
+        for seq in (2, 3, 7, 5):
+            receiver.on_message(DataMessage(seq=seq))
+        last = acks[-1]
+        assert last.cum == -1
+        assert (2, 3) in last.blocks
+        assert (5, 5) in last.blocks
+        assert (7, 7) in last.blocks
+
+    def test_most_recent_run_listed_first(self, sim):
+        from repro.core.messages import DataMessage
+
+        receiver, acks = self._receiver(sim)
+        receiver.on_message(DataMessage(seq=5))
+        receiver.on_message(DataMessage(seq=2))
+        assert acks[-1].blocks[0] == (2, 2)
+
+    def test_at_most_three_blocks(self, sim):
+        from repro.core.messages import DataMessage
+
+        receiver, acks = self._receiver(sim)
+        for seq in (2, 4, 6, 8, 10):
+            receiver.on_message(DataMessage(seq=seq))
+        assert len(acks[-1].blocks) == 3
+
+    def test_cum_advances_with_in_order_data(self, sim):
+        from repro.core.messages import DataMessage
+
+        receiver, acks = self._receiver(sim)
+        receiver.on_message(DataMessage(seq=0))
+        receiver.on_message(DataMessage(seq=1))
+        assert acks[-1].cum == 1
+        assert acks[-1].blocks == ()
+
+
+class TestValidation:
+    def test_wrong_message_types(self, sim):
+        from repro.channel.channel import Channel
+        from repro.core.messages import BlockAck, DataMessage
+
+        sender = SackSender(4, timeout_period=3.0)
+        sender.attach(sim, Channel(sim))
+        with pytest.raises(TypeError):
+            sender.on_message(BlockAck(0, 0))
+        receiver = SackReceiver(4)
+        receiver.attach(sim, Channel(sim))
+        with pytest.raises(TypeError):
+            receiver.on_message(SackAck(cum=0))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SackSender(0)

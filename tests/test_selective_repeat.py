@@ -1,0 +1,91 @@
+"""Tests for the selective-repeat baseline."""
+
+import pytest
+
+from repro.channel.delay import ConstantDelay, UniformDelay
+from repro.channel.impairments import BernoulliLoss, ScriptedLoss
+from repro.protocols.selective_repeat import (
+    SelectiveRepeatReceiver,
+    SelectiveRepeatSender,
+)
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.trace.events import EventKind
+from repro.workloads.sources import GreedySource
+
+
+def run_sr(total=200, w=8, forward=None, reverse=None, seed=0, trace=False):
+    return run_transfer(
+        SelectiveRepeatSender(w), SelectiveRepeatReceiver(w),
+        GreedySource(total), forward=forward, reverse=reverse, seed=seed,
+        trace=trace, max_time=100_000.0,
+    )
+
+
+class TestBehaviour:
+    def test_lossless_in_order(self):
+        result = run_sr()
+        assert result.completed and result.in_order
+
+    def test_one_ack_per_data_message(self):
+        result = run_sr(total=300)
+        # the defining trait: acks == data receptions exactly
+        assert (
+            result.receiver_stats["acks_sent"]
+            == result.receiver_stats["data_received"]
+        )
+
+    def test_all_acks_are_singletons(self):
+        result = run_sr(total=100, trace=True)
+        acks = result.trace.filter(kind=EventKind.SEND_ACK)
+        assert acks and all(e.seq == e.seq_hi for e in acks)
+
+    def test_recovers_from_loss_per_message(self):
+        # one lost data message retransmits exactly that message
+        result = run_transfer(
+            SelectiveRepeatSender(4), SelectiveRepeatReceiver(4),
+            GreedySource(4),
+            forward=LinkSpec(delay=ConstantDelay(1.0), loss=ScriptedLoss({1})),
+            reverse=LinkSpec(delay=ConstantDelay(1.0)),
+            seed=0, trace=True, max_time=1000.0,
+        )
+        assert result.completed and result.in_order
+        resends = result.trace.filter(kind=EventKind.RESEND_DATA)
+        assert len(resends) == 1 and resends[0].seq == 1
+
+    def test_out_of_order_buffered(self):
+        link = lambda: LinkSpec(delay=UniformDelay(0.1, 1.9))
+        result = run_sr(total=200, forward=link(), reverse=link(), seed=2)
+        assert result.completed and result.in_order
+        assert result.receiver_stats["max_buffered"] > 0
+        assert result.sender_stats["retransmissions"] == 0
+
+    def test_heavy_loss_correct(self):
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.25)
+        )
+        result = run_sr(total=120, forward=link(), reverse=link(), seed=3)
+        assert result.completed and result.in_order
+
+
+class TestValidation:
+    def test_block_ack_rejected(self, sim):
+        from repro.channel.channel import Channel
+        from repro.core.messages import BlockAck
+
+        sender = SelectiveRepeatSender(4, timeout_period=3.0)
+        sender.attach(sim, Channel(sim))
+        with pytest.raises(TypeError):
+            sender.on_message(BlockAck(0, 2))  # non-singleton
+
+    def test_duplicate_singleton_ack_is_stale(self, sim):
+        from repro.channel.channel import Channel
+        from repro.core.messages import BlockAck
+
+        sender = SelectiveRepeatSender(4, timeout_period=3.0)
+        channel = Channel(sim)
+        channel.connect(lambda m: None)
+        sender.attach(sim, channel)
+        sender.submit("p")
+        sender.on_message(BlockAck(0, 0))
+        sender.on_message(BlockAck(0, 0))
+        assert sender.stats.stale_acks == 1

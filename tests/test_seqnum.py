@@ -1,0 +1,126 @@
+"""Unit and property tests for finite sequence-number arithmetic.
+
+The reconstruction function ``f`` is the load-bearing piece of the paper's
+Section V; its contract — exact recovery whenever ``x <= y < x + n`` — is
+verified here both on hand cases and with hypothesis over the full
+precondition space.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.seqnum import SequenceDomain, minimum_domain_size, reconstruct
+
+
+class TestReconstruct:
+    def test_identity_when_wire_equals_value(self):
+        assert reconstruct(0, 0, 8) == 0
+        assert reconstruct(5, 5, 8) == 5
+
+    def test_paper_branch_wire_above_reference_mod(self):
+        # y mod n >= x mod n: same "block" of n values
+        assert reconstruct(10, 3, 8) == 11  # x=10 (mod 2), y mod 8 = 3 -> 11
+
+    def test_paper_branch_wire_below_reference_mod(self):
+        # y mod n < x mod n: next block
+        assert reconstruct(6, 1, 8) == 9
+
+    def test_exhaustive_small_domain(self):
+        n = 6
+        for x in range(40):
+            for y in range(x, x + n):
+                assert reconstruct(x, y % n, n) == y
+
+    def test_wire_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct(0, 8, 8)
+        with pytest.raises(ValueError):
+            reconstruct(0, -1, 8)
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct(0, 0, 0)
+
+    def test_negative_reference_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct(-1, 0, 8)
+
+    @given(
+        x=st.integers(min_value=0, max_value=10**9),
+        offset=st.integers(min_value=0, max_value=999),
+        n=st.integers(min_value=1, max_value=1000),
+    )
+    def test_roundtrip_property(self, x, offset, n):
+        """f(x, y mod n) == y for every y in [x, x + n)."""
+        y = x + (offset % n)
+        assert reconstruct(x, y % n, n) == y
+
+    @given(
+        x=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=2, max_value=64),
+    )
+    def test_ambiguity_outside_precondition(self, x, n):
+        """y = x + n (just past the window) collides with y = x."""
+        assert reconstruct(x, (x + n) % n, n) == x  # cannot distinguish
+
+
+class TestMinimumDomainSize:
+    def test_paper_value(self):
+        assert minimum_domain_size(1) == 2
+        assert minimum_domain_size(8) == 16
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            minimum_domain_size(0)
+
+
+class TestSequenceDomain:
+    def test_wrap(self):
+        domain = SequenceDomain(8)
+        assert domain.wrap(0) == 0
+        assert domain.wrap(8) == 0
+        assert domain.wrap(13) == 5
+
+    def test_reconstruct_delegates(self):
+        domain = SequenceDomain(8)
+        assert domain.reconstruct(6, 1) == 9
+
+    def test_add_sub_modular(self):
+        domain = SequenceDomain(8)
+        assert domain.add(7, 3) == 2
+        assert domain.sub(2, 7) == 3
+        assert domain.sub(7, 2) == 5
+
+    def test_sub_recovers_true_difference_within_n(self):
+        domain = SequenceDomain(16)
+        for base in (0, 5, 14, 100):
+            for diff in range(16):
+                a = (base + diff) % 16
+                assert domain.sub(a, base % 16) == diff
+
+    def test_in_window(self):
+        domain = SequenceDomain(16)
+        # window of 8 starting at wire 12: slots 12,13,14,15,0,1,2,3
+        inside = [12, 13, 14, 15, 0, 1, 2, 3]
+        for wire in range(16):
+            assert domain.in_window(wire, 12, 8) == (wire in inside)
+
+    def test_in_window_invalid_width(self):
+        domain = SequenceDomain(8)
+        with pytest.raises(ValueError):
+            domain.in_window(0, 0, 0)
+        with pytest.raises(ValueError):
+            domain.in_window(0, 0, 9)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceDomain(0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=256),
+        a=st.integers(min_value=0, max_value=10**6),
+        b=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_add_sub_inverse_property(self, n, a, b):
+        domain = SequenceDomain(n)
+        assert domain.sub(domain.add(a % n, b), b % n) == a % n

@@ -1,0 +1,100 @@
+"""Tests for the time-series probe."""
+
+import pytest
+
+from repro.analysis.series import Probe
+from repro.channel.impairments import BernoulliLoss
+from repro.channel.delay import UniformDelay
+from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
+from repro.sim.engine import Simulator
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+
+class TestProbeMechanics:
+    def test_samples_on_grid(self, sim):
+        counter = [0]
+        probe = Probe(sim, interval=2.0, signals={"c": lambda: counter[0]})
+        probe.start()
+        sim.schedule(10.5, probe.stop)
+        sim.run()
+        times = [t for t, _ in probe.series["c"]]
+        assert times == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_captures_changing_signal(self, sim):
+        value = [0.0]
+
+        def bump():
+            value[0] += 1.0
+
+        for k in range(1, 6):
+            sim.schedule(float(k), bump)
+        probe = Probe(sim, interval=1.0, signals={"v": lambda: value[0]})
+        probe.start()
+        sim.schedule(5.5, probe.stop)
+        sim.run()
+        assert probe.values("v")[-1] == 5.0
+        assert probe.last("v") == 5.0
+
+    def test_stop_halts_sampling(self, sim):
+        probe = Probe(sim, interval=1.0, signals={"x": lambda: 0.0})
+        probe.start()
+        sim.schedule(3.5, probe.stop)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert len(probe.series["x"]) == 4  # t = 0,1,2,3
+
+    def test_max_samples_cap(self, sim):
+        probe = Probe(
+            sim, interval=0.1, signals={"x": lambda: 0.0}, max_samples=5
+        )
+        probe.start()
+        sim.run()
+        assert len(probe.series["x"]) == 5
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Probe(sim, interval=0.0, signals={"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            Probe(sim, interval=1.0, signals={})
+        probe = Probe(sim, interval=1.0, signals={"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            probe.last("x")  # no samples yet
+
+
+class TestProbeOnProtocol:
+    def test_window_occupancy_trajectory(self):
+        """Probe a live transfer by piggybacking on attach."""
+        sender = BlockAckSender(8, timeout_mode="per_message_safe")
+        receiver = BlockAckReceiver(8)
+        captured = {}
+
+        original = sender._after_attach
+
+        def attach_and_probe():
+            original()
+            captured["probe"] = Probe(
+                sender.sim,
+                interval=5.0,
+                signals={
+                    "outstanding": lambda: sender.window.in_flight_window,
+                    "buffered": lambda: len(
+                        receiver.window.received_unaccepted
+                    ),
+                },
+            ).start()
+
+        sender._after_attach = attach_and_probe
+        link = lambda: LinkSpec(
+            delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)
+        )
+        result = run_transfer(
+            sender, receiver, GreedySource(300),
+            forward=link(), reverse=link(), seed=7, max_time=100_000.0,
+        )
+        assert result.completed and result.in_order
+        probe = captured["probe"]
+        outstanding = probe.values("outstanding")
+        assert max(outstanding) <= 8  # never exceeds the window
+        assert max(outstanding) >= 6  # pipeline actually filled
+        assert any(value > 0 for value in probe.values("buffered"))

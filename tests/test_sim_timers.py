@@ -1,0 +1,136 @@
+"""Unit tests for restartable timers and timer banks."""
+
+from repro.sim.timers import Timer, TimerBank
+
+
+class TestTimer:
+    def test_fires_after_period(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_callback_args(self, sim):
+        fired = []
+        timer = Timer(sim, lambda a, b: fired.append((a, b)), "x", 9)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [("x", 9)]
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, fired.append, 1)
+        timer.start(3.0)
+        sim.schedule(1.0, timer.stop)
+        sim.run()
+        assert fired == []
+
+    def test_restart_supersedes_previous_arming(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.restart(5.0))
+        sim.run()
+        assert fired == [6.0]  # not 2.0
+
+    def test_running_property(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        timer.start(1.0)
+        assert timer.running
+        sim.run()
+        assert not timer.running
+
+    def test_expires_at(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(4.0)
+        assert timer.expires_at == 4.0
+        timer.stop()
+        assert timer.expires_at is None
+
+    def test_stop_idle_timer_is_safe(self, sim):
+        Timer(sim, lambda: None).stop()  # must not raise
+
+    def test_timer_can_rearm_itself_from_callback(self, sim):
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(2.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_one_shot_does_not_repeat(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        assert len(fired) == 1
+
+
+class TestTimerBank:
+    def test_independent_keys(self, sim):
+        fired = []
+        bank = TimerBank(sim, fired.append)
+        bank.start("a", 1.0)
+        bank.start("b", 2.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_restart_same_key(self, sim):
+        fired = []
+        bank = TimerBank(sim, lambda k: fired.append((k, sim.now)))
+        bank.start(7, 2.0)
+        sim.schedule(1.0, lambda: bank.start(7, 3.0))
+        sim.run()
+        assert fired == [(7, 4.0)]
+
+    def test_stop_specific_key(self, sim):
+        fired = []
+        bank = TimerBank(sim, fired.append)
+        bank.start("keep", 2.0)
+        bank.start("drop", 2.0)
+        bank.stop("drop")
+        sim.run()
+        assert fired == ["keep"]
+
+    def test_stop_unknown_key_is_safe(self, sim):
+        TimerBank(sim, lambda k: None).stop("ghost")  # must not raise
+
+    def test_stop_all(self, sim):
+        fired = []
+        bank = TimerBank(sim, fired.append)
+        for key in range(5):
+            bank.start(key, 1.0)
+        bank.stop_all()
+        sim.run()
+        assert fired == []
+
+    def test_running_query(self, sim):
+        bank = TimerBank(sim, lambda k: None)
+        bank.start("x", 1.0)
+        assert bank.running("x")
+        assert not bank.running("y")
+        sim.run()
+        assert not bank.running("x")
+
+    def test_active_keys(self, sim):
+        bank = TimerBank(sim, lambda k: None)
+        bank.start("a", 1.0)
+        bank.start("b", 2.0)
+        bank.stop("a")
+        assert bank.active_keys() == ["b"]
+
+    def test_prune_drops_idle_timers(self, sim):
+        bank = TimerBank(sim, lambda k: None)
+        bank.start("a", 1.0)
+        sim.run()
+        bank.start("b", 5.0)
+        bank.prune()
+        assert bank.active_keys() == ["b"]
+        assert "a" not in bank._timers

@@ -1,0 +1,98 @@
+"""Tests for the trace facility."""
+
+from repro.sim.engine import Simulator
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.recorder import NullRecorder, TraceRecorder, decision_diff
+
+
+class TestTraceEvent:
+    def test_format_singleton(self):
+        event = TraceEvent(1.5, "sender", EventKind.SEND_DATA, seq=3)
+        assert "send_data" in event.format()
+        assert "3" in event.format()
+
+    def test_format_block(self):
+        event = TraceEvent(1.5, "receiver", EventKind.SEND_ACK, seq=2, seq_hi=5)
+        assert "(2,5)" in event.format()
+
+    def test_decision_key_excludes_detail(self):
+        a = TraceEvent(1.0, "sender", EventKind.TIMEOUT, seq=1, detail="x")
+        b = TraceEvent(1.0, "sender", EventKind.TIMEOUT, seq=1, detail="y")
+        assert a.decision_key() == b.decision_key()
+
+
+class TestTraceRecorder:
+    def test_records_with_current_time(self, sim):
+        recorder = TraceRecorder(sim)
+        sim.schedule(2.0, recorder.record, "sender", EventKind.SEND_DATA, 0)
+        sim.run()
+        assert recorder.events[0].time == 2.0
+
+    def test_filter_by_kind(self, sim):
+        recorder = TraceRecorder(sim)
+        recorder.record("sender", EventKind.SEND_DATA, seq=0)
+        recorder.record("receiver", EventKind.RECV_DATA, seq=0)
+        assert len(recorder.filter(kind=EventKind.SEND_DATA)) == 1
+
+    def test_filter_by_actor(self, sim):
+        recorder = TraceRecorder(sim)
+        recorder.record("sender", EventKind.SEND_DATA, seq=0)
+        recorder.record("receiver", EventKind.RECV_DATA, seq=0)
+        assert len(recorder.filter(actor="receiver")) == 1
+
+    def test_filter_by_predicate(self, sim):
+        recorder = TraceRecorder(sim)
+        for seq in range(5):
+            recorder.record("sender", EventKind.SEND_DATA, seq=seq)
+        assert len(recorder.filter(predicate=lambda e: e.seq >= 3)) == 2
+
+    def test_count(self, sim):
+        recorder = TraceRecorder(sim)
+        recorder.record("sender", EventKind.SEND_DATA, seq=0)
+        recorder.record("sender", EventKind.SEND_DATA, seq=1)
+        assert recorder.count(EventKind.SEND_DATA) == 2
+        assert recorder.count(EventKind.TIMEOUT) == 0
+
+    def test_capacity_cap(self, sim):
+        recorder = TraceRecorder(sim, capacity=2)
+        for seq in range(5):
+            recorder.record("sender", EventKind.SEND_DATA, seq=seq)
+        assert len(recorder.events) == 2
+
+    def test_format_truncation_note(self, sim):
+        recorder = TraceRecorder(sim)
+        for seq in range(5):
+            recorder.record("sender", EventKind.SEND_DATA, seq=seq)
+        assert "3 more events" in recorder.format(limit=2)
+
+
+class TestNullRecorder:
+    def test_interface_parity_with_no_storage(self):
+        recorder = NullRecorder()
+        recorder.record("sender", EventKind.SEND_DATA, seq=0)
+        assert recorder.events == []
+        assert recorder.count(EventKind.SEND_DATA) == 0
+        assert recorder.decision_trace() == []
+        assert not recorder.enabled
+
+
+class TestDecisionDiff:
+    def test_identical_traces_empty_diff(self):
+        trace = [(1.0, "s", EventKind.SEND_DATA, 0, None)]
+        assert decision_diff(trace, list(trace)) == []
+
+    def test_difference_located(self):
+        left = [(1.0, "s", EventKind.SEND_DATA, 0, None)]
+        right = [(1.0, "s", EventKind.SEND_DATA, 1, None)]
+        diff = decision_diff(left, right)
+        assert diff and diff[0].startswith("@0")
+
+    def test_length_mismatch_reported(self):
+        left = [(1.0, "s", EventKind.SEND_DATA, 0, None)]
+        diff = decision_diff(left, left + left)
+        assert any("length mismatch" in line for line in diff)
+
+    def test_diff_limit(self):
+        left = [(float(i), "s", EventKind.SEND_DATA, 0, None) for i in range(30)]
+        right = [(float(i), "s", EventKind.SEND_DATA, 1, None) for i in range(30)]
+        assert len(decision_diff(left, right, limit=5)) == 5

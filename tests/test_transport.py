@@ -1,0 +1,165 @@
+"""Tests for the realtime scheduler and UDP transport.
+
+Wall-clock tests are kept short and given generous deadlines so they stay
+robust on loaded machines; the protocol logic itself is exhaustively
+covered by the (deterministic) simulation tests — these verify the
+*adapters*: threading discipline, socket plumbing, codec integration.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.messages import BlockAck, DataMessage
+from repro.transport.clock import RealtimeScheduler
+from repro.transport.session import transfer_over_udp
+from repro.transport.udp import UdpTransport
+
+
+class TestRealtimeScheduler:
+    def test_schedules_and_runs(self):
+        fired = threading.Event()
+        with RealtimeScheduler() as clock:
+            clock.schedule(0.01, fired.set)
+            assert fired.wait(timeout=2.0)
+
+    def test_ordering_of_due_events(self):
+        order = []
+        done = threading.Event()
+        with RealtimeScheduler() as clock:
+            clock.schedule(0.03, lambda: (order.append("b"), done.set()))
+            clock.schedule(0.01, order.append, "a")
+            assert done.wait(timeout=2.0)
+        assert order == ["a", "b"]
+
+    def test_cancel_prevents_firing(self):
+        fired = threading.Event()
+        with RealtimeScheduler() as clock:
+            event = clock.schedule(0.05, fired.set)
+            event.cancel()
+            time.sleep(0.15)
+        assert not fired.is_set()
+
+    def test_callbacks_serialized_on_one_thread(self):
+        threads = set()
+        done = threading.Event()
+
+        def note(last=False):
+            threads.add(threading.current_thread().name)
+            if last:
+                done.set()
+
+        with RealtimeScheduler() as clock:
+            for _ in range(20):
+                clock.call_soon(note)
+            clock.schedule(0.05, note, True)
+            assert done.wait(timeout=2.0)
+        assert len(threads) == 1
+
+    def test_callback_exception_surfaces_on_stop(self):
+        clock = RealtimeScheduler().start()
+        clock.call_soon(lambda: 1 / 0)
+        time.sleep(0.1)
+        assert clock.failed
+        with pytest.raises(ZeroDivisionError):
+            clock.stop()
+
+    def test_now_advances(self):
+        with RealtimeScheduler() as clock:
+            before = clock.now
+            time.sleep(0.02)
+            assert clock.now > before
+
+    def test_negative_delay_rejected(self):
+        with RealtimeScheduler() as clock:
+            with pytest.raises(ValueError):
+                clock.schedule(-1.0, lambda: None)
+
+
+class TestUdpTransport:
+    def test_round_trip_messages(self):
+        received = []
+        done = threading.Event()
+        with RealtimeScheduler() as clock:
+            a = UdpTransport(clock)
+            b = UdpTransport(clock)
+            a.set_remote(b.local_address)
+            b.set_remote(a.local_address)
+            try:
+                b.connect(
+                    lambda m: (received.append(m), done.set())
+                    if len(received) == 1
+                    else received.append(m)
+                )
+                a.connect(lambda m: None)
+                a.send(DataMessage(seq=3, payload=b"ping"))
+                a.send(BlockAck(lo=1, hi=2))
+                deadline = time.time() + 3.0
+                while len(received) < 2 and time.time() < deadline:
+                    time.sleep(0.01)
+            finally:
+                a.close()
+                b.close()
+        assert DataMessage(seq=3, payload=b"ping") in received
+        assert BlockAck(1, 2) in received
+
+    def test_drop_injection(self):
+        import random
+
+        with RealtimeScheduler() as clock:
+            a = UdpTransport(
+                clock, drop_probability=1.0, rng=random.Random(0)
+            )
+            b = UdpTransport(clock)
+            a.set_remote(b.local_address)
+            try:
+                a.connect(lambda m: None)
+                for _ in range(10):
+                    a.send(DataMessage(seq=0))
+                assert a.dropped == 10
+            finally:
+                a.close()
+                b.close()
+
+    def test_send_without_remote_raises(self):
+        with RealtimeScheduler() as clock:
+            transport = UdpTransport(clock)
+            try:
+                with pytest.raises(RuntimeError):
+                    transport.send(DataMessage(seq=0))
+            finally:
+                transport.close()
+
+    def test_invalid_drop_probability(self):
+        with RealtimeScheduler() as clock:
+            with pytest.raises(ValueError):
+                UdpTransport(clock, drop_probability=2.0)
+
+
+class TestUdpTransfers:
+    def test_lossless_transfer(self):
+        payloads = [f"m{i:03d}".encode() for i in range(50)]
+        stats = transfer_over_udp(payloads, window=8, deadline=15.0, seed=1)
+        assert stats.completed
+        assert stats.delivered == payloads
+        assert stats.retransmissions == 0
+
+    def test_lossy_transfer_exactly_once_in_order(self):
+        payloads = [f"m{i:03d}".encode() for i in range(40)]
+        stats = transfer_over_udp(
+            payloads, window=8, loss=0.15, timeout_period=0.1,
+            deadline=25.0, seed=2,
+        )
+        assert stats.completed
+        assert stats.delivered == payloads
+        assert stats.retransmissions > 0
+
+    def test_window_one_stop_and_wait(self):
+        payloads = [b"a", b"b", b"c"]
+        stats = transfer_over_udp(payloads, window=1, deadline=10.0)
+        assert stats.completed and stats.delivered == payloads
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(TypeError):
+            transfer_over_udp(["not-bytes"])

@@ -1,0 +1,89 @@
+"""Tests for the deliberately vulnerable go-back-N baseline."""
+
+import pytest
+
+from repro.verify.faulty import NaiveGbnReceiver, NaiveGbnSender, detect_violation
+
+
+class TestNaiveGbnSender:
+    def test_window_discipline(self):
+        sender = NaiveGbnSender(window=3, domain=4)
+        for _ in range(3):
+            sender.send_new()
+        assert not sender.can_send
+        with pytest.raises(RuntimeError):
+            sender.send_new()
+
+    def test_wire_numbers_wrap(self):
+        sender = NaiveGbnSender(window=3, domain=4)
+        wires = []
+        for _ in range(3):
+            true_seq, wire = sender.send_new()
+            sender.on_cumulative_ack(wire)
+            wires.append(wire)
+        true_seq, wire = sender.send_new()
+        assert (true_seq, wire) == (3, 3)
+        sender.on_cumulative_ack(3)
+        assert sender.send_new() == (4, 0)  # wrapped
+
+    def test_cumulative_ack_slides_window(self):
+        sender = NaiveGbnSender(window=4, domain=5)
+        for _ in range(4):
+            sender.send_new()
+        newly = sender.on_cumulative_ack(2)
+        assert newly == [0, 1, 2]
+        assert sender.na == 3
+
+    def test_unmatched_ack_ignored(self):
+        sender = NaiveGbnSender(window=2, domain=5)
+        sender.send_new()
+        assert sender.on_cumulative_ack(4) == []
+        assert sender.na == 0
+
+    def test_retransmit_all(self):
+        sender = NaiveGbnSender(window=3, domain=4)
+        for _ in range(3):
+            sender.send_new()
+        assert sender.retransmit_all() == [(0, 0), (1, 1), (2, 2)]
+
+    def test_domain_floor(self):
+        with pytest.raises(ValueError):
+            NaiveGbnSender(window=3, domain=3)
+
+
+class TestNaiveGbnReceiver:
+    def test_in_order_accepts(self):
+        receiver = NaiveGbnReceiver(domain=4)
+        assert receiver.on_data(0) == 0
+        assert receiver.on_data(1) == 1
+        assert receiver.accepted == [0, 1]
+
+    def test_out_of_order_reacks_last(self):
+        receiver = NaiveGbnReceiver(domain=4)
+        receiver.on_data(0)
+        assert receiver.on_data(2) == 0  # duplicate ack for last accepted
+        assert receiver.accepted == [0]
+
+    def test_nothing_accepted_yet_returns_none(self):
+        receiver = NaiveGbnReceiver(domain=4)
+        assert receiver.on_data(2) is None
+
+
+class TestViolationDetection:
+    def test_phantom_ack_detected(self):
+        sender = NaiveGbnSender(window=2, domain=3)
+        receiver = NaiveGbnReceiver(domain=3)
+        sender.send_new()
+        newly = sender.on_cumulative_ack(0)  # receiver never got message 0
+        violation = detect_violation(sender, receiver, 0, newly)
+        assert violation is not None
+        assert violation.phantom_seqs == [0]
+        assert "never accepted" in str(violation)
+
+    def test_honest_ack_not_flagged(self):
+        sender = NaiveGbnSender(window=2, domain=3)
+        receiver = NaiveGbnReceiver(domain=3)
+        _, wire = sender.send_new()
+        ack = receiver.on_data(wire)
+        newly = sender.on_cumulative_ack(ack)
+        assert detect_violation(sender, receiver, ack, newly) is None

@@ -1,0 +1,133 @@
+"""Unit tests for the paper's invariant assertions 6, 7, 8."""
+
+from repro.verify.invariants import (
+    InvariantViolation,
+    assertion_6,
+    assertion_7,
+    assertion_8,
+    assertion_9_10_11,
+    check_invariant,
+    require_invariant,
+)
+from repro.verify.state import initial_state
+
+
+class TestAssertion6:
+    def test_initial_state_ok(self):
+        assert assertion_6(initial_state(), window=2) == []
+
+    def test_na_above_nr_flagged(self):
+        state = initial_state().replace(na=2, ns=2, nr=1, vr=1)
+        assert any("na" in f for f in assertion_6(state, 4))
+
+    def test_window_overflow_flagged(self):
+        state = initial_state().replace(ns=3, nr=0, vr=0)
+        assert any("na+w" in f for f in assertion_6(state, 2))
+
+    def test_vr_above_ns_flagged(self):
+        state = initial_state().replace(ns=1, nr=1, vr=2)
+        failures = assertion_6(state, 4)
+        assert any("vr" in f for f in failures)
+
+
+class TestAssertion7:
+    def test_clean_state_ok(self):
+        state = initial_state().replace(ns=2, nr=1, vr=1)
+        assert assertion_7(state) == []
+
+    def test_ackd_at_or_past_nr_flagged(self):
+        state = initial_state().replace(ns=2, nr=1, vr=1, ackd=frozenset({1}))
+        assert any("nr" in f for f in assertion_7(state))
+
+    def test_na_past_nr_flags_implicit_prefix(self):
+        state = initial_state().replace(na=2, ns=2, nr=1, vr=1)
+        assert assertion_7(state)
+
+    def test_rcvd_past_ns_flagged(self):
+        state = initial_state().replace(ns=1, rcvd=frozenset({3}))
+        assert any("ns" in f for f in assertion_7(state))
+
+
+class TestAssertion8:
+    def test_two_copies_flagged(self):
+        state = initial_state().replace(ns=1, c_sr=(0, 0))
+        assert any("copies" in f for f in assertion_8(state))
+
+    def test_data_plus_covering_ack_flagged(self):
+        state = initial_state().replace(ns=1, nr=1, vr=1, c_sr=(0,), c_rs=((0, 0),))
+        assert any("copies" in f for f in assertion_8(state))
+
+    def test_unsent_data_in_flight_flagged(self):
+        state = initial_state().replace(ns=1, c_sr=(5,))
+        assert assertion_8(state)
+
+    def test_acked_data_in_flight_flagged(self):
+        state = initial_state().replace(na=1, ns=2, nr=1, vr=1, c_sr=(0,))
+        assert any("ackd" in f for f in assertion_8(state))
+
+    def test_buffered_data_in_flight_flagged(self):
+        # rcvd[m] with m >= nr while a copy is in transit
+        state = initial_state().replace(ns=2, rcvd=frozenset({1}), c_sr=(1,))
+        assert assertion_8(state)
+
+    def test_ack_for_unaccepted_flagged(self):
+        state = initial_state().replace(ns=1, c_rs=((0, 0),))
+        assert assertion_8(state)
+
+    def test_legitimate_flight_ok(self):
+        state = initial_state().replace(ns=2, nr=1, vr=1, c_sr=(1,), c_rs=((0, 0),))
+        assert assertion_8(state) == []
+
+
+class TestDecodeRangeAssertions:
+    """Assertions 9-11: the Section V decode preconditions."""
+
+    def test_in_range_ack_ok(self):
+        state = initial_state().replace(ns=2, nr=2, vr=2, c_rs=((0, 1),))
+        assert assertion_9_10_11(state, window=2) == []
+
+    def test_ack_below_na_flagged(self):
+        state = initial_state().replace(na=2, ns=3, nr=2, vr=2, c_rs=((1, 1),))
+        assert any("9/10" in f for f in assertion_9_10_11(state, 2))
+
+    def test_ack_beyond_window_flagged(self):
+        state = initial_state().replace(ns=4, nr=4, vr=4, c_rs=((0, 3),))
+        assert any("9/10" in f for f in assertion_9_10_11(state, 2))
+
+    def test_in_range_data_ok(self):
+        state = initial_state().replace(ns=2, c_sr=(0, 1))
+        assert assertion_9_10_11(state, window=4) == []
+
+    def test_stale_data_below_receive_window_flagged(self):
+        # data 0 in transit while nr has run 5 ahead with w=2: undecodable
+        state = initial_state().replace(
+            na=5, ns=6, nr=5, vr=5, c_sr=(0,)
+        )
+        assert any("11" in f for f in assertion_9_10_11(state, 2))
+
+    def test_data_beyond_receive_window_flagged(self):
+        state = initial_state().replace(ns=9, nr=0, vr=0, c_sr=(8,))
+        assert any("11" in f for f in assertion_9_10_11(state, 2))
+
+
+class TestCheckInvariant:
+    def test_initial_ok(self):
+        assert check_invariant(initial_state(), window=2) == []
+
+    def test_aggregates_all_failures(self):
+        state = initial_state().replace(ns=5, c_sr=(9, 9))
+        failures = check_invariant(state, window=2)
+        assert len(failures) >= 2
+
+    def test_require_raises_with_context(self):
+        state = initial_state().replace(ns=1, c_sr=(0, 0))
+        try:
+            require_invariant(state, window=2)
+        except InvariantViolation as violation:
+            assert violation.state is state
+            assert violation.clauses
+        else:
+            raise AssertionError("expected InvariantViolation")
+
+    def test_require_passes_clean_state(self):
+        require_invariant(initial_state(), window=2)  # no raise

@@ -1,0 +1,49 @@
+"""Tests for the scripted Section-I scenario replays."""
+
+from repro.verify.scenarios import (
+    run_intro_scenario_blockack,
+    run_intro_scenario_gbn,
+)
+
+
+class TestGbnScenario:
+    def test_violation_occurs(self):
+        result = run_intro_scenario_gbn()
+        assert result.violation is not None
+        assert not result.safe
+
+    def test_sender_belief_exceeds_reality(self):
+        result = run_intro_scenario_gbn()
+        assert result.sender_believes_delivered > result.receiver_actually_accepted
+
+    def test_phantoms_are_the_second_batch(self):
+        result = run_intro_scenario_gbn()
+        assert result.violation.phantom_seqs == [6, 7, 8, 9, 10, 11]
+
+    def test_narration_mentions_verdict(self):
+        assert "SAFETY VIOLATION" in run_intro_scenario_gbn().narrate()
+
+    def test_scenario_follows_paper_script(self):
+        trace = "\n".join(run_intro_scenario_gbn().trace)
+        assert "0..5" in trace
+        assert "ALL LOST" in trace
+        assert "stale ack" in trace
+
+
+class TestBlockAckScenario:
+    def test_same_schedule_is_safe(self):
+        result = run_intro_scenario_blockack()
+        assert result.safe
+        assert result.violation is None
+
+    def test_window_stays_closed_after_reordered_ack(self):
+        trace = "\n".join(run_intro_scenario_blockack().trace)
+        assert "window still closed" in trace
+        assert "can_send = False" in trace
+
+    def test_sender_belief_matches_reality(self):
+        result = run_intro_scenario_blockack()
+        assert result.sender_believes_delivered == result.receiver_actually_accepted == 6
+
+    def test_narration_mentions_safety(self):
+        assert "safe" in run_intro_scenario_blockack().narrate()

@@ -1,0 +1,83 @@
+"""Unit tests for abstract system states."""
+
+from repro.verify.state import SystemState, initial_state
+
+
+class TestInitialState:
+    def test_all_zero(self):
+        state = initial_state()
+        assert (state.na, state.ns, state.nr, state.vr) == (0, 0, 0, 0)
+        assert state.c_sr == () and state.c_rs == ()
+
+
+class TestRecordQueries:
+    def test_is_ackd_implicit_prefix(self):
+        state = initial_state().replace(na=3, ns=4, nr=3, vr=3)
+        assert state.is_ackd(0) and state.is_ackd(2)
+        assert not state.is_ackd(3)
+
+    def test_is_ackd_explicit_entry(self):
+        state = initial_state().replace(ns=4, nr=4, vr=4, ackd=frozenset({2}))
+        assert state.is_ackd(2)
+        assert not state.is_ackd(1)
+
+    def test_is_rcvd_implicit_prefix(self):
+        state = initial_state().replace(ns=3, nr=2, vr=2)
+        assert state.is_rcvd(0) and state.is_rcvd(1)
+        assert not state.is_rcvd(2)
+
+    def test_is_rcvd_explicit_entry(self):
+        state = initial_state().replace(ns=4, rcvd=frozenset({2}))
+        assert state.is_rcvd(2)
+        assert not state.is_rcvd(0)
+
+
+class TestChannelCounts:
+    def test_count_sr_multiset(self):
+        state = initial_state().replace(ns=3, c_sr=(1, 1, 2))
+        assert state.count_sr(1) == 2
+        assert state.count_sr(2) == 1
+        assert state.count_sr(0) == 0
+
+    def test_count_rs_covers_ranges(self):
+        state = initial_state().replace(c_rs=((0, 3), (5, 5)))
+        assert state.count_rs(0) == 1
+        assert state.count_rs(2) == 1
+        assert state.count_rs(4) == 0
+        assert state.count_rs(5) == 1
+
+    def test_count_rs_overlapping_pairs(self):
+        state = initial_state().replace(c_rs=((0, 3), (2, 4)))
+        assert state.count_rs(2) == 2
+
+
+class TestFunctionalUpdates:
+    def test_with_sr_added_sorted(self):
+        state = initial_state().with_sr_added(3).with_sr_added(1)
+        assert state.c_sr == (1, 3)
+
+    def test_with_sr_removed_one_copy(self):
+        state = initial_state().replace(c_sr=(1, 1, 2)).with_sr_removed(1)
+        assert state.c_sr == (1, 2)
+
+    def test_with_rs_add_remove(self):
+        state = initial_state().with_rs_added((0, 2)).with_rs_added((3, 3))
+        assert state.c_rs == ((0, 2), (3, 3))
+        assert state.with_rs_removed((0, 2)).c_rs == ((3, 3),)
+
+    def test_replace_canonicalises_records(self):
+        state = initial_state().replace(
+            na=2, ns=3, nr=2, vr=2, ackd=frozenset({0, 1, 2})
+        )
+        assert state.ackd == frozenset({2})  # entries below na dropped
+
+    def test_states_are_hashable_values(self):
+        a = initial_state().with_sr_added(1)
+        b = initial_state().with_sr_added(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_describe_is_readable(self):
+        text = initial_state().with_sr_added(0).describe()
+        assert "C_SR[0]" in text
