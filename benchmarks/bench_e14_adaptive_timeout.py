@@ -1,0 +1,12 @@
+"""E14 — adaptive retransmission under injected faults.
+
+Regenerates the experiment's table into results/e14_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e14_adaptive_timeout for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e14_adaptive_timeout(benchmark, results_dir):
+    run_and_record(benchmark, "e14", results_dir)

@@ -159,7 +159,7 @@ class Channel:
         self.stats.sent += 1
         self._notify("send", message)
 
-        if self.loss.drops(self.rng):
+        if self.loss.drops_at(self.rng, self.sim.now):
             self.stats.lost += 1
             self._notify("lose", message)
             return
@@ -197,6 +197,23 @@ class Channel:
             self._last_delivered_send_seq = entry.send_seq
         self._notify("deliver", entry.message)
         self._receiver(entry.message)
+
+    def reset(self) -> None:
+        """Return the channel to its just-built state for a repeat run.
+
+        Cancels and discards everything in flight, zeroes the counters,
+        and — crucially for reproducibility — resets the loss model, so
+        stateful models (:class:`~repro.channel.impairments.\
+GilbertElliottLoss`, :class:`~repro.channel.impairments.ScriptedLoss`)
+        replay deterministically across repeated runs on one channel.
+        The rng is owned by the caller and is *not* reseeded here.
+        """
+        for entry in self._in_flight.values():
+            entry.event.cancel()
+        self._in_flight.clear()
+        self.stats = ChannelStats()
+        self._last_delivered_send_seq = -1
+        self.loss.reset()
 
     def drop_in_flight(self, predicate: Callable[[Any], bool]) -> int:
         """Forcibly lose in-flight messages matching ``predicate``.

@@ -19,6 +19,8 @@ __all__ = [
     "BernoulliLoss",
     "GilbertElliottLoss",
     "ScriptedLoss",
+    "BrownoutLoss",
+    "FrameCorruption",
 ]
 
 
@@ -28,6 +30,16 @@ class LossModel(ABC):
     @abstractmethod
     def drops(self, rng: random.Random) -> bool:
         """Return True if the next message should be lost."""
+
+    def drops_at(self, rng: random.Random, now: float) -> bool:
+        """Time-aware loss decision; stateless models ignore ``now``.
+
+        :class:`~repro.channel.channel.Channel` calls this entry point,
+        so time-varying models (:class:`BrownoutLoss`) can script loss
+        probability against the virtual clock while every existing model
+        keeps its time-free :meth:`drops` signature.
+        """
+        return self.drops(rng)
 
     def reset(self) -> None:
         """Reset internal state (for stateful models); default no-op."""
@@ -138,3 +150,85 @@ class ScriptedLoss(LossModel):
 
     def __repr__(self) -> str:
         return f"ScriptedLoss({sorted(self.drop_indices)!r})"
+
+
+class BrownoutLoss(LossModel):
+    """Scripted time-varying loss: a piecewise-linear probability ramp.
+
+    ``breakpoints`` is a sorted sequence of ``(time, probability)``
+    pairs; between consecutive breakpoints the loss probability is
+    interpolated linearly, outside the scripted range it is zero.  A
+    brownout — the channel degrading, bottoming out, then recovering —
+    is ``[(t0, 0), (t1, p_peak), (t2, p_peak), (t3, 0)]``.
+
+    An optional ``base`` model composes an always-on impairment
+    (e.g. 2% Bernoulli loss) with the scripted ramp: a message is lost
+    if *either* decides to drop it.  The base model draws first, so the
+    rng stream stays deterministic.
+    """
+
+    def __init__(self, breakpoints, base: "LossModel" = None) -> None:
+        points = [(float(t), float(p)) for t, p in breakpoints]
+        if not points:
+            raise ValueError("BrownoutLoss needs at least one breakpoint")
+        if any(b[0] < a[0] for a, b in zip(points, points[1:])):
+            raise ValueError("breakpoint times must be non-decreasing")
+        if any(not 0.0 <= p <= 1.0 for _, p in points):
+            raise ValueError("breakpoint probabilities must be in [0, 1]")
+        self.breakpoints = points
+        self.base = base
+
+    def probability_at(self, now: float) -> float:
+        """Scripted loss probability at virtual time ``now``."""
+        points = self.breakpoints
+        if now < points[0][0] or now > points[-1][0]:
+            return 0.0
+        for (t0, p0), (t1, p1) in zip(points, points[1:]):
+            if t0 <= now <= t1:
+                if t1 == t0:
+                    return p1
+                return p0 + (p1 - p0) * (now - t0) / (t1 - t0)
+        return points[-1][1]
+
+    def drops(self, rng: random.Random) -> bool:
+        raise RuntimeError(
+            "BrownoutLoss is time-varying; the channel must call drops_at"
+        )
+
+    def drops_at(self, rng: random.Random, now: float) -> bool:
+        if self.base is not None and self.base.drops_at(rng, now):
+            return True
+        p = self.probability_at(now)
+        return p > 0.0 and rng.random() < p
+
+    def reset(self) -> None:
+        if self.base is not None:
+            self.base.reset()
+
+    def __repr__(self) -> str:
+        return f"BrownoutLoss({self.breakpoints!r}, base={self.base!r})"
+
+
+class FrameCorruption:
+    """Decides, per delivery, whether a frame arrives corrupted.
+
+    Corruption detected by a checksum is indistinguishable from loss at
+    the protocol layer — the frame is discarded on arrival — but it is a
+    *distinct fault* worth counting separately: it consumes channel
+    capacity and shows up in receive-side stats, exactly like
+    ``CorruptFrame`` drops on the UDP transport.  Used by
+    :class:`~repro.robustness.faults.FaultPlan`, which draws from its
+    own seeded stream so corruption never perturbs channel randomness.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"corruption probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def corrupts(self, rng: random.Random) -> bool:
+        """Return True if the next delivered frame should be corrupt."""
+        return self.p > 0.0 and rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return f"FrameCorruption({self.p})"

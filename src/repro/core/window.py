@@ -281,6 +281,23 @@ class ReceiverWindow:
         self.nr = self.vr
         return lo, hi, payloads
 
+    def drop_volatile(self) -> int:
+        """Crash semantics: forget everything not yet acknowledged.
+
+        ``nr`` is durable — every number below it was covered by an
+        emitted block acknowledgment — but the reorder buffer and the
+        accepted-but-unacknowledged run ``[nr, vr)`` live in volatile
+        memory.  A restarting receiver rolls ``vr`` back to ``nr`` and
+        clears the buffers; the sender retransmits the forgotten
+        messages because they were never acknowledged.  Returns how many
+        received messages were forgotten.
+        """
+        forgotten = (self.vr - self.nr) + len(self._rcvd)
+        self.vr = self.nr
+        self._rcvd.clear()
+        self._payloads.clear()
+        return forgotten
+
     @property
     def received_unaccepted(self) -> list[int]:
         """Out-of-order numbers received above ``vr`` (buffered)."""

@@ -1,4 +1,4 @@
-"""Registry of all experiments, ordered E1..E12."""
+"""Registry of all experiments, ordered E1..E14."""
 
 from __future__ import annotations
 
@@ -18,6 +18,7 @@ from repro.experiments import (
     e11_special_cases,
     e12_timeout_ablation,
     e13_position_reuse,
+    e14_adaptive_timeout,
 )
 from repro.experiments.common import ExperimentResult, ExperimentSpec
 
@@ -37,6 +38,7 @@ _MODULES = (
     e11_special_cases,
     e12_timeout_ablation,
     e13_position_reuse,
+    e14_adaptive_timeout,
 )
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -45,7 +47,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 
 
 def experiment_ids() -> List[str]:
-    """All experiment ids in order: ['e1', ..., 'e12']."""
+    """All experiment ids in order: ['e1', ..., 'e14']."""
     return list(EXPERIMENTS)
 
 

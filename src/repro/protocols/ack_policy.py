@@ -50,6 +50,9 @@ class AckPolicy(ABC):
         """Called after data arrives; ``pending`` is the acknowledgeable
         run length (``vr - nr`` after sliding)."""
 
+    def cancel_pending(self) -> None:
+        """Drop any scheduled flush (crash semantics); default no-op."""
+
     @property
     @abstractmethod
     def max_latency(self) -> float:
@@ -93,6 +96,10 @@ class DelayedAckPolicy(AckPolicy):
     def _fire(self) -> None:
         self._flush()
 
+    def cancel_pending(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
     @property
     def max_latency(self) -> float:
         return self.delay
@@ -127,6 +134,10 @@ class CountingAckPolicy(AckPolicy):
 
     def _fire(self) -> None:
         self._flush()
+
+    def cancel_pending(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
 
     @property
     def max_latency(self) -> float:

@@ -84,7 +84,9 @@ from repro.core.numbering import Numbering, UnboundedNumbering
 from repro.core.window import ReceiverWindow, SenderWindow
 from repro.protocols.ack_policy import AckPolicy, EagerAckPolicy
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.sim.timers import Timer, TimerBank
+from repro.robustness.budget import RetryVerdict
+from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.sim.timers import AdaptiveTimer, AdaptiveTimerBank, Timer
 from repro.trace.events import EventKind
 
 __all__ = [
@@ -143,6 +145,16 @@ class BlockAckSender(SenderEndpoint):
         ahead of a stalled ``na``.  Requires a matching
         ``ModularNumbering(..., lookahead=K)`` when wire numbers are
         bounded.  ``K = 1`` is the paper's base protocol.
+    adaptive:
+        Optional :class:`~repro.robustness.controller.AdaptiveConfig`.
+        When set, timer periods come from a
+        :class:`~repro.robustness.controller.RetransmissionController`
+        (Jacobson/Karels RTO, exponential backoff, retry budget) instead
+        of the fixed ``timeout_period``, and sustained timeout runs
+        degrade the window and eventually declare the link dead
+        (:attr:`link_dead`).  ``None`` (the default) keeps the paper's
+        fixed-timer behavior bit-for-bit.  Not supported in ``oracle``
+        mode, which has no timers to adapt.
     """
 
     def __init__(
@@ -153,23 +165,30 @@ class BlockAckSender(SenderEndpoint):
         timeout_period: Optional[float] = None,
         reverse_lifetime: Optional[float] = None,
         lookahead: int = 1,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
         super().__init__()
         if timeout_mode not in TIMEOUT_MODES:
             raise ValueError(
                 f"timeout_mode must be one of {TIMEOUT_MODES}, got {timeout_mode!r}"
             )
+        if adaptive is not None and timeout_mode == "oracle":
+            raise ValueError("adaptive retransmission needs timers; oracle has none")
         self.window = SenderWindow(window, lookahead=lookahead)
         self.numbering = numbering if numbering is not None else UnboundedNumbering()
         self.timeout_mode = timeout_mode
         self.timeout_period = timeout_period
         self.reverse_lifetime = reverse_lifetime
+        self.adaptive = adaptive
+        self.link_dead = False
         self.hi_acked = -1  # highest sequence number seen in any valid ack
+        self._retx: Optional[RetransmissionController] = None
+        self._down = False  # crashed and not yet restored
         self._payloads: Dict[int, Any] = {}
         self._parked: Set[int] = set()  # expired but not yet eligible
         self._covered_at: Dict[int, float] = {}  # seq -> time hi_acked passed it
-        self._timer: Optional[Timer] = None  # simple mode
-        self._timers: Optional[TimerBank] = None  # per-message modes
+        self._timer: Optional[AdaptiveTimer] = None  # simple mode
+        self._timers: Optional[AdaptiveTimerBank] = None  # per-message modes
         self._poll: Optional[Timer] = None  # oracle mode
         # oracle hooks, wired by enable_oracle()
         self._oracle_receiver: Optional["BlockAckReceiver"] = None
@@ -189,12 +208,36 @@ class BlockAckSender(SenderEndpoint):
             # T >= forward + ack latency + reverse, so T always bounds the
             # reverse lifetime; a tighter value comes from the runner.
             self.reverse_lifetime = self.timeout_period
+        if self.adaptive is not None:
+            self._retx = self.adaptive.build(self.timeout_period)
         if self.timeout_mode == "simple":
-            self._timer = Timer(self.sim, self._on_simple_timeout, name="retx")
+            self._timer = AdaptiveTimer(
+                self.sim,
+                self._on_simple_timeout,
+                period_fn=self._simple_period,
+                name="retx",
+            )
         elif self.timeout_mode == "oracle":
             self._poll = Timer(self.sim, self._on_oracle_poll, name="oracle-poll")
         else:
-            self._timers = TimerBank(self.sim, self._on_message_timeout, name="retx")
+            self._timers = AdaptiveTimerBank(
+                self.sim,
+                self._on_message_timeout,
+                period_fn=self._message_period,
+                name="retx",
+            )
+
+    def _simple_period(self) -> float:
+        """Arming period for the single Section-II timer."""
+        if self._retx is not None:
+            return self._retx.period(None)
+        return self.timeout_period
+
+    def _message_period(self, seq: int) -> float:
+        """Arming period for one per-message timer."""
+        if self._retx is not None:
+            return self._retx.period(seq)
+        return self.timeout_period
 
     def enable_oracle(self, forward, reverse, receiver: "BlockAckReceiver") -> None:
         """Wire the oracle guard's inputs (``oracle`` mode only)."""
@@ -210,7 +253,7 @@ class BlockAckSender(SenderEndpoint):
 
     @property
     def can_accept(self) -> bool:
-        return self.window.can_send
+        return not self.link_dead and not self._down and self.window.can_send
 
     def submit(self, payload: Any) -> int:
         seq = self.window.take_next()  # paper action 0
@@ -253,14 +296,16 @@ class BlockAckSender(SenderEndpoint):
         else:
             self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
         self.tx.send(message)
+        if self._retx is not None:
+            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
         if self.timeout_mode == "simple":
             # the single timer measures time since the *last* transmission
-            self._timer.restart(self.timeout_period)
+            self._timer.restart()
         elif self.timeout_mode == "oracle":
             if not self._poll.running:
                 self._poll.start(self.timeout_period)
         else:
-            self._timers.start(seq, self.timeout_period)
+            self._timers.start(seq)
 
     # ------------------------------------------------------------------
     # acknowledgment handling (paper action 1)
@@ -284,6 +329,8 @@ class BlockAckSender(SenderEndpoint):
         outcome = self.window.apply_ack(lo, hi)
         if outcome.stale:
             self.stats.stale_acks += 1
+        if self._retx is not None:
+            self._retx.on_ack(outcome.newly_acked, self.sim.now)
         self.hi_acked = max(self.hi_acked, hi)
         self.stats.acked = self.window.na
         self.stats.last_ack_time = self.sim.now
@@ -310,6 +357,43 @@ class BlockAckSender(SenderEndpoint):
     # timeout machinery
     # ------------------------------------------------------------------
 
+    def _consult_budget(self, key) -> bool:
+        """Adaptive only: escalate one fired timeout through the budget.
+
+        Returns False when the link was just declared dead, in which
+        case the caller must not retransmit.
+        """
+        if self._retx is None:
+            return True
+        verdict = self._retx.on_timeout(key)
+        if verdict is RetryVerdict.LINK_DEAD:
+            self._declare_link_dead()
+            return False
+        if verdict is RetryVerdict.DEGRADE:
+            self._degrade_window()
+        return True
+
+    def _degrade_window(self) -> None:
+        """Graceful degradation: shrink the effective window one step."""
+        new_window = max(1, int(self.window.w * self.adaptive.degrade_factor))
+        if new_window < self.window.w:
+            self.trace.record(
+                self.actor_name,
+                EventKind.NOTE,
+                detail=f"degrade window {self.window.w} -> {new_window}",
+            )
+            self.window.resize(new_window)
+
+    def _declare_link_dead(self) -> None:
+        """Retry budget exhausted: stop retransmitting, surface the verdict."""
+        self.link_dead = True
+        self.trace.record(self.actor_name, EventKind.NOTE, detail="link dead")
+        if self._timer is not None:
+            self._timer.stop()
+        if self._timers is not None:
+            self._timers.stop_all()
+        self._parked.clear()
+
     def _on_simple_timeout(self) -> None:
         """Section II action 2: retransmit ``na`` only."""
         if self.window.all_acknowledged:
@@ -318,6 +402,8 @@ class BlockAckSender(SenderEndpoint):
         self.trace.record(
             self.actor_name, EventKind.TIMEOUT, seq=self.window.na, detail="simple"
         )
+        if not self._consult_budget(None):
+            return
         self._transmit(self.window.na, attempt=1)
 
     def _on_message_timeout(self, seq: int) -> None:
@@ -330,6 +416,8 @@ class BlockAckSender(SenderEndpoint):
                 self.actor_name, EventKind.TIMEOUT, seq=seq,
                 detail=self.timeout_mode,
             )
+            if not self._consult_budget(seq):
+                return
             self._transmit(seq, attempt=1)
             return
         covered = self._covered_at.get(seq)
@@ -391,6 +479,53 @@ class BlockAckSender(SenderEndpoint):
                 )
                 self._parked.discard(seq)  # the timer owns it now
                 self._timers.start(seq, max(remaining, 0.0) + 1e-9)
+
+    # ------------------------------------------------------------------
+    # crash/restart (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose volatile state: timers, RTT estimates, retransmission
+        bookkeeping.  The window counters, the unacknowledged payload
+        store, and ``hi_acked`` survive as the durable snapshot."""
+        self._down = True
+        self.trace.record(self.actor_name, EventKind.NOTE, detail="crash")
+        if self._timer is not None:
+            self._timer.stop()
+        if self._timers is not None:
+            self._timers.stop_all()
+        if self._poll is not None:
+            self._poll.stop()
+        self._parked.clear()
+        self._covered_at.clear()
+        if self._retx is not None:
+            self._retx.reset_volatile()
+
+    def restore(self) -> None:
+        """Resume from the durable snapshot.
+
+        Re-arms a retransmission timer for everything outstanding.  The
+        last transmission of any outstanding message predates the crash,
+        so a full timer period elapses before the first retransmission —
+        the re-arm satisfies the same guard as a normal restart.
+        """
+        self._down = False
+        self.trace.record(self.actor_name, EventKind.NOTE, detail="restart")
+        if self.link_dead or self.window.all_acknowledged:
+            return
+        if self.timeout_mode == "per_message_safe":
+            # Conservative re-stamp: waits a fresh reverse lifetime from
+            # now, by which time any pre-crash covering ack has drained.
+            self._note_coverage()
+        if self._timer is not None:
+            self._timer.restart()
+        elif self._poll is not None:
+            self._poll.start(self.timeout_period)
+        else:
+            for seq in self.window.outstanding():
+                self._timers.start(seq)
+        if self.can_accept:
+            self._window_opened()
 
     # ------------------------------------------------------------------
     # oracle mode: the paper's guard, evaluated verbatim
@@ -515,6 +650,26 @@ class BlockAckReceiver(ReceiverEndpoint):
         kind = EventKind.RESEND_ACK if duplicate else EventKind.SEND_ACK
         self.trace.record(self.actor_name, kind, seq=lo, seq_hi=hi)
         self.tx.send(ack)
+
+    # ------------------------------------------------------------------
+    # crash/restart (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the reorder buffer and any pending delayed-ack flush.
+
+        ``nr`` is durable — everything below it was acknowledged — so the
+        sender's view stays consistent; the forgotten ``[nr, vr)`` run
+        and buffered out-of-order messages were never acknowledged and
+        will be retransmitted.
+        """
+        self.trace.record(self.actor_name, EventKind.NOTE, detail="crash")
+        self.window.drop_volatile()
+        self.ack_policy.cancel_pending()
+
+    def restore(self) -> None:
+        """Resume; nothing to re-arm — the sender drives recovery."""
+        self.trace.record(self.actor_name, EventKind.NOTE, detail="restart")
 
     # ------------------------------------------------------------------
     # oracle accessors (read by BlockAckSender in oracle mode)

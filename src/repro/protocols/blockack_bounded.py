@@ -26,32 +26,59 @@ from repro.core.bounded import BoundedReceiverBook, BoundedSenderBook
 from repro.core.messages import BlockAck, DataMessage
 from repro.protocols.ack_policy import AckPolicy, EagerAckPolicy
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.sim.timers import Timer
+from repro.robustness.budget import RetryVerdict
+from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.sim.timers import AdaptiveTimer
 from repro.trace.events import EventKind
 
 __all__ = ["BoundedBlockAckSender", "BoundedBlockAckReceiver"]
 
 
 class BoundedBlockAckSender(SenderEndpoint):
-    """Sender with O(w) total state: Section V's final sender program."""
+    """Sender with O(w) total state: Section V's final sender program.
 
-    def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
+    ``adaptive`` optionally replaces the fixed timeout with a
+    :class:`~repro.robustness.controller.RetransmissionController`.  The
+    wire-number domain is fixed at ``2w`` by construction, so graceful
+    degradation cannot shrink the window here; a DEGRADE verdict falls
+    back to a plain (backed-off) retry, and only LINK_DEAD changes
+    behavior.  ``None`` keeps the fixed-timer program bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        timeout_period: Optional[float] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+    ) -> None:
         super().__init__()
         self.book = BoundedSenderBook(window)
         self.w = window
         self.timeout_period = timeout_period
+        self.adaptive = adaptive
+        self.link_dead = False
+        self._retx: Optional[RetransmissionController] = None
         self._payloads: list = [None] * window  # ring keyed by seq mod w
-        self._timer: Optional[Timer] = None
+        self._timer: Optional[AdaptiveTimer] = None
         self._delivered_count = 0  # stats only; NOT protocol state
 
     def _after_attach(self) -> None:
         if self.timeout_period is None:
             raise ValueError("timeout_period must be set before attaching")
-        self._timer = Timer(self.sim, self._on_timeout, name="bounded-retx")
+        if self.adaptive is not None:
+            self._retx = self.adaptive.build(self.timeout_period)
+        self._timer = AdaptiveTimer(
+            self.sim, self._on_timeout, period_fn=self._period, name="bounded-retx"
+        )
+
+    def _period(self) -> float:
+        if self._retx is not None:
+            return self._retx.period(None)
+        return self.timeout_period
 
     @property
     def can_accept(self) -> bool:
-        return self.book.can_send
+        return not self.link_dead and self.book.can_send
 
     def submit(self, payload: Any) -> int:
         wire = self.book.take_next()
@@ -76,7 +103,9 @@ class BoundedBlockAckSender(SenderEndpoint):
                 seq=wire, payload=self._payloads[wire % self.w], attempt=attempt
             )
         )
-        self._timer.restart(self.timeout_period)
+        if self._retx is not None:
+            self._retx.on_send(wire, self.sim.now, retransmit=attempt > 0)
+        self._timer.restart()
 
     def _on_timeout(self) -> None:
         if self.book.all_acknowledged:
@@ -85,6 +114,15 @@ class BoundedBlockAckSender(SenderEndpoint):
         self.trace.record(
             self.actor_name, EventKind.TIMEOUT, seq=self.book.na, detail="simple"
         )
+        if self._retx is not None:
+            verdict = self._retx.on_timeout(None)
+            if verdict is RetryVerdict.LINK_DEAD:
+                self.link_dead = True
+                self.trace.record(
+                    self.actor_name, EventKind.NOTE, detail="link dead"
+                )
+                self._timer.stop()
+                return
         self._transmit(self.book.na, attempt=1)
 
     def on_message(self, ack: Any) -> None:
@@ -94,9 +132,15 @@ class BoundedBlockAckSender(SenderEndpoint):
         self.trace.record(
             self.actor_name, EventKind.RECV_ACK, seq=ack.lo, seq_hi=ack.hi
         )
+        na_before = self.book.na
         advanced = self.book.apply_ack(ack.lo, ack.hi)
         if advanced == 0:
             self.stats.stale_acks += 1
+        if self._retx is not None:
+            newly = [
+                self.book.domain.add(na_before, i) for i in range(advanced)
+            ]
+            self._retx.on_ack(newly, self.sim.now)
         self._delivered_count += advanced
         self.stats.acked = self._delivered_count
         self.stats.last_ack_time = self.sim.now

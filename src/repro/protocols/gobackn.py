@@ -24,16 +24,29 @@ from typing import Any, Dict, Optional
 
 from repro.core.messages import CumulativeAck, DataMessage
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.sim.timers import Timer
+from repro.robustness.budget import RetryVerdict
+from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.sim.timers import AdaptiveTimer
 from repro.trace.events import EventKind
 
 __all__ = ["GoBackNSender", "GoBackNReceiver"]
 
 
 class GoBackNSender(SenderEndpoint):
-    """Go-back-N sender: cumulative acks, whole-window retransmission."""
+    """Go-back-N sender: cumulative acks, whole-window retransmission.
 
-    def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
+    ``adaptive`` optionally replaces the fixed timeout with a
+    :class:`~repro.robustness.controller.RetransmissionController`
+    (estimated RTO, backoff, retry budget with graceful degradation);
+    ``None`` keeps the fixed-timer baseline bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        timeout_period: Optional[float] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+    ) -> None:
         super().__init__()
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
@@ -41,19 +54,31 @@ class GoBackNSender(SenderEndpoint):
         self.na = 0  # oldest unacknowledged
         self.ns = 0  # next to send
         self.timeout_period = timeout_period
+        self.adaptive = adaptive
+        self.link_dead = False
+        self._retx: Optional[RetransmissionController] = None
         self._payloads: Dict[int, Any] = {}
-        self._timer: Optional[Timer] = None
+        self._timer: Optional[AdaptiveTimer] = None
 
     def _after_attach(self) -> None:
         if self.timeout_period is None:
             raise ValueError("timeout_period must be set before attaching")
-        self._timer = Timer(self.sim, self._on_timeout, name="gbn-retx")
+        if self.adaptive is not None:
+            self._retx = self.adaptive.build(self.timeout_period)
+        self._timer = AdaptiveTimer(
+            self.sim, self._on_timeout, period_fn=self._period, name="gbn-retx"
+        )
+
+    def _period(self) -> float:
+        if self._retx is not None:
+            return self._retx.period(None)
+        return self.timeout_period
 
     # -- application interface -------------------------------------------
 
     @property
     def can_accept(self) -> bool:
-        return self.ns < self.na + self.w
+        return not self.link_dead and self.ns < self.na + self.w
 
     def submit(self, payload: Any) -> int:
         if not self.can_accept:
@@ -81,8 +106,10 @@ class GoBackNSender(SenderEndpoint):
         self.tx.send(
             DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
         )
+        if self._retx is not None:
+            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
         if not self._timer.running:
-            self._timer.start(self.timeout_period)
+            self._timer.start()
 
     def _on_timeout(self) -> None:
         """Go back: retransmit every outstanding message, restart timer."""
@@ -92,9 +119,20 @@ class GoBackNSender(SenderEndpoint):
         self.trace.record(
             self.actor_name, EventKind.TIMEOUT, seq=self.na, detail="go-back"
         )
+        if self._retx is not None:
+            verdict = self._retx.on_timeout(None)
+            if verdict is RetryVerdict.LINK_DEAD:
+                self.link_dead = True
+                self.trace.record(
+                    self.actor_name, EventKind.NOTE, detail="link dead"
+                )
+                self._timer.stop()
+                return
+            if verdict is RetryVerdict.DEGRADE:
+                self.w = max(1, int(self.w * self.adaptive.degrade_factor))
         for seq in range(self.na, self.ns):
             self._transmit(seq, attempt=1)
-        self._timer.start(self.timeout_period)
+        self._timer.start()
 
     # -- acknowledgment handling ---------------------------------------------
 
@@ -110,15 +148,18 @@ class GoBackNSender(SenderEndpoint):
             self.stats.stale_acks += 1
             return
         self.trace.record(self.actor_name, EventKind.RECV_ACK, seq=ack.seq)
-        for seq in range(self.na, ack.seq + 1):
+        newly_acked = list(range(self.na, ack.seq + 1))
+        for seq in newly_acked:
             self._payloads.pop(seq, None)
         self.na = ack.seq + 1
+        if self._retx is not None:
+            self._retx.on_ack(newly_acked, self.sim.now)
         self.stats.acked = self.na
         self.stats.last_ack_time = self.sim.now
         if self.all_acknowledged:
             self._timer.stop()
         else:
-            self._timer.start(self.timeout_period)  # restart for new oldest
+            self._timer.start()  # restart for new oldest
         self.trace.record(self.actor_name, EventKind.WINDOW_OPEN, seq=self.na)
         self._window_opened()
 

@@ -21,6 +21,7 @@ from repro.protocols.blockack_bounded import (
 )
 from repro.protocols.gobackn import GoBackNReceiver, GoBackNSender
 from repro.protocols.sack import SackReceiver, SackSender
+from repro.robustness.controller import AdaptiveConfig
 from repro.protocols.selective_repeat import (
     SelectiveRepeatReceiver,
     SelectiveRepeatSender,
@@ -39,6 +40,7 @@ def _blockack(
     bounded_wire: bool = False,
     ack_policy: Optional[AckPolicy] = None,
     timeout_period: Optional[float] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
     **_: object,
 ) -> Pair:
     numbering = ModularNumbering(window) if bounded_wire else None
@@ -47,6 +49,7 @@ def _blockack(
         numbering=numbering,
         timeout_mode=timeout_mode,
         timeout_period=timeout_period,
+        adaptive=adaptive,
     )
     receiver = BlockAckReceiver(window, numbering=numbering, ack_policy=ack_policy)
     return sender, receiver
@@ -67,24 +70,36 @@ def _blockack_bounded(
     window: int,
     ack_policy: Optional[AckPolicy] = None,
     timeout_period: Optional[float] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
     **_: object,
 ) -> Pair:
-    sender = BoundedBlockAckSender(window, timeout_period=timeout_period)
+    sender = BoundedBlockAckSender(
+        window, timeout_period=timeout_period, adaptive=adaptive
+    )
     receiver = BoundedBlockAckReceiver(window, ack_policy=ack_policy)
     return sender, receiver
 
 
 def _gobackn(
-    window: int, timeout_period: Optional[float] = None, **_: object
+    window: int,
+    timeout_period: Optional[float] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
+    **_: object,
 ) -> Pair:
-    return GoBackNSender(window, timeout_period), GoBackNReceiver(window)
+    return (
+        GoBackNSender(window, timeout_period, adaptive=adaptive),
+        GoBackNReceiver(window),
+    )
 
 
 def _selective_repeat(
-    window: int, timeout_period: Optional[float] = None, **_: object
+    window: int,
+    timeout_period: Optional[float] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
+    **_: object,
 ) -> Pair:
     return (
-        SelectiveRepeatSender(window, timeout_period),
+        SelectiveRepeatSender(window, timeout_period, adaptive=adaptive),
         SelectiveRepeatReceiver(window),
     )
 

@@ -24,30 +24,55 @@ from typing import Any, Dict, Optional
 from repro.core.messages import BlockAck, DataMessage
 from repro.core.window import ReceiverWindow, SenderWindow
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.sim.timers import TimerBank
+from repro.robustness.budget import RetryVerdict
+from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.sim.timers import AdaptiveTimerBank
 from repro.trace.events import EventKind
 
 __all__ = ["SelectiveRepeatSender", "SelectiveRepeatReceiver"]
 
 
 class SelectiveRepeatSender(SenderEndpoint):
-    """Selective-repeat sender: per-message acks and timers."""
+    """Selective-repeat sender: per-message acks and timers.
 
-    def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
+    ``adaptive`` optionally replaces the fixed per-message timeout with a
+    :class:`~repro.robustness.controller.RetransmissionController`
+    (estimated RTO, per-message backoff, retry budget with graceful
+    degradation); ``None`` keeps the fixed-timer baseline bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        timeout_period: Optional[float] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+    ) -> None:
         super().__init__()
         self.window = SenderWindow(window)
         self.timeout_period = timeout_period
+        self.adaptive = adaptive
+        self.link_dead = False
+        self._retx: Optional[RetransmissionController] = None
         self._payloads: Dict[int, Any] = {}
-        self._timers: Optional[TimerBank] = None
+        self._timers: Optional[AdaptiveTimerBank] = None
 
     def _after_attach(self) -> None:
         if self.timeout_period is None:
             raise ValueError("timeout_period must be set before attaching")
-        self._timers = TimerBank(self.sim, self._on_timeout, name="sr-retx")
+        if self.adaptive is not None:
+            self._retx = self.adaptive.build(self.timeout_period)
+        self._timers = AdaptiveTimerBank(
+            self.sim, self._on_timeout, period_fn=self._period, name="sr-retx"
+        )
+
+    def _period(self, seq: int) -> float:
+        if self._retx is not None:
+            return self._retx.period(seq)
+        return self.timeout_period
 
     @property
     def can_accept(self) -> bool:
-        return self.window.can_send
+        return not self.link_dead and self.window.can_send
 
     def submit(self, payload: Any) -> int:
         seq = self.window.take_next()
@@ -70,13 +95,28 @@ class SelectiveRepeatSender(SenderEndpoint):
         self.tx.send(
             DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
         )
-        self._timers.start(seq, self.timeout_period)
+        if self._retx is not None:
+            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
+        self._timers.start(seq)
 
     def _on_timeout(self, seq: int) -> None:
         if self.window.is_acked(seq):
             return
         self.stats.timeouts_fired += 1
         self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=seq)
+        if self._retx is not None:
+            verdict = self._retx.on_timeout(seq)
+            if verdict is RetryVerdict.LINK_DEAD:
+                self.link_dead = True
+                self.trace.record(
+                    self.actor_name, EventKind.NOTE, detail="link dead"
+                )
+                self._timers.stop_all()
+                return
+            if verdict is RetryVerdict.DEGRADE:
+                self.window.resize(
+                    max(1, int(self.window.w * self.adaptive.degrade_factor))
+                )
         self._transmit(seq, attempt=1)
 
     def on_message(self, ack: Any) -> None:
@@ -89,6 +129,8 @@ class SelectiveRepeatSender(SenderEndpoint):
             return
         self.trace.record(self.actor_name, EventKind.RECV_ACK, seq=seq, seq_hi=seq)
         outcome = self.window.apply_ack(seq, seq)
+        if self._retx is not None:
+            self._retx.on_ack(outcome.newly_acked, self.sim.now)
         self._timers.stop(seq)
         self._payloads.pop(seq, None)
         self.stats.acked = self.window.na

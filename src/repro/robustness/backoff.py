@@ -1,0 +1,63 @@
+"""Exponential retransmission backoff with cap and jitter.
+
+Jain's divergence result is about *feedback*: a fixed timer retransmits
+at a constant rate into an already-congested or blacked-out channel,
+and the retransmissions themselves keep the channel saturated.  Backing
+the timer off exponentially per consecutive failure breaks the loop; a
+cap keeps the sender responsive once the channel heals; jitter (when
+enabled) decorrelates competing senders.
+
+Jitter draws come from a dedicated seeded stream so that enabling it
+never perturbs channel randomness and runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Multiplier schedule applied on top of the base RTO.
+
+    ``factor(attempts)`` returns the multiplier for a timer that has
+    already fired ``attempts`` consecutive times without progress:
+    ``min(multiplier ** attempts, cap)``, optionally stretched by a
+    uniform random jitter of up to ``jitter`` (a fraction, e.g. ``0.1``
+    for +10%).
+    """
+
+    def __init__(
+        self,
+        multiplier: float = 2.0,
+        cap: float = 8.0,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if cap < 1.0:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.multiplier = multiplier
+        self.cap = cap
+        self.jitter = jitter
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def factor(self, attempts: int) -> float:
+        """Backoff multiplier after ``attempts`` consecutive expiries."""
+        if attempts < 0:
+            raise ValueError(f"attempts must be non-negative, got {attempts}")
+        base = min(self.multiplier**attempts, self.cap)
+        if self.jitter:
+            base *= 1.0 + self.rng.uniform(0.0, self.jitter)
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackoffPolicy(x{self.multiplier}, cap={self.cap}, "
+            f"jitter={self.jitter})"
+        )

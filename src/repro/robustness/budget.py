@@ -1,0 +1,86 @@
+"""Retry budgets and graceful degradation.
+
+A sender that retries forever converts a dead link into an infinite
+retransmission loop.  :class:`RetryBudget` bounds that: it watches the
+run of *consecutive* timeouts since the last acknowledgment progress and
+escalates through three verdicts:
+
+* ``RETRY`` — within budget, retransmit normally;
+* ``DEGRADE`` — the run crossed a soft threshold: shrink the effective
+  window (fewer messages hammering a sick channel) and keep going;
+* ``LINK_DEAD`` — the run crossed the hard limit: stop retransmitting
+  and surface the verdict to the application.
+
+Any acknowledgment progress resets the run — a healthy link never
+degrades.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["RetryBudget", "RetryVerdict"]
+
+
+class RetryVerdict(enum.Enum):
+    """What a sender should do about one fired retransmission timeout."""
+
+    RETRY = "retry"
+    DEGRADE = "degrade"
+    LINK_DEAD = "link_dead"
+
+
+class RetryBudget:
+    """Escalating verdicts over consecutive unproductive timeouts.
+
+    Parameters
+    ----------
+    degrade_after:
+        Every time the consecutive-timeout run grows by this many, a
+        ``DEGRADE`` verdict is issued (so a long outage degrades in
+        steps: at ``degrade_after``, ``2*degrade_after``, ...).
+    dead_after:
+        Once the run reaches this length, every further timeout yields
+        ``LINK_DEAD``.
+    """
+
+    def __init__(self, degrade_after: int = 3, dead_after: int = 12) -> None:
+        if degrade_after < 1:
+            raise ValueError(f"degrade_after must be >= 1, got {degrade_after}")
+        if dead_after < degrade_after:
+            raise ValueError(
+                f"dead_after {dead_after} below degrade_after {degrade_after}"
+            )
+        self.degrade_after = degrade_after
+        self.dead_after = dead_after
+        self.consecutive = 0
+        self.total_timeouts = 0
+        self.degrades = 0
+        self.exhausted = False
+
+    def on_timeout(self) -> RetryVerdict:
+        """Record one fired timeout; return the escalation verdict."""
+        self.consecutive += 1
+        self.total_timeouts += 1
+        if self.consecutive >= self.dead_after:
+            self.exhausted = True
+            return RetryVerdict.LINK_DEAD
+        if self.consecutive % self.degrade_after == 0:
+            self.degrades += 1
+            return RetryVerdict.DEGRADE
+        return RetryVerdict.RETRY
+
+    def on_progress(self) -> None:
+        """Acknowledgment progress: the link is alive, reset the run."""
+        self.consecutive = 0
+
+    def reset(self) -> None:
+        """Full reset (endpoint restart): forget runs and exhaustion."""
+        self.consecutive = 0
+        self.exhausted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryBudget(run={self.consecutive}, "
+            f"degrade_after={self.degrade_after}, dead_after={self.dead_after})"
+        )

@@ -1,0 +1,194 @@
+"""The adaptive-retransmission controller protocol senders consult.
+
+One :class:`RetransmissionController` per sender bundles the three
+mechanisms of this package — RTT estimation, exponential backoff, and
+the retry budget — behind the two questions a sender actually asks:
+
+* *how long should this (re)arm be?* — :meth:`period`, the estimator's
+  RTO times the backoff factor for that timer's consecutive-expiry
+  count;
+* *this timer fired; now what?* — :meth:`on_timeout`, which returns a
+  :class:`~repro.robustness.budget.RetryVerdict` (retry / degrade /
+  link dead).
+
+The sender reports its side of the conversation through
+:meth:`on_send` (every transmission, flagging retransmissions so Karn's
+rule can discard ambiguous samples) and :meth:`on_ack` (every
+acknowledgment, with the newly acknowledged sequence numbers).
+
+Senders with a single timer (the Section-II ``simple`` mode) use
+``key=None`` for period/backoff bookkeeping; per-message-timer senders
+key by sequence number.  RTT samples are always keyed by sequence
+number.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.robustness.backoff import BackoffPolicy
+from repro.robustness.budget import RetryBudget, RetryVerdict
+from repro.robustness.rtt import RttEstimator
+
+__all__ = ["AdaptiveConfig", "RetransmissionController"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs for adaptive retransmission.  Pass to a sender's ``adaptive=``.
+
+    ``initial_rto`` / ``min_rto`` left ``None`` inherit the sender's
+    (possibly runner-derived) fixed ``timeout_period`` — so inside the
+    simulator the RTO floor is the *provably safe* period and adaptivity
+    can only lengthen timers, preserving assertion 8.  On real links set
+    explicit values.
+    """
+
+    initial_rto: Optional[float] = None  # None: sender's timeout_period
+    min_rto: Optional[float] = None  # None: sender's timeout_period
+    max_rto: Optional[float] = None  # None: uncapped (backoff cap still applies)
+    alpha: float = 0.125  # srtt gain (Jacobson/Karels)
+    beta: float = 0.25  # rttvar gain
+    k: float = 4.0  # rto = srtt + k * rttvar
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 8.0  # max backoff factor
+    jitter: float = 0.0  # up-to fraction added to each period
+    jitter_seed: int = 0  # dedicated stream: never perturbs the channel
+    degrade_after: int = 3  # consecutive timeouts per degradation step
+    degrade_factor: float = 0.5  # window multiplier per degradation step
+    dead_after: int = 12  # consecutive timeouts until LINK_DEAD
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor}"
+            )
+
+    def build(self, fallback_rto: Optional[float]) -> "RetransmissionController":
+        """Instantiate the controller, resolving ``None`` knobs."""
+        return RetransmissionController(self, fallback_rto)
+
+
+class RetransmissionController:
+    """Live adaptive-retransmission state for one sender."""
+
+    def __init__(
+        self, config: AdaptiveConfig, fallback_rto: Optional[float]
+    ) -> None:
+        initial = (
+            config.initial_rto if config.initial_rto is not None else fallback_rto
+        )
+        if initial is None:
+            raise ValueError(
+                "adaptive retransmission needs an initial RTO: set "
+                "AdaptiveConfig.initial_rto or the sender's timeout_period"
+            )
+        min_rto = config.min_rto if config.min_rto is not None else fallback_rto
+        self.config = config
+        self.estimator = RttEstimator(
+            initial_rto=initial,
+            alpha=config.alpha,
+            beta=config.beta,
+            k=config.k,
+            min_rto=min_rto,
+            max_rto=config.max_rto,
+        )
+        self.backoff = BackoffPolicy(
+            multiplier=config.backoff_multiplier,
+            cap=config.backoff_cap,
+            jitter=config.jitter,
+            rng=random.Random(config.jitter_seed),
+        )
+        self.budget = RetryBudget(
+            degrade_after=config.degrade_after, dead_after=config.dead_after
+        )
+        self.link_dead = False
+        self.degrades = 0
+        self._attempts: Dict[Any, int] = {}  # timer key -> consecutive expiries
+        self._sent_at: Dict[Any, float] = {}  # seq -> first-send time
+        self._tainted: Set[Any] = set()  # seqs ever retransmitted (Karn)
+
+    # ------------------------------------------------------------------
+    # the sender's two questions
+    # ------------------------------------------------------------------
+
+    def period(self, key: Any = None) -> float:
+        """Arming period for the timer identified by ``key``."""
+        return self.estimator.rto * self.backoff.factor(
+            self._attempts.get(key, 0)
+        )
+
+    def on_timeout(self, key: Any = None) -> RetryVerdict:
+        """Record one fired timeout on ``key``; escalate via the budget."""
+        self._attempts[key] = self._attempts.get(key, 0) + 1
+        verdict = self.budget.on_timeout()
+        if verdict is RetryVerdict.LINK_DEAD:
+            self.link_dead = True
+        elif verdict is RetryVerdict.DEGRADE:
+            self.degrades += 1
+        return verdict
+
+    # ------------------------------------------------------------------
+    # the sender's reports
+    # ------------------------------------------------------------------
+
+    def on_send(self, seq: Any, now: float, retransmit: bool) -> None:
+        """Note one transmission of ``seq`` at time ``now``."""
+        if retransmit:
+            # Karn's rule: an ack for a retransmitted message is ambiguous
+            self._tainted.add(seq)
+            self._sent_at.pop(seq, None)
+        elif seq not in self._tainted:
+            self._sent_at[seq] = now
+
+    def on_ack(self, newly_acked: Iterable[Any], now: float) -> None:
+        """Fold RTT samples from ``newly_acked`` and reset failure runs."""
+        progressed = False
+        for seq in newly_acked:
+            progressed = True
+            sent_at = self._sent_at.pop(seq, None)
+            if sent_at is not None and seq not in self._tainted:
+                self.estimator.sample(now - sent_at)
+            self._tainted.discard(seq)
+            self._attempts.pop(seq, None)
+        if progressed:
+            self.budget.on_progress()
+            self._attempts.pop(None, None)  # single-timer senders' key
+
+    # ------------------------------------------------------------------
+    # lifecycle and reporting
+    # ------------------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Drop everything an endpoint crash loses (all of it is volatile)."""
+        self.estimator.reset()
+        self.budget.reset()
+        self._attempts.clear()
+        self._sent_at.clear()
+        self._tainted.clear()
+
+    @property
+    def verdict(self) -> str:
+        """Current link-health verdict: alive / degraded / dead."""
+        if self.link_dead:
+            return "dead"
+        return "degraded" if self.degrades else "alive"
+
+    def stats_dict(self) -> dict:
+        return {
+            "rto": self.estimator.rto,
+            "srtt": self.estimator.srtt,
+            "rttvar": self.estimator.rttvar,
+            "rtt_samples": self.estimator.samples,
+            "degrades": self.degrades,
+            "budget_timeouts": self.budget.total_timeouts,
+            "verdict": self.verdict,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetransmissionController(rto={self.estimator.rto:.4g}, "
+            f"verdict={self.verdict})"
+        )

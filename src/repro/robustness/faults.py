@@ -1,0 +1,173 @@
+"""Scripted fault injection for simulated transfers.
+
+A :class:`FaultPlan` bundles every fault a robustness experiment throws
+at one transfer, applied on top of whatever impairments the links
+already carry:
+
+* **frame corruption** — per-direction
+  :class:`~repro.channel.impairments.FrameCorruption` models; corrupted
+  frames are discarded on arrival (the checksum-fail path), counted in
+  :class:`FaultStats`, and never reach the endpoint;
+* **brownouts** — per-direction
+  :class:`~repro.channel.impairments.BrownoutLoss` ramps, composed over
+  the channel's existing loss model at install time;
+* **endpoint crash/restart** — scheduled :class:`CrashRestart` events.
+  A crashed endpoint loses its volatile state (timers, RTT estimates,
+  parked-retransmission bookkeeping, the receiver's reorder buffer) and
+  resumes from its durable snapshot (window counters, payload store);
+  messages delivered during the outage are dropped, as they would be at
+  a dead host.
+
+The plan owns a dedicated seeded rng for corruption draws, so injecting
+faults never perturbs the channels' own random streams — the underlying
+loss/delay trace stays identical with and without corruption.
+
+``run_transfer(..., fault_plan=plan)`` installs the plan after wiring;
+experiments read the injection counters back from ``plan.stats``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.channel.impairments import BrownoutLoss, FrameCorruption
+
+__all__ = ["CrashRestart", "FaultPlan", "FaultStats"]
+
+
+@dataclass(frozen=True)
+class CrashRestart:
+    """One scheduled endpoint crash.
+
+    The endpoint goes down at ``at``, stays down for ``outage``, then
+    restarts from its durable snapshot.  ``endpoint`` is ``"sender"`` or
+    ``"receiver"``; the endpoint object must implement ``crash()`` and
+    ``restore()`` (the block-ack endpoints do).
+    """
+
+    at: float
+    outage: float = 0.0
+    endpoint: str = "sender"
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.outage < 0:
+            raise ValueError("crash time and outage must be non-negative")
+        if self.endpoint not in ("sender", "receiver"):
+            raise ValueError(
+                f"endpoint must be 'sender' or 'receiver', got {self.endpoint!r}"
+            )
+
+
+@dataclass
+class FaultStats:
+    """What the plan actually injected, for reporting."""
+
+    corrupt_forward: int = 0  # frames corrupted on the data channel
+    corrupt_reverse: int = 0  # frames corrupted on the ack channel
+    crashes: int = 0
+    restarts: int = 0
+    dropped_while_down: int = 0  # deliveries into a crashed endpoint
+
+    def as_dict(self) -> dict:
+        return {
+            "corrupt_forward": self.corrupt_forward,
+            "corrupt_reverse": self.corrupt_reverse,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "dropped_while_down": self.dropped_while_down,
+        }
+
+
+class FaultPlan:
+    """A scripted set of faults to inject into one transfer."""
+
+    def __init__(
+        self,
+        forward_corruption: Optional[FrameCorruption] = None,
+        reverse_corruption: Optional[FrameCorruption] = None,
+        forward_brownout: Optional[Sequence] = None,
+        reverse_brownout: Optional[Sequence] = None,
+        crashes: Sequence[CrashRestart] = (),
+        seed: int = 0,
+    ) -> None:
+        self.forward_corruption = forward_corruption
+        self.reverse_corruption = reverse_corruption
+        self.forward_brownout = forward_brownout
+        self.reverse_brownout = reverse_brownout
+        self.crashes = tuple(crashes)
+        self.seed = seed
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+        self._down = {"sender": False, "receiver": False}
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+
+    def install(self, sim, forward, reverse, sender, receiver) -> None:
+        """Wire the plan into an already-connected transfer.
+
+        Must run *after* the channels are connected to the endpoints:
+        the corruption/outage interceptors re-connect each channel
+        through a wrapper around the endpoint's delivery callback.
+        """
+        if self.forward_brownout is not None:
+            forward.loss = BrownoutLoss(self.forward_brownout, base=forward.loss)
+        if self.reverse_brownout is not None:
+            reverse.loss = BrownoutLoss(self.reverse_brownout, base=reverse.loss)
+        forward.connect(
+            self._intercept(receiver.on_message, "receiver", "forward")
+        )
+        reverse.connect(self._intercept(sender.on_message, "sender", "reverse"))
+        for crash in self.crashes:
+            endpoint = sender if crash.endpoint == "sender" else receiver
+            sim.schedule_at(crash.at, self._crash, crash.endpoint, endpoint)
+            sim.schedule_at(
+                crash.at + crash.outage, self._restart, crash.endpoint, endpoint
+            )
+
+    def _intercept(
+        self, deliver: Callable[[Any], None], endpoint_name: str, direction: str
+    ) -> Callable[[Any], None]:
+        corruption = (
+            self.forward_corruption
+            if direction == "forward"
+            else self.reverse_corruption
+        )
+
+        def intercepted(message: Any) -> None:
+            if corruption is not None and corruption.corrupts(self._rng):
+                if direction == "forward":
+                    self.stats.corrupt_forward += 1
+                else:
+                    self.stats.corrupt_reverse += 1
+                return  # checksum failure: the frame never decodes
+            if self._down[endpoint_name]:
+                self.stats.dropped_while_down += 1
+                return  # nobody home
+            deliver(message)
+
+        return intercepted
+
+    # ------------------------------------------------------------------
+    # crash/restart events
+    # ------------------------------------------------------------------
+
+    def _crash(self, name: str, endpoint: Any) -> None:
+        self._down[name] = True
+        self.stats.crashes += 1
+        endpoint.crash()
+
+    def _restart(self, name: str, endpoint: Any) -> None:
+        self._down[name] = False
+        self.stats.restarts += 1
+        endpoint.restore()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(corrupt_fwd={self.forward_corruption!r}, "
+            f"corrupt_rev={self.reverse_corruption!r}, "
+            f"crashes={len(self.crashes)})"
+        )

@@ -79,6 +79,7 @@ class TransferResult:
     timeout_period: float = 0.0
     monitor: Any = None  # InvariantMonitor when monitor_invariants=True
     latencies: List[float] = field(default_factory=list)  # submit -> deliver
+    fault_stats: dict = field(default_factory=dict)  # injected-fault counters
 
     def latency_percentile(self, q: float) -> float:
         """Submit-to-deliver latency percentile (requires latencies)."""
@@ -170,6 +171,7 @@ def run_transfer(
     trace_capacity: Optional[int] = None,
     monitor_invariants: bool = False,
     record_channel_drops: bool = False,
+    fault_plan: Optional[Any] = None,
 ) -> TransferResult:
     """Run one complete transfer and measure it.
 
@@ -183,6 +185,13 @@ def run_transfer(
     event for breaches of the paper's invariant (returned as
     ``result.monitor``); safe configurations stay clean over arbitrarily
     long adversarial runs.
+
+    ``fault_plan`` (a :class:`~repro.robustness.faults.FaultPlan`)
+    installs scripted frame corruption, brownout loss ramps, and endpoint
+    crash/restart on top of the links; injection counters come back in
+    ``result.fault_stats``.  A sender running with ``adaptive=`` config
+    additionally reports its controller under
+    ``result.sender_stats["adaptive"]``.
     """
     sim = Simulator()
     streams = RandomStreams(seed)
@@ -264,6 +273,12 @@ def run_transfer(
         and hasattr(sender, "enable_oracle")
     ):
         sender.enable_oracle(forward_channel, reverse_channel, receiver)
+    if fault_plan is not None:
+        # must come after the connects above: the plan re-connects each
+        # channel through its corruption/outage interceptor
+        fault_plan.install(
+            sim, forward_channel, reverse_channel, sender, receiver
+        )
 
     source.attach(sim, sender)
 
@@ -295,6 +310,12 @@ def run_transfer(
             stats["discarded"] = channel.discarded
             stats["bytes_sent"] = channel.bytes_sent
 
+    sender_stats = sender.stats.as_dict()
+    controller = getattr(sender, "_retx", None)
+    if controller is not None:
+        sender_stats["adaptive"] = controller.stats_dict()
+        sender_stats["link_dead"] = getattr(sender, "link_dead", False)
+
     in_order = delivered_payloads == source.submitted[: len(delivered_payloads)]
     result = TransferResult(
         completed=finished(),
@@ -302,7 +323,7 @@ def run_transfer(
         delivered=len(delivered_payloads),
         submitted=len(source.submitted),
         in_order=in_order and len(delivered_payloads) == len(source.submitted),
-        sender_stats=sender.stats.as_dict(),
+        sender_stats=sender_stats,
         receiver_stats=receiver.stats.as_dict(),
         forward_stats=forward_stats,
         reverse_stats=reverse_stats,
@@ -311,5 +332,6 @@ def run_transfer(
         timeout_period=getattr(sender, "timeout_period", 0.0) or 0.0,
         monitor=monitor,
         latencies=latencies,
+        fault_stats=fault_plan.stats.as_dict() if fault_plan is not None else {},
     )
     return result

@@ -13,7 +13,7 @@ from typing import Any, Callable, Optional
 
 from repro.sim.engine import Event, Simulator
 
-__all__ = ["Timer", "TimerBank"]
+__all__ = ["Timer", "TimerBank", "AdaptiveTimer", "AdaptiveTimerBank"]
 
 
 class Timer:
@@ -125,3 +125,58 @@ class TimerBank:
         self._timers = {
             key: timer for key, timer in self._timers.items() if timer.running
         }
+
+
+class AdaptiveTimer(Timer):
+    """A timer whose period is supplied by a callable at each arming.
+
+    Adaptive-retransmission senders arm timers with a period that moves
+    run to run (RTO estimate times backoff factor).  Rather than thread
+    the period through every call site, the timer owns a ``period_fn``
+    consulted at arm time: :meth:`start`/:meth:`restart` with no
+    argument ask ``period_fn()``; passing an explicit period still
+    works, so an ``AdaptiveTimer`` with ``period_fn=lambda: T`` is a
+    drop-in :class:`Timer` with a default period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[..., None],
+        *args: Any,
+        period_fn: Callable[[], float],
+        name: str = "timer",
+    ) -> None:
+        super().__init__(sim, callback, *args, name=name)
+        self._period_fn = period_fn
+
+    def start(self, period: Optional[float] = None) -> None:
+        """Arm for ``period`` — or for ``period_fn()`` when omitted."""
+        super().start(period if period is not None else self._period_fn())
+
+    def restart(self, period: Optional[float] = None) -> None:
+        """Alias of :meth:`start`; reads better at re-arming call sites."""
+        self.start(period)
+
+
+class AdaptiveTimerBank(TimerBank):
+    """A :class:`TimerBank` whose per-key periods come from a callable.
+
+    ``period_fn(key)`` is consulted whenever :meth:`start` is called
+    without an explicit period, letting each key's timer back off
+    independently.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[Any], None],
+        period_fn: Callable[[Any], float],
+        name: str = "timerbank",
+    ) -> None:
+        super().__init__(sim, callback, name=name)
+        self._period_fn = period_fn
+
+    def start(self, key: Any, period: Optional[float] = None) -> None:
+        """Arm (or re-arm) ``key`` — for ``period_fn(key)`` when omitted."""
+        super().start(key, period if period is not None else self._period_fn(key))

@@ -35,6 +35,9 @@ class UdpTransferStats:
         self.acks_sent = 0
         self.duration = 0.0
         self.completed = False
+        self.sender_transport: dict = {}  # datagram counters, sender socket
+        self.receiver_transport: dict = {}  # ... and receiver socket
+        self.corrupt_frames = 0  # frames discarded on arrival, both sockets
 
 
 def transfer_over_udp(
@@ -123,4 +126,10 @@ def transfer_over_udp(
     stats.data_sent = sender.stats.data_sent
     stats.retransmissions = sender.stats.retransmissions
     stats.acks_sent = receiver.stats.acks_sent
+    stats.sender_transport = sender_socket.stats.as_dict()
+    stats.receiver_transport = receiver_socket.stats.as_dict()
+    stats.corrupt_frames = (
+        sender_socket.stats.corrupt_frames
+        + receiver_socket.stats.corrupt_frames
+    )
     return stats

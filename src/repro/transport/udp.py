@@ -18,14 +18,39 @@ from __future__ import annotations
 import random
 import socket
 import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
 from repro.transport.clock import RealtimeScheduler
 from repro.wire.codec import CorruptFrame, decode_message, encode_message
 
-__all__ = ["UdpTransport"]
+__all__ = ["TransportStats", "UdpTransport"]
 
 Address = Tuple[str, int]
+
+
+@dataclass
+class TransportStats:
+    """Datagram-level counters for one UDP socket.
+
+    ``corrupt_frames`` counts arriving frames that failed codec/CRC
+    validation (:class:`~repro.wire.codec.CorruptFrame`) and were
+    discarded in the receive loop — real-link corruption the protocol
+    layer never sees, reported alongside the endpoints' own stats.
+    """
+
+    sent: int = 0
+    dropped: int = 0  # egress loss injection
+    received: int = 0  # decoded and dispatched to the endpoint
+    corrupt_frames: int = 0  # discarded: failed frame validation
+
+    def as_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "received": self.received,
+            "corrupt_frames": self.corrupt_frames,
+        }
 
 
 class UdpTransport:
@@ -76,10 +101,24 @@ class UdpTransport:
         self._rx_thread = threading.Thread(
             target=self._receive_loop, name="repro-udp-rx", daemon=True
         )
-        self.sent = 0
-        self.dropped = 0
-        self.received = 0
-        self.undecodable = 0
+        self.stats = TransportStats()
+
+    # back-compat counter aliases (the counters live in ``stats`` now)
+    @property
+    def sent(self) -> int:
+        return self.stats.sent
+
+    @property
+    def dropped(self) -> int:
+        return self.stats.dropped
+
+    @property
+    def received(self) -> int:
+        return self.stats.received
+
+    @property
+    def undecodable(self) -> int:
+        return self.stats.corrupt_frames
 
     @property
     def local_address(self) -> Address:
@@ -99,9 +138,9 @@ class UdpTransport:
     def send(self, message: Any) -> None:
         if self.remote is None:
             raise RuntimeError("remote address not set")
-        self.sent += 1
+        self.stats.sent += 1
         if self.drop_probability and self.rng.random() < self.drop_probability:
-            self.dropped += 1
+            self.stats.dropped += 1
             return
         self._socket.sendto(self._encode(message), self.remote)
 
@@ -118,9 +157,10 @@ class UdpTransport:
             try:
                 message = self._decode(frame)
             except CorruptFrame:
-                self.undecodable += 1
+                # corruption on the wire: count it, drop the frame
+                self.stats.corrupt_frames += 1
                 continue
-            self.received += 1
+            self.stats.received += 1
             # hand off to the scheduler's worker: endpoints stay
             # single-threaded
             self.scheduler.call_soon(self._dispatch, message)

@@ -179,3 +179,49 @@ class TestObservers:
         channel.add_observer(lambda kind, m: events.append(kind))
         channel.send("x")
         assert "age" in events
+
+
+class TestReset:
+    """Channel.reset must return the channel — and its loss model — to
+    the just-built state, so repeated runs on one channel replay
+    deterministically (the regression: stateful loss models kept their
+    script/state position across resets)."""
+
+    def test_scripted_loss_replays_after_reset(self, sim):
+        channel, received = make_channel(
+            sim, delay=ConstantDelay(1.0), loss=ScriptedLoss({1})
+        )
+        for index in range(3):
+            channel.send(index)
+        sim.run()
+        assert received == [0, 2]
+
+        channel.reset()
+        received.clear()
+        for index in range(3):
+            channel.send(index)
+        sim.run()
+        # without LossModel.reset() the script index would have kept
+        # counting and dropped nothing on the second run
+        assert received == [0, 2]
+        assert channel.stats.lost == 1
+
+    def test_gilbert_elliott_returns_to_good_state(self, sim):
+        from repro.channel.impairments import GilbertElliottLoss
+
+        loss = GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.0)
+        channel, received = make_channel(sim, loss=loss)
+        channel.send("x")  # transitions the model to BAD
+        assert loss.state == GilbertElliottLoss.BAD
+        channel.reset()
+        assert loss.state == GilbertElliottLoss.GOOD
+
+    def test_reset_cancels_in_flight_and_zeroes_stats(self, sim):
+        channel, received = make_channel(sim, delay=ConstantDelay(2.0))
+        channel.send("doomed")
+        channel.reset()
+        sim.run()
+        assert received == []
+        assert channel.stats.sent == 0
+        assert channel.stats.in_flight_now == 0
+        assert channel.is_empty

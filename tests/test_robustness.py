@@ -1,0 +1,326 @@
+"""Unit and integration tests for the adaptive-retransmission layer.
+
+Covers the :mod:`repro.robustness` building blocks (RTT estimation,
+backoff, retry budget, the controller binding them) and the end-to-end
+behavior of senders running with ``adaptive=``: correctness under loss,
+graceful degradation, and the link-dead verdict on a black-holed channel.
+"""
+
+import pytest
+
+from repro.channel.impairments import BernoulliLoss
+from repro.experiments.common import lossy_link
+from repro.protocols.registry import make_pair
+from repro.robustness.backoff import BackoffPolicy
+from repro.robustness.budget import RetryBudget, RetryVerdict
+from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.robustness.rtt import RttEstimator
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+
+class TestRttEstimator:
+    def test_initial_rto_before_any_sample(self):
+        assert RttEstimator(initial_rto=3.0).rto == 3.0
+
+    def test_first_sample_initializes_rfc6298(self):
+        est = RttEstimator(initial_rto=10.0)
+        est.sample(2.0)
+        assert est.srtt == 2.0
+        assert est.rttvar == 1.0  # s/2
+        assert est.rto == 2.0 + 4.0 * 1.0
+
+    def test_ewma_update(self):
+        est = RttEstimator(initial_rto=10.0, alpha=0.5, beta=0.5, k=1.0)
+        est.sample(2.0)
+        est.sample(4.0)
+        # rttvar: 1 + 0.5*(|2-4| - 1) = 1.5 ; srtt: 2 + 0.5*(4-2) = 3
+        assert est.rttvar == pytest.approx(1.5)
+        assert est.srtt == pytest.approx(3.0)
+        assert est.rto == pytest.approx(3.0 + 1.5)
+
+    def test_converges_toward_stable_rtt(self):
+        est = RttEstimator(initial_rto=50.0)
+        for _ in range(200):
+            est.sample(2.0)
+        assert est.srtt == pytest.approx(2.0)
+        assert est.rto == pytest.approx(2.0, abs=0.01)  # variance decays
+
+    def test_min_rto_floor(self):
+        est = RttEstimator(initial_rto=5.0, min_rto=3.0)
+        for _ in range(50):
+            est.sample(0.1)
+        assert est.rto == 3.0
+
+    def test_max_rto_cap(self):
+        est = RttEstimator(initial_rto=5.0, max_rto=6.0)
+        est.sample(100.0)
+        assert est.rto == 6.0
+
+    def test_reset_forgets_samples(self):
+        est = RttEstimator(initial_rto=7.0)
+        est.sample(1.0)
+        est.reset()
+        assert est.samples == 0
+        assert est.rto == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto=0.0)
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto=1.0, alpha=1.5)
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto=1.0, min_rto=5.0, max_rto=2.0)
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rto=1.0).sample(-1.0)
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth(self):
+        policy = BackoffPolicy(multiplier=2.0, cap=100.0)
+        assert [policy.factor(n) for n in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap(self):
+        policy = BackoffPolicy(multiplier=2.0, cap=8.0)
+        assert policy.factor(10) == 8.0
+
+    def test_jitter_bounded_and_deterministic(self):
+        import random
+
+        a = BackoffPolicy(jitter=0.25, rng=random.Random(7))
+        b = BackoffPolicy(jitter=0.25, rng=random.Random(7))
+        factors = [a.factor(1) for _ in range(20)]
+        assert factors == [b.factor(1) for _ in range(20)]  # seeded stream
+        assert all(2.0 <= f <= 2.0 * 1.25 for f in factors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy().factor(-1)
+
+
+class TestRetryBudget:
+    def test_escalation_sequence(self):
+        budget = RetryBudget(degrade_after=2, dead_after=5)
+        verdicts = [budget.on_timeout() for _ in range(5)]
+        assert verdicts == [
+            RetryVerdict.RETRY,
+            RetryVerdict.DEGRADE,  # run = 2
+            RetryVerdict.RETRY,
+            RetryVerdict.DEGRADE,  # run = 4
+            RetryVerdict.LINK_DEAD,  # run = 5
+        ]
+        assert budget.exhausted
+
+    def test_progress_resets_run(self):
+        budget = RetryBudget(degrade_after=3, dead_after=6)
+        budget.on_timeout()
+        budget.on_timeout()
+        budget.on_progress()
+        assert budget.consecutive == 0
+        # a healthy link never degrades
+        assert budget.on_timeout() is RetryVerdict.RETRY
+
+    def test_total_timeouts_survive_progress(self):
+        budget = RetryBudget()
+        budget.on_timeout()
+        budget.on_progress()
+        budget.on_timeout()
+        assert budget.total_timeouts == 2
+
+    def test_reset_clears_exhaustion(self):
+        budget = RetryBudget(degrade_after=1, dead_after=1)
+        assert budget.on_timeout() is RetryVerdict.LINK_DEAD
+        budget.reset()
+        assert not budget.exhausted
+        assert budget.consecutive == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(degrade_after=0)
+        with pytest.raises(ValueError):
+            RetryBudget(degrade_after=5, dead_after=3)
+
+
+class TestRetransmissionController:
+    def make(self, **overrides):
+        config = AdaptiveConfig(**overrides)
+        return config.build(fallback_rto=4.0)
+
+    def test_initial_period_is_fallback(self):
+        assert self.make().period() == 4.0
+
+    def test_period_backs_off_per_key(self):
+        retx = self.make()
+        retx.on_timeout(7)
+        retx.on_timeout(7)
+        assert retx.period(7) == 4.0 * 4.0  # two expiries -> x4
+        assert retx.period(8) == 4.0  # other keys unaffected
+
+    def test_ack_resets_backoff_and_budget(self):
+        retx = self.make()
+        retx.on_timeout(7)
+        retx.on_ack([7], now=10.0)
+        assert retx.period(7) == 4.0
+        assert retx.budget.consecutive == 0
+
+    def test_rtt_sampled_from_clean_send(self):
+        retx = self.make()
+        retx.on_send(1, now=0.0, retransmit=False)
+        retx.on_ack([1], now=2.0)
+        assert retx.estimator.samples == 1
+        assert retx.estimator.srtt == 2.0
+
+    def test_karns_rule_discards_retransmitted_samples(self):
+        retx = self.make()
+        retx.on_send(1, now=0.0, retransmit=False)
+        retx.on_send(1, now=5.0, retransmit=True)  # tainted
+        retx.on_ack([1], now=6.0)  # ambiguous: which copy answered?
+        assert retx.estimator.samples == 0
+
+    def test_min_rto_floor_defaults_to_fallback(self):
+        retx = self.make()
+        for _ in range(50):
+            retx.on_send(1, now=0.0, retransmit=False)
+            retx.on_ack([1], now=0.01)  # rtt far below the safe period
+        assert retx.period() >= 4.0  # adaptivity only lengthens timers
+
+    def test_link_dead_verdict(self):
+        retx = self.make(dead_after=3, degrade_after=3)
+        retx.on_timeout()
+        retx.on_timeout()
+        assert retx.on_timeout() is RetryVerdict.LINK_DEAD
+        assert retx.link_dead
+        assert retx.verdict == "dead"
+
+    def test_reset_volatile(self):
+        retx = self.make()
+        retx.on_send(1, now=0.0, retransmit=False)
+        retx.on_timeout(1)
+        retx.reset_volatile()
+        assert retx.period(1) == 4.0
+        retx.on_ack([1], now=9.0)
+        assert retx.estimator.samples == 0  # pre-crash send time forgotten
+
+    def test_stats_dict_keys(self):
+        stats = self.make().stats_dict()
+        assert set(stats) == {
+            "rto", "srtt", "rttvar", "rtt_samples", "degrades",
+            "budget_timeouts", "verdict",
+        }
+
+    def test_config_requires_some_rto(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig().build(fallback_rto=None)
+
+    def test_degrade_factor_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(degrade_factor=0.0)
+
+
+PROTOCOLS_WITH_ADAPTIVE = [
+    ("blockack", {"timeout_mode": "simple"}),
+    ("blockack", {"timeout_mode": "per_message_safe"}),
+    ("blockack-bounded", {}),
+    ("gobackn", {}),
+    ("selective-repeat", {}),
+]
+
+
+class TestAdaptiveEndToEnd:
+    @pytest.mark.parametrize("name,kwargs", PROTOCOLS_WITH_ADAPTIVE)
+    def test_lossy_transfer_completes_in_order(self, name, kwargs):
+        sender, receiver = make_pair(
+            name, window=4, adaptive=AdaptiveConfig(), **kwargs
+        )
+        result = run_transfer(
+            sender,
+            receiver,
+            GreedySource(120),
+            forward=lossy_link(0.05),
+            reverse=lossy_link(0.05),
+            seed=3,
+            max_time=20_000.0,
+        )
+        assert result.completed and result.in_order
+        assert result.sender_stats["adaptive"]["rtt_samples"] > 0
+        assert result.sender_stats["link_dead"] is False
+
+    def test_adaptive_keeps_invariants_under_loss(self):
+        sender, receiver = make_pair(
+            "blockack",
+            window=6,
+            timeout_mode="per_message_safe",
+            adaptive=AdaptiveConfig(),
+        )
+        result = run_transfer(
+            sender,
+            receiver,
+            GreedySource(150),
+            forward=lossy_link(0.1),
+            reverse=lossy_link(0.1),
+            seed=11,
+            max_time=20_000.0,
+            monitor_invariants=True,
+        )
+        assert result.completed and result.in_order
+        assert result.monitor.violations == []
+
+    def test_black_hole_degrades_then_declares_link_dead(self):
+        sender, receiver = make_pair(
+            "blockack",
+            window=8,
+            timeout_mode="simple",
+            adaptive=AdaptiveConfig(degrade_after=3, dead_after=9),
+        )
+        black_hole = LinkSpec(loss=BernoulliLoss(1.0))
+        result = run_transfer(
+            sender,
+            receiver,
+            GreedySource(20),
+            forward=black_hole,
+            reverse=LinkSpec(),
+            seed=1,
+            max_time=100_000.0,
+        )
+        assert not result.completed
+        assert sender.link_dead
+        assert result.sender_stats["link_dead"] is True
+        assert result.sender_stats["adaptive"]["verdict"] == "dead"
+        # degraded in steps before giving up: w = 8 -> 4 -> 2
+        assert sender.window.w < 8
+        assert result.sender_stats["adaptive"]["degrades"] == 2
+        # the budget stopped the retry loop at the hard limit
+        assert result.sender_stats["timeouts_fired"] == 9
+        # ... and the simulation drained instead of retrying forever
+        assert result.duration < 100_000.0
+
+    def test_backoff_spaces_out_retries(self):
+        def timeouts_at(config):
+            sender, receiver = make_pair(
+                "blockack", window=2, timeout_mode="simple", adaptive=config
+            )
+            result = run_transfer(
+                sender,
+                receiver,
+                GreedySource(5),
+                forward=LinkSpec(loss=BernoulliLoss(1.0)),
+                reverse=LinkSpec(),
+                seed=1,
+                max_time=400.0,
+            )
+            return result.sender_stats["timeouts_fired"]
+
+        # same budget, same horizon: exponential backoff fires fewer
+        # timeouts than flat retries before the cutoff
+        flat = timeouts_at(AdaptiveConfig(backoff_multiplier=1.0, dead_after=50))
+        backed_off = timeouts_at(AdaptiveConfig(dead_after=50))
+        assert backed_off < flat
+
+    def test_adaptive_none_is_the_default(self):
+        sender, _ = make_pair("blockack", window=4)
+        assert sender.adaptive is None
+        assert sender._retx is None

@@ -1,6 +1,6 @@
 """Unit tests for restartable timers and timer banks."""
 
-from repro.sim.timers import Timer, TimerBank
+from repro.sim.timers import AdaptiveTimer, AdaptiveTimerBank, Timer, TimerBank
 
 
 class TestTimer:
@@ -134,3 +134,129 @@ class TestTimerBank:
         bank.prune()
         assert bank.active_keys() == ["b"]
         assert "a" not in bank._timers
+
+
+class TestStaleArming:
+    """A superseded arming must never fire — the backoff-critical property.
+
+    Adaptive retransmission re-arms timers with periods that grow
+    (backoff) and *shrink* (estimate convergence, backoff reset on
+    progress).  Whatever the period does between re-arms, only the most
+    recent arming may produce a callback.
+    """
+
+    def test_stop_then_restart_with_shorter_period(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        sim.schedule(1.0, timer.stop)
+        sim.schedule(2.0, lambda: timer.restart(1.0))
+        sim.run()
+        assert fired == [3.0]  # the stale t=10 arming never fires
+
+    def test_rapid_rearm_sequence_fires_once(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        # shrink, grow, shrink again — all before anything fires
+        timer.start(8.0)
+        timer.restart(2.0)
+        timer.restart(6.0)
+        timer.restart(1.5)
+        sim.run()
+        assert fired == [1.5]
+
+    def test_bank_rearm_with_shrinking_period(self, sim):
+        fired = []
+        bank = TimerBank(sim, lambda k: fired.append((k, sim.now)))
+        bank.start("a", 5.0)
+        sim.schedule(1.0, lambda: bank.start("a", 1.0))  # shrink: 5 -> 1
+        sim.run()
+        assert fired == [("a", 2.0)]  # not (a, 5.0)
+
+    def test_bank_stop_between_rearms(self, sim):
+        fired = []
+        bank = TimerBank(sim, lambda k: fired.append((k, sim.now)))
+        bank.start(3, 4.0)
+        sim.schedule(1.0, lambda: bank.stop(3))
+        sim.schedule(2.0, lambda: bank.start(3, 0.5))
+        sim.run()
+        assert fired == [(3, 2.5)]
+
+
+class TestAdaptiveTimer:
+    def test_uses_period_fn_when_no_argument(self, sim):
+        fired = []
+        timer = AdaptiveTimer(
+            sim, lambda: fired.append(sim.now), period_fn=lambda: 2.5
+        )
+        timer.start()
+        sim.run()
+        assert fired == [2.5]
+
+    def test_explicit_period_overrides_period_fn(self, sim):
+        fired = []
+        timer = AdaptiveTimer(
+            sim, lambda: fired.append(sim.now), period_fn=lambda: 99.0
+        )
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_period_fn_consulted_at_each_arming(self, sim):
+        periods = [4.0, 1.0]  # backoff collapsing after progress
+        fired = []
+        timer = AdaptiveTimer(
+            sim, lambda: fired.append(sim.now), period_fn=lambda: periods.pop(0)
+        )
+        timer.start()  # arms for 4.0
+        sim.schedule(2.0, timer.restart)  # re-arms for 1.0: shrinks past t=4
+        sim.run()
+        assert fired == [3.0]  # stale t=4 arming is gone
+
+    def test_restart_is_argless_alias(self, sim):
+        fired = []
+        timer = AdaptiveTimer(
+            sim, lambda: fired.append(sim.now), period_fn=lambda: 1.0
+        )
+        timer.restart()
+        sim.run()
+        assert fired == [1.0]
+
+
+class TestAdaptiveTimerBank:
+    def test_per_key_period_fn(self, sim):
+        fired = []
+        bank = AdaptiveTimerBank(
+            sim,
+            lambda k: fired.append((k, sim.now)),
+            period_fn=lambda key: 1.0 if key == "fast" else 3.0,
+        )
+        bank.start("fast")
+        bank.start("slow")
+        sim.run()
+        assert fired == [("fast", 1.0), ("slow", 3.0)]
+
+    def test_rearm_with_shrunk_period_fn(self, sim):
+        periods = {"x": 10.0}
+        fired = []
+        bank = AdaptiveTimerBank(
+            sim, lambda k: fired.append((k, sim.now)), period_fn=periods.__getitem__
+        )
+        bank.start("x")  # arms for 10.0
+
+        def shrink_and_rearm():
+            periods["x"] = 1.0  # RTO estimate collapsed between re-arms
+            bank.start("x")
+
+        sim.schedule(2.0, shrink_and_rearm)
+        sim.run()
+        assert fired == [("x", 3.0)]  # exactly once, from the new arming
+
+    def test_explicit_period_still_accepted(self, sim):
+        fired = []
+        bank = AdaptiveTimerBank(
+            sim, lambda k: fired.append(sim.now), period_fn=lambda key: 50.0
+        )
+        bank.start("k", 2.0)
+        sim.run()
+        assert fired == [2.0]

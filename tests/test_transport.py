@@ -163,3 +163,42 @@ class TestUdpTransfers:
     def test_non_bytes_payload_rejected(self):
         with pytest.raises(TypeError):
             transfer_over_udp(["not-bytes"])
+
+
+class TestTransportStats:
+    def test_corrupt_frames_counted_not_dispatched(self):
+        import socket as socket_module
+
+        received = []
+        with RealtimeScheduler() as clock:
+            b = UdpTransport(clock)
+            try:
+                b.connect(received.append)
+                # raw garbage straight at the socket: fails frame decode
+                probe = socket_module.socket(
+                    socket_module.AF_INET, socket_module.SOCK_DGRAM
+                )
+                try:
+                    for _ in range(3):
+                        probe.sendto(b"\xff not a frame", b.local_address)
+                    deadline = time.time() + 3.0
+                    while b.stats.corrupt_frames < 3 and time.time() < deadline:
+                        time.sleep(0.01)
+                finally:
+                    probe.close()
+                assert b.stats.corrupt_frames == 3
+                assert b.stats.received == 0
+                assert received == []
+                assert b.undecodable == 3  # back-compat alias
+            finally:
+                b.close()
+
+    def test_session_exposes_transport_stats(self):
+        stats = transfer_over_udp([b"a", b"b", b"c"], seed=1)
+        assert stats.completed
+        assert stats.sender_transport["sent"] >= 3
+        assert stats.receiver_transport["received"] >= 3
+        assert set(stats.sender_transport) == {
+            "sent", "dropped", "received", "corrupt_frames",
+        }
+        assert stats.corrupt_frames == 0  # loopback does not corrupt
