@@ -39,6 +39,43 @@ def test_engine_event_throughput(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_engine_fanout_throughput(benchmark):
+    """Heap-heavy: 10k events pre-scheduled at jittered times, then drained."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for index in range(10_000):
+            sim.schedule(((index * 7919) % 1000) * 0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_engine_run_while_drain(benchmark):
+    """Predicate-driven drain (the run_transfer loop) over 10k events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        processed = sim.run_while(lambda: count[0] < 10_000)
+        return processed
+
+    assert benchmark(run) == 10_000
+
+
 def test_channel_transit_throughput(benchmark):
     """Push 5k messages through a jittery lossy channel."""
 
@@ -113,6 +150,31 @@ def test_reconstruct_function(benchmark):
         return total
 
     benchmark(run)
+
+
+def test_sweep_runner_grid(benchmark):
+    """A 6-run protocol grid through the serial sweep runner."""
+    from repro.perf.sweep import RunConfig, SweepRunner
+
+    def run():
+        configs = [
+            RunConfig(
+                protocol="blockack", window=8, total=200,
+                forward=LinkSpec(
+                    delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)
+                ),
+                reverse=LinkSpec(
+                    delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05)
+                ),
+                seed=seed,
+            )
+            for seed in range(6)
+        ]
+        results = SweepRunner(jobs=1, cache=False).run(configs)
+        assert all(r.completed and r.in_order for r in results)
+        return len(results)
+
+    assert benchmark(run) == 6
 
 
 def test_model_checker_expansion(benchmark):

@@ -11,18 +11,29 @@ Every experiment benchmark:
 Set ``REPRO_FULL=1`` to run experiments at full size (more replications,
 longer transfers); the default is quick mode so the whole suite finishes
 in about a minute.
+
+On top of pytest-benchmark's own reporting, the session writes the
+per-experiment wall-clock times into ``BENCH_<mode>.json`` at the repo
+root (same schema as ``blockack perf``), so a benchmark run doubles as a
+perf-regression baseline — compare against a committed baseline with
+``python -m repro.perf.bench --compare BENCH_quick.json --baseline ...``.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
 
 FULL_MODE = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: exp_id -> wall-clock seconds, filled by run_and_record during the run
+_EXPERIMENT_SECONDS: dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -36,10 +47,25 @@ def run_and_record(benchmark, exp_id: str, results_dir: pathlib.Path):
     from repro.experiments.registry import run_experiment
 
     quick = not FULL_MODE
+    start = time.perf_counter()
     result = benchmark.pedantic(
         run_experiment, args=(exp_id, quick), rounds=1, iterations=1
     )
+    _EXPERIMENT_SECONDS[exp_id] = time.perf_counter() - start
     mode = "full" if FULL_MODE else "quick"
     (results_dir / f"{exp_id}_{mode}.txt").write_text(result.render() + "\n")
     assert result.reproduced, result.render()
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the experiment timings as a machine-readable baseline."""
+    if not _EXPERIMENT_SECONDS:
+        return
+    from repro.perf.bench import update_bench_json
+
+    mode = "full" if FULL_MODE else "quick"
+    update_bench_json(
+        REPO_ROOT / f"BENCH_{mode}.json", mode,
+        experiments=dict(_EXPERIMENT_SECONDS),
+    )

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Sequence
 from repro.analysis.stats import Summary, summarize
 from repro.sim.runner import TransferResult
 
-__all__ = ["replicate", "MetricSet", "extract"]
+__all__ = ["replicate", "summarize_replications", "MetricSet", "extract"]
 
 MetricSet = Dict[str, Summary]
 
@@ -52,14 +52,30 @@ def replicate(
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results: List[TransferResult] = []
-    for seed in seeds:
-        result = run(seed)
-        if require_correct and not (result.completed and result.in_order):
-            raise AssertionError(
-                f"replication seed={seed} violated correctness: {result.summary()}"
-            )
-        results.append(result)
+    return summarize_replications(
+        [run(seed) for seed in seeds], metrics=metrics, require_correct=require_correct
+    )
+
+
+def summarize_replications(
+    results: Sequence[TransferResult],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    require_correct: bool = True,
+) -> MetricSet:
+    """Aggregate already-computed replications (see :func:`replicate`).
+
+    This is the back half of :func:`replicate`, split out so sweeps that
+    precompute their runs — the parallel grid runner — aggregate through
+    the identical code path and produce identical summaries.
+    """
+    if not results:
+        raise ValueError("need at least one replication result")
+    if require_correct:
+        for result in results:
+            if not (result.completed and result.in_order):
+                raise AssertionError(
+                    f"replication violated correctness: {result.summary()}"
+                )
     return {
         metric: summarize(extract(result, metric) for result in results)
         for metric in metrics

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
 from repro.channel.delay import ConstantDelay, DelayModel
@@ -60,16 +60,6 @@ class ChannelStats:
             "reordered": self.reordered,
             "duplicated": self.duplicated,
         }
-
-
-@dataclass
-class _InFlight:
-    """Bookkeeping for one message currently in transit."""
-
-    message: Any
-    send_seq: int
-    deliver_at: float
-    event: Any = field(repr=False, default=None)
 
 
 class Channel:
@@ -125,7 +115,10 @@ class Channel:
         self.name = name
         self.stats = ChannelStats()
         self._receiver: Optional[Callable[[Any], None]] = None
-        self._in_flight: dict[int, _InFlight] = {}
+        # flight_id -> (message, send_seq, event); a plain tuple rather
+        # than a bookkeeping object keeps the per-message send cost to one
+        # small allocation on the hot path
+        self._in_flight: dict[int, tuple] = {}
         self._ids = itertools.count()
         self._last_delivered_send_seq = -1
         self._observers: list[Callable[[str, Any], None]] = []
@@ -155,48 +148,53 @@ class Channel:
         """Inject a message; it will be lost, aged out, or delivered later."""
         if self._receiver is None:
             raise RuntimeError(f"channel {self.name!r} has no receiver connected")
-        send_seq = self.stats.sent
-        self.stats.sent += 1
-        self._notify("send", message)
+        stats = self.stats
+        rng = self.rng
+        observers = self._observers
+        send_seq = stats.sent
+        stats.sent = send_seq + 1
+        if observers:
+            self._notify("send", message)
 
-        if self.loss.drops_at(self.rng, self.sim.now):
-            self.stats.lost += 1
-            self._notify("lose", message)
+        if self.loss.drops_at(rng, self.sim.now):
+            stats.lost += 1
+            if observers:
+                self._notify("lose", message)
             return
 
         copies = 1
         if (
             self.duplicate_probability > 0.0
-            and self.rng.random() < self.duplicate_probability
+            and rng.random() < self.duplicate_probability
         ):
             copies = 2
-            self.stats.duplicated += 1
-            self._notify("duplicate", message)  # second copy entering
+            stats.duplicated += 1
+            if observers:
+                self._notify("duplicate", message)  # second copy entering
 
+        max_lifetime = self.max_lifetime
+        sample = self.delay.sample
         for _ in range(copies):
-            transit = self.delay.sample(self.rng)
-            if self.max_lifetime is not None and transit > self.max_lifetime:
-                self.stats.aged_out += 1
-                self._notify("age", message)
+            transit = sample(rng)
+            if max_lifetime is not None and transit > max_lifetime:
+                stats.aged_out += 1
+                if observers:
+                    self._notify("age", message)
                 continue
             flight_id = next(self._ids)
-            entry = _InFlight(
-                message=message,
-                send_seq=send_seq,
-                deliver_at=self.sim.now + transit,
-            )
-            entry.event = self.sim.schedule(transit, self._deliver, flight_id)
-            self._in_flight[flight_id] = entry
+            event = self.sim.schedule(transit, self._deliver, flight_id)
+            self._in_flight[flight_id] = (message, send_seq, event)
 
     def _deliver(self, flight_id: int) -> None:
-        entry = self._in_flight.pop(flight_id)
+        message, send_seq, _ = self._in_flight.pop(flight_id)
         self.stats.delivered += 1
-        if entry.send_seq < self._last_delivered_send_seq:
+        if send_seq < self._last_delivered_send_seq:
             self.stats.reordered += 1
         else:
-            self._last_delivered_send_seq = entry.send_seq
-        self._notify("deliver", entry.message)
-        self._receiver(entry.message)
+            self._last_delivered_send_seq = send_seq
+        if self._observers:
+            self._notify("deliver", message)
+        self._receiver(message)
 
     def reset(self) -> None:
         """Return the channel to its just-built state for a repeat run.
@@ -208,8 +206,8 @@ GilbertElliottLoss`, :class:`~repro.channel.impairments.ScriptedLoss`)
         replay deterministically across repeated runs on one channel.
         The rng is owned by the caller and is *not* reseeded here.
         """
-        for entry in self._in_flight.values():
-            entry.event.cancel()
+        for _, _, event in self._in_flight.values():
+            event.cancel()
         self._in_flight.clear()
         self.stats = ChannelStats()
         self._last_delivered_send_seq = -1
@@ -224,13 +222,13 @@ GilbertElliottLoss`, :class:`~repro.channel.impairments.ScriptedLoss`)
         doomed = [
             flight_id
             for flight_id, entry in self._in_flight.items()
-            if predicate(entry.message)
+            if predicate(entry[0])
         ]
         for flight_id in doomed:
-            entry = self._in_flight.pop(flight_id)
-            entry.event.cancel()
+            message, _, event = self._in_flight.pop(flight_id)
+            event.cancel()
             self.stats.lost += 1
-            self._notify("lose", entry.message)
+            self._notify("lose", message)
         return len(doomed)
 
     # ------------------------------------------------------------------
@@ -239,7 +237,7 @@ GilbertElliottLoss`, :class:`~repro.channel.impairments.ScriptedLoss`)
 
     def in_flight(self) -> Iterator[Any]:
         """Iterate over the messages currently in transit."""
-        return (entry.message for entry in self._in_flight.values())
+        return (entry[0] for entry in self._in_flight.values())
 
     @property
     def in_flight_count(self) -> int:

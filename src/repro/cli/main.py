@@ -6,8 +6,15 @@ Subcommands
 ``blockack list``
     Show the available experiments and protocols.
 
-``blockack run e3 [--quick]``
+``blockack run e3 [--quick] [--jobs N] [--cache]``
     Run one experiment (or ``all``) and print its table and verdict.
+    ``--jobs`` fans the sweep-heavy experiments across worker processes;
+    ``--cache`` memoizes completed runs under ``results/cache/``.
+
+``blockack perf [--scale N] [--experiments] [--output BENCH_quick.json]``
+    Measure the hot paths (engine events/sec, channel transit, transfer
+    throughput) and optionally per-experiment wall-clock, writing a
+    machine-readable ``BENCH_<mode>.json`` baseline.
 
 ``blockack transfer --protocol blockack --window 8 --messages 500 ...``
     Run a single ad-hoc transfer and print its summary (useful for
@@ -47,6 +54,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", help="experiment id, e.g. e3, or 'all'")
     run_p.add_argument(
         "--quick", action="store_true", help="reduced replications/sizes"
+    )
+    run_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep experiments (default: $REPRO_JOBS or 1)",
+    )
+    run_p.add_argument(
+        "--cache", action="store_true",
+        help="memoize completed runs in results/cache/ (like REPRO_CACHE=1)",
+    )
+
+    perf_p = sub.add_parser(
+        "perf", help="measure hot paths, write a BENCH_<mode>.json baseline"
+    )
+    perf_p.add_argument(
+        "--scale", type=int, default=1,
+        help="workload multiplier (1 = quick/CI size)",
+    )
+    perf_p.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    perf_p.add_argument(
+        "--experiments", action="store_true",
+        help="also time every experiment (quick mode) end to end",
+    )
+    perf_p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="output JSON path (default: BENCH_quick.json, or BENCH_full.json "
+        "when --scale > 1)",
     )
 
     tr = sub.add_parser("transfer", help="run one ad-hoc transfer")
@@ -104,9 +139,22 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, quick: bool) -> int:
+def _cmd_run(
+    experiment: str,
+    quick: bool,
+    jobs: Optional[int] = None,
+    cache: bool = False,
+) -> int:
+    import os
+
     from repro.experiments.registry import experiment_ids, run_experiment
 
+    # the sweep experiments read these knobs from the environment, which
+    # keeps experiment signatures declarative (see repro.perf.sweep)
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
+    if cache:
+        os.environ["REPRO_CACHE"] = "1"
     ids = experiment_ids() if experiment.lower() == "all" else [experiment]
     failures = 0
     for exp_id in ids:
@@ -145,6 +193,38 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         print()
         print(result.trace.format(limit=args.trace))
     return 0 if result.completed and result.in_order else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.perf.bench import run_microbenchmarks, update_bench_json
+
+    mode = "quick" if args.scale <= 1 else "full"
+    output = args.output if args.output else f"BENCH_{mode}.json"
+
+    print(f"microbenchmarks (scale={args.scale}, best of {args.repeats}):")
+    micro = run_microbenchmarks(scale=args.scale, repeats=args.repeats)
+    for name, rate in sorted(micro.items()):
+        print(f"  {name:36s} {rate:>14,.0f}")
+
+    experiments = None
+    if args.experiments:
+        from repro.experiments.registry import experiment_ids, run_experiment
+
+        experiments = {}
+        print("\nexperiment wall-clock (quick mode):")
+        for exp_id in experiment_ids():
+            start = time.perf_counter()
+            result = run_experiment(exp_id, quick=True)
+            elapsed = time.perf_counter() - start
+            experiments[exp_id] = elapsed
+            verdict = "ok" if result.reproduced else "NOT REPRODUCED"
+            print(f"  {exp_id:4s} {elapsed:8.2f}s  {verdict}")
+
+    update_bench_json(output, mode, micro=micro, experiments=experiments)
+    print(f"\nwrote {output}")
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -209,7 +289,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.quick)
+        return _cmd_run(args.experiment, args.quick, args.jobs, args.cache)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "transfer":
         return _cmd_transfer(args)
     if args.command == "check":

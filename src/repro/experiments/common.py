@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.channel.delay import ConstantDelay, ExponentialDelay, UniformDelay
 from repro.channel.impairments import BernoulliLoss, NoLoss
+from repro.perf.sweep import RunConfig, SweepRunner
 from repro.sim.runner import LinkSpec, TransferResult, run_transfer
 from repro.workloads.sources import GreedySource
 
@@ -39,6 +40,8 @@ __all__ = [
     "lossy_link",
     "longtail_link",
     "run_protocol",
+    "protocol_config",
+    "run_grid",
     "SEEDS",
     "SEEDS_QUICK",
     "LIFETIME_BOUND",
@@ -157,3 +160,48 @@ def run_protocol(
         seed=seed,
         max_time=max_time,
     )
+
+
+# ----------------------------------------------------------------------
+# grid runs (the parallel sweep path)
+# ----------------------------------------------------------------------
+
+
+def protocol_config(
+    name: str,
+    window: int,
+    total: int,
+    forward: LinkSpec,
+    reverse: LinkSpec,
+    seed: int,
+    max_time: Optional[float] = None,
+    monitor_invariants: bool = False,
+    fault_plan=None,
+    **protocol_kwargs,
+) -> RunConfig:
+    """The declarative twin of :func:`run_protocol`: one grid cell run."""
+    return RunConfig(
+        protocol=name,
+        window=window,
+        total=total,
+        forward=forward,
+        reverse=reverse,
+        seed=seed,
+        max_time=max_time,
+        monitor_invariants=monitor_invariants,
+        fault_plan=fault_plan,
+        protocol_kwargs=protocol_kwargs,
+    )
+
+
+def run_grid(configs) -> List[TransferResult]:
+    """Run a list of :class:`~repro.perf.sweep.RunConfig` and return results
+    in config order.
+
+    Parallelism and memoization come from the environment —
+    ``REPRO_JOBS`` (or the CLI's ``--jobs``) picks the process count and
+    ``REPRO_CACHE`` opts into the on-disk cache — so experiment code
+    stays declarative and byte-identical across serial, parallel, and
+    cached executions.
+    """
+    return SweepRunner().run(configs)

@@ -17,7 +17,7 @@ across the sweep; go-back-N decays sharply as reordering grows.
 
 from __future__ import annotations
 
-from repro.analysis.metrics import replicate
+from repro.analysis.metrics import summarize_replications
 from repro.analysis.report import render_table
 from repro.channel.delay import reorder_probability
 from repro.experiments.common import (
@@ -26,7 +26,8 @@ from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
     jitter_link,
-    run_protocol,
+    protocol_config,
+    run_grid,
 )
 
 __all__ = ["EXPERIMENT"]
@@ -42,6 +43,16 @@ def run(quick: bool = False) -> ExperimentResult:
     seeds = SEEDS_QUICK if quick else SEEDS
     total = 300 if quick else 1500
 
+    configs = [
+        protocol_config(
+            name, WINDOW, total, jitter_link(spread), jitter_link(spread), seed
+        )
+        for spread in spreads
+        for name in PROTOCOLS
+        for seed in seeds
+    ]
+    results = iter(run_grid(configs))
+
     rows = []
     data = {}
     for spread in spreads:
@@ -50,11 +61,8 @@ def run(quick: bool = False) -> ExperimentResult:
         p_reorder = reorder_probability(low, high, SEND_GAP)
         cell = {}
         for name in PROTOCOLS:
-            metrics = replicate(
-                lambda seed, n=name, s=spread: run_protocol(
-                    n, WINDOW, total, jitter_link(s), jitter_link(s), seed
-                ),
-                seeds,
+            metrics = summarize_replications(
+                [next(results) for _ in seeds],
                 metrics=("throughput", "goodput_efficiency"),
             )
             cell[name] = (

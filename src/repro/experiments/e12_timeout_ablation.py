@@ -31,19 +31,14 @@ Expected shape: ``simple`` clean at ``f >= 1`` and failing below;
 from __future__ import annotations
 
 from repro.analysis.report import render_table
-from repro.core.numbering import ModularNumbering
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
     lossy_link,
+    protocol_config,
+    run_grid,
 )
-from repro.protocols.blockack import (
-    BlockAckReceiver,
-    BlockAckSender,
-    safe_timeout_period,
-)
-from repro.sim.runner import run_transfer
-from repro.workloads.sources import GreedySource
+from repro.protocols.blockack import safe_timeout_period
 
 __all__ = ["EXPERIMENT"]
 
@@ -53,27 +48,22 @@ SPREAD = 1.2
 FACTORS = (0.25, 0.5, 0.75, 1.0, 1.5)
 
 
-def _run(mode: str, factor: float, total: int, seed: int):
+def _config(mode: str, factor: float, total: int, seed: int):
     link = lossy_link(LOSS, SPREAD)
     safe = safe_timeout_period(
         link.delay.max_delay, link.delay.max_delay, 0.0, margin=0.05
     )
-    numbering = ModularNumbering(WINDOW)
-    sender = BlockAckSender(
+    return protocol_config(
+        "blockack",
         WINDOW,
-        numbering=numbering,
+        total,
+        link,
+        lossy_link(LOSS, SPREAD),
+        seed,
+        max_time=50_000.0,
+        bounded_wire=True,
         timeout_mode=mode,
         timeout_period=factor * safe,
-    )
-    receiver = BlockAckReceiver(WINDOW, numbering=numbering)
-    return run_transfer(
-        sender,
-        receiver,
-        GreedySource(total),
-        forward=link,
-        reverse=lossy_link(LOSS, SPREAD),
-        seed=seed,
-        max_time=50_000.0,
     )
 
 
@@ -81,6 +71,14 @@ def run(quick: bool = False) -> ExperimentResult:
     factors = (0.25, 1.0) if quick else FACTORS
     seeds = (5, 6) if quick else (5, 6, 7, 8)
     total = 200 if quick else 500
+
+    configs = [
+        _config(mode, factor, total, seed)
+        for mode in ("simple", "aggressive")
+        for factor in factors
+        for seed in seeds
+    ]
+    results = iter(run_grid(configs))
 
     rows = []
     data = {}
@@ -90,7 +88,7 @@ def run(quick: bool = False) -> ExperimentResult:
             redundant = 0
             efficiency = 0.0
             for seed in seeds:
-                result = _run(mode, factor, total, seed)
+                result = next(results)
                 if not (result.completed and result.in_order):
                     failures += 1
                 redundant += result.receiver_stats["redundant"]

@@ -27,16 +27,21 @@ caution.
 
 from __future__ import annotations
 
-from repro.analysis.metrics import replicate
+from repro.analysis.metrics import summarize_replications
 from repro.analysis.report import render_table
 from repro.channel.delay import ConstantDelay
 from repro.channel.impairments import BernoulliLoss
-from repro.core.numbering import ModularNumbering
-from repro.experiments.common import SEEDS, SEEDS_QUICK, ExperimentResult, ExperimentSpec
+from repro.experiments.common import (
+    SEEDS,
+    SEEDS_QUICK,
+    ExperimentResult,
+    ExperimentSpec,
+    protocol_config,
+    run_grid,
+)
+from repro.perf.sweep import execute_config
 from repro.protocols.ack_policy import CountingAckPolicy
-from repro.protocols.blockack import BlockAckReceiver, BlockAckSender
-from repro.sim.runner import LinkSpec, run_transfer
-from repro.workloads.sources import GreedySource
+from repro.sim.runner import LinkSpec
 
 __all__ = ["EXPERIMENT", "run_with_lookahead"]
 
@@ -45,28 +50,27 @@ ONE_WAY = 5.0  # long link: stalls are RTT-scale, so reuse has room to pay
 ACK_BATCH = 8
 
 
+def _config(lookahead: int, ack_loss: float, total: int, seed: int):
+    return protocol_config(
+        "blockack",
+        WINDOW,
+        total,
+        LinkSpec(delay=ConstantDelay(ONE_WAY)),
+        LinkSpec(delay=ConstantDelay(ONE_WAY), loss=BernoulliLoss(ack_loss)),
+        seed,
+        max_time=1_000_000.0,
+        bounded_wire=True,
+        lookahead=lookahead,
+        timeout_mode="per_message_safe",
+        ack_policy=CountingAckPolicy(ACK_BATCH, 1.0),
+    )
+
+
 def run_with_lookahead(
     lookahead: int, ack_loss: float, total: int, seed: int
 ):
-    numbering = ModularNumbering(WINDOW, lookahead=lookahead)
-    sender = BlockAckSender(
-        WINDOW,
-        numbering=numbering,
-        timeout_mode="per_message_safe",
-        lookahead=lookahead,
-    )
-    receiver = BlockAckReceiver(
-        WINDOW, numbering=numbering, ack_policy=CountingAckPolicy(ACK_BATCH, 1.0)
-    )
-    return run_transfer(
-        sender,
-        receiver,
-        GreedySource(total),
-        forward=LinkSpec(delay=ConstantDelay(ONE_WAY)),
-        reverse=LinkSpec(delay=ConstantDelay(ONE_WAY), loss=BernoulliLoss(ack_loss)),
-        seed=seed,
-        max_time=1_000_000.0,
-    )
+    """One reuse-factor run (kept for tests and interactive use)."""
+    return execute_config(_config(lookahead, ack_loss, total, seed))
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -75,15 +79,20 @@ def run(quick: bool = False) -> ExperimentResult:
     ack_losses = (0.2,) if quick else (0.1, 0.2, 0.3)
     lookaheads = (1, 2, 4)
 
+    configs = [
+        _config(lookahead, ack_loss, total, seed)
+        for ack_loss in ack_losses
+        for lookahead in lookaheads
+        for seed in seeds
+    ]
+    results = iter(run_grid(configs))
+
     rows = []
     data = {}
     for ack_loss in ack_losses:
         for lookahead in lookaheads:
-            metrics = replicate(
-                lambda seed, k=lookahead, p=ack_loss: run_with_lookahead(
-                    k, p, total, seed
-                ),
-                seeds,
+            metrics = summarize_replications(
+                [next(results) for _ in seeds],
                 metrics=("throughput",),
             )
             domain = 2 * lookahead * WINDOW

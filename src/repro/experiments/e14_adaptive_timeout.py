@@ -44,12 +44,11 @@ from repro.experiments.common import (
     SEEDS,
     SEEDS_QUICK,
     lossy_link,
+    protocol_config,
+    run_grid,
 )
-from repro.protocols.registry import make_pair
 from repro.robustness.controller import AdaptiveConfig
 from repro.robustness.faults import CrashRestart, FaultPlan
-from repro.sim.runner import run_transfer
-from repro.workloads.sources import GreedySource
 
 __all__ = ["EXPERIMENT"]
 
@@ -72,47 +71,50 @@ def _fault_plan(seed: int) -> FaultPlan:
     )
 
 
-def _run(adaptive, total: int, seed: int):
-    sender, receiver = make_pair(
+def _config(adaptive, total: int, seed: int):
+    return protocol_config(
         "blockack",
-        window=WINDOW,
+        WINDOW,
+        total,
+        lossy_link(LOSS),
+        lossy_link(LOSS),
+        seed,
+        max_time=50_000.0,
+        monitor_invariants=True,
+        fault_plan=_fault_plan(seed),
         timeout_mode="per_message_safe",
         adaptive=adaptive,
     )
-    plan = _fault_plan(seed)
-    result = run_transfer(
-        sender,
-        receiver,
-        GreedySource(total),
-        forward=lossy_link(LOSS),
-        reverse=lossy_link(LOSS),
-        seed=seed,
-        max_time=50_000.0,
-        monitor_invariants=True,
-        fault_plan=plan,
-    )
-    return result, plan
 
 
 def run(quick: bool = False) -> ExperimentResult:
     seeds = SEEDS_QUICK if quick else SEEDS
     total = 300 if quick else 600
 
+    variants = (("fixed", None), ("adaptive", AdaptiveConfig()))
+    configs = [
+        _config(config, total, seed)
+        for seed in seeds
+        for _, config in variants
+    ]
+    results = iter(run_grid(configs))
+
     rows = []
     data = {}
     for seed in seeds:
-        for label, config in (("fixed", None), ("adaptive", AdaptiveConfig())):
-            result, plan = _run(config, total, seed)
+        for label, config in variants:
+            result = next(results)
             violations = len(result.monitor.violations)
+            faults = result.fault_stats
             row = {
                 "ok": result.completed and result.in_order,
                 "timeouts": result.sender_stats["timeouts_fired"],
                 "retransmissions": result.sender_stats["retransmissions"],
                 "duration": result.duration,
                 "violations": violations,
-                "crashes": plan.stats.crashes,
-                "restarts": plan.stats.restarts,
-                "corrupted": plan.stats.corrupt_forward,
+                "crashes": faults["crashes"],
+                "restarts": faults["restarts"],
+                "corrupted": faults["corrupt_forward"],
             }
             if config is not None:
                 row["adaptive"] = result.sender_stats["adaptive"]
@@ -126,8 +128,8 @@ def run(quick: bool = False) -> ExperimentResult:
                     row["retransmissions"],
                     f"{row['duration']:.1f}",
                     violations,
-                    f"{plan.stats.crashes}/{plan.stats.restarts}",
-                    plan.stats.corrupt_forward,
+                    f"{faults['crashes']}/{faults['restarts']}",
+                    faults["corrupt_forward"],
                 )
             )
 

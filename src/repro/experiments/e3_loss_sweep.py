@@ -16,7 +16,7 @@ far faster (its efficiency ~ delivered/transmissions drops toward 1/w).
 
 from __future__ import annotations
 
-from repro.analysis.metrics import replicate
+from repro.analysis.metrics import summarize_replications
 from repro.analysis.report import render_table
 from repro.experiments.common import (
     SEEDS,
@@ -24,7 +24,8 @@ from repro.experiments.common import (
     ExperimentResult,
     ExperimentSpec,
     lossy_link,
-    run_protocol,
+    protocol_config,
+    run_grid,
 )
 
 __all__ = ["EXPERIMENT"]
@@ -39,17 +40,25 @@ def run(quick: bool = False) -> ExperimentResult:
     seeds = SEEDS_QUICK if quick else SEEDS
     total = 300 if quick else 1500
 
+    # the whole sweep is one flat grid of independent runs
+    configs = [
+        protocol_config(
+            name, WINDOW, total, lossy_link(p, spread=0.0),
+            lossy_link(p, spread=0.0), seed,
+        )
+        for p in loss_rates
+        for name in PROTOCOLS
+        for seed in seeds
+    ]
+    results = iter(run_grid(configs))
+
     rows = []
     data = {}
     for p in loss_rates:
         cell = {}
         for name in PROTOCOLS:
-            metrics = replicate(
-                lambda seed, n=name, q=p: run_protocol(
-                    n, WINDOW, total, lossy_link(q, spread=0.0),
-                    lossy_link(q, spread=0.0), seed
-                ),
-                seeds,
+            metrics = summarize_replications(
+                [next(results) for _ in seeds],
                 metrics=("throughput", "goodput_efficiency"),
             )
             cell[name] = (

@@ -1,0 +1,256 @@
+"""Perf-regression harness: measure, persist, and compare baselines.
+
+Three cooperating pieces:
+
+* :func:`run_microbenchmarks` — repeated-timing measurements of the hot
+  paths (engine events/sec on a chained and a heap-heavy workload, the
+  channel transit path, and a full end-to-end block-ack transfer);
+* :func:`update_bench_json` — merge measurements into a machine-readable
+  ``BENCH_<mode>.json`` file (the perf trajectory artifact: the CLI
+  writes the ``micro`` section, the benchmark suite's conftest writes the
+  per-experiment ``experiments`` wall-clock section);
+* :func:`compare_bench` / ``python -m repro.perf.bench`` — compare a
+  fresh ``BENCH_*.json`` against a committed baseline and report
+  regressions beyond a threshold.  CI runs this in warn-only mode.
+
+``BENCH_<mode>.json`` schema::
+
+    {
+      "mode": "quick",
+      "python": "3.11.7",
+      "micro": {"engine_chain_events_per_sec": 1.2e6, ...},
+      "experiments": {"e1": 0.41, ...}   # wall-clock seconds
+    }
+
+Higher is better for ``micro`` entries (rates); lower is better for
+``experiments`` entries (seconds).  :func:`compare_bench` knows the
+difference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "run_microbenchmarks",
+    "update_bench_json",
+    "compare_bench",
+    "main",
+]
+
+
+def _best_rate(work: Callable[[], int], repeats: int) -> float:
+    """Best-of-N operations/sec for ``work`` (returns its op count)."""
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        ops = work()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+def _engine_chain(n: int) -> int:
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    sim.run()
+    return count[0]
+
+
+def _engine_fanout(n: int) -> int:
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def noop() -> None:
+        pass
+
+    for index in range(n):
+        sim.schedule((index % 97) * 0.01, noop)
+    sim.run()
+    return n
+
+
+def _channel_transit(n: int) -> int:
+    import random
+
+    from repro.channel.channel import Channel
+    from repro.channel.delay import UniformDelay
+    from repro.channel.impairments import BernoulliLoss
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    channel = Channel(
+        sim,
+        delay=UniformDelay(0.5, 1.5),
+        loss=BernoulliLoss(0.05),
+        rng=random.Random(1),
+    )
+    channel.connect(lambda message: None)
+    for index in range(n):
+        sim.schedule(index * 0.01, channel.send, index)
+    sim.run()
+    return n
+
+
+def _transfer(total: int) -> Tuple[int, float]:
+    """One end-to-end block-ack transfer; returns (events, throughput)."""
+    from repro.channel.delay import UniformDelay
+    from repro.channel.impairments import BernoulliLoss
+    from repro.protocols.registry import make_pair
+    from repro.sim.runner import LinkSpec, run_transfer
+    from repro.workloads.sources import GreedySource
+
+    sender, receiver = make_pair("blockack", window=8, bounded_wire=True)
+    link = lambda: LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05))
+    result = run_transfer(
+        sender,
+        receiver,
+        GreedySource(total),
+        forward=link(),
+        reverse=link(),
+        seed=1,
+        max_time=1_000_000.0,
+    )
+    assert result.completed and result.in_order
+    return result.delivered, result.throughput
+
+
+def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
+    """Measure the hot paths; returns ``{metric: rate}`` (higher=better).
+
+    ``scale`` multiplies every workload size (1 is the quick/CI size).
+    """
+    n_events = 100_000 * scale
+    n_msgs = 20_000 * scale
+    n_transfer = 1_000 * scale
+
+    metrics = {
+        "engine_chain_events_per_sec": _best_rate(
+            lambda: _engine_chain(n_events), repeats
+        ),
+        "engine_fanout_events_per_sec": _best_rate(
+            lambda: _engine_fanout(n_events), repeats
+        ),
+        "channel_transit_msgs_per_sec": _best_rate(
+            lambda: _channel_transit(n_msgs), repeats
+        ),
+    }
+
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        delivered, _ = _transfer(n_transfer)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, delivered / elapsed)
+    metrics["transfer_msgs_per_sec"] = best
+    return metrics
+
+
+def update_bench_json(
+    path: pathlib.Path,
+    mode: str,
+    micro: Optional[Dict[str, float]] = None,
+    experiments: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Merge new measurements into ``path``, creating it if needed.
+
+    Sections not passed are preserved from the existing file, so the CLI
+    (micro) and the benchmark suite (experiments) can each own their half
+    of one ``BENCH_<mode>.json``.
+    """
+    path = pathlib.Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data["mode"] = mode
+    data["python"] = platform.python_version()
+    if micro is not None:
+        data["micro"] = {k: micro[k] for k in sorted(micro)}
+    if experiments is not None:
+        merged = dict(data.get("experiments", {}))
+        merged.update(experiments)
+        data["experiments"] = {k: merged[k] for k in sorted(merged)}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def compare_bench(
+    current: dict, baseline: dict, threshold: float = 0.25
+) -> List[str]:
+    """Regressions in ``current`` vs ``baseline`` beyond ``threshold``.
+
+    ``micro`` entries are rates (a drop is a regression); ``experiments``
+    entries are wall-clock seconds (a rise is a regression).  Returns
+    human-readable regression lines; empty means within budget.
+    """
+    regressions: List[str] = []
+    for name, old in (baseline.get("micro") or {}).items():
+        new = (current.get("micro") or {}).get(name)
+        if new is None or old <= 0:
+            continue
+        if new < old * (1.0 - threshold):
+            regressions.append(
+                f"micro.{name}: {new:,.0f}/s vs baseline {old:,.0f}/s "
+                f"({new / old - 1.0:+.0%})"
+            )
+    for name, old in (baseline.get("experiments") or {}).items():
+        new = (current.get("experiments") or {}).get(name)
+        if new is None or old <= 0:
+            continue
+        if new > old * (1.0 + threshold):
+            regressions.append(
+                f"experiments.{name}: {new:.2f}s vs baseline {old:.2f}s "
+                f"({new / old - 1.0:+.0%})"
+            )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.perf.bench --compare NEW --baseline OLD``.
+
+    Prints GitHub-annotation warnings for each regression.  Exit code is
+    0 unless ``--strict`` is given and regressions exist.
+    """
+    parser = argparse.ArgumentParser(prog="repro.perf.bench")
+    parser.add_argument("--compare", required=True, help="fresh BENCH_*.json")
+    parser.add_argument("--baseline", required=True, help="committed baseline")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument("--strict", action="store_true", help="fail on regression")
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.compare).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    regressions = compare_bench(current, baseline, threshold=args.threshold)
+    if not regressions:
+        print(
+            f"perf within {args.threshold:.0%} of baseline "
+            f"({args.baseline})"
+        )
+        return 0
+    for line in regressions:
+        print(f"::warning title=perf regression::{line}")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""On-disk memoization of completed protocol runs.
+
+Every run a :class:`~repro.perf.sweep.SweepRunner` executes is keyed by a
+stable hash of its full configuration (protocol, window, transfer size,
+both link specifications, seed, runner limits, protocol kwargs, fault
+plan) and stored as one JSON file under the cache root — by default
+``results/cache/`` at the repository root.  Re-running a sweep with the
+same configurations loads the stored results instead of simulating, so a
+full-size suite regenerates its tables from a warm cache in seconds.
+
+The key is built from a canonical *description string* of the config
+(:func:`describe`), which leans on the deterministic ``__repr__`` every
+delay model, loss model, and policy object in this package already
+carries.  JSON round-trips are exact for the payload types involved
+(finite floats, ints, strings, bools), so a cached result is
+byte-identical to a fresh one.
+
+Invalidation is deliberately manual: the cache persists across code
+changes, so after editing protocol or channel behaviour delete the cache
+directory (``rm -rf results/cache``) or bump ``CACHE_VERSION``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "describe", "config_digest", "default_cache_root", "CACHE_VERSION"]
+
+#: bump to orphan every previously stored entry (schema or semantics change)
+CACHE_VERSION = 1
+
+
+def default_cache_root() -> pathlib.Path:
+    """``results/cache`` under the repository/package checkout root."""
+    override = os.environ.get("REPRO_CACHE_DIR", "")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path(__file__).resolve().parents[3] / "results" / "cache"
+
+
+def describe(value: Any) -> str:
+    """Canonical, content-addressed description of a config value.
+
+    Handles the vocabulary that appears in sweep configurations:
+    primitives, sequences, mappings, dataclasses, and the model/policy
+    objects whose ``__repr__`` spells out their parameters.  The result
+    is stable across processes and hash seeds.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(describe(item) for item in value) + "]"
+    if isinstance(value, dict):
+        items = sorted(value.items())
+        return "{" + ",".join(f"{k}={describe(v)}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={describe(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    # delay/loss models, ack policies, fault ingredients: parameter reprs
+    return f"{type(value).__name__}<{value!r}>"
+
+
+def config_digest(description: str) -> str:
+    """SHA-256 hex digest of a canonical config description."""
+    payload = f"v{CACHE_VERSION}/{description}".encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ResultCache:
+    """One-file-per-run JSON store under ``root``."""
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Stored result payload for ``key``, or None."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, description: str, payload: dict) -> None:
+        """Store ``payload`` for ``key``; atomic within one filesystem."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "config": description,
+            "result": payload,
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(entry, handle, separators=(",", ":"))
+        tmp.replace(path)

@@ -41,15 +41,19 @@ def _blockack(
     ack_policy: Optional[AckPolicy] = None,
     timeout_period: Optional[float] = None,
     adaptive: Optional[AdaptiveConfig] = None,
+    lookahead: int = 1,
     **_: object,
 ) -> Pair:
-    numbering = ModularNumbering(window) if bounded_wire else None
+    numbering = (
+        ModularNumbering(window, lookahead=lookahead) if bounded_wire else None
+    )
     sender = BlockAckSender(
         window,
         numbering=numbering,
         timeout_mode=timeout_mode,
         timeout_period=timeout_period,
         adaptive=adaptive,
+        lookahead=lookahead,
     )
     receiver = BlockAckReceiver(window, numbering=numbering, ack_policy=ack_policy)
     return sender, receiver

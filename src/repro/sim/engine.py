@@ -18,12 +18,16 @@ Design notes
 * Events may be cancelled in O(1) by marking; the queue lazily discards
   cancelled entries when they surface.  This is the standard "lazy
   deletion" idiom for binary-heap event lists.
+* The heap holds ``(time, seq, event)`` tuples rather than bare events, so
+  every sift comparison during push/pop is a C-level tuple comparison
+  instead of a Python-level ``Event.__lt__`` call.  The tie-break order is
+  identical to comparing events directly; only the cost changes.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError", "ScheduleInPastError"]
@@ -96,7 +100,8 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        # entries are (time, seq, Event); see the module design notes
+        self._queue: list[tuple[float, int, Event]] = []
         self._now: float = 0.0
         self._counter = itertools.count()
         self._events_processed = 0
@@ -122,14 +127,14 @@ class Simulator:
 
         O(queue length); intended for tests and debugging, not hot paths.
         """
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         self._discard_cancelled_head()
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
     # ------------------------------------------------------------------
     # scheduling
@@ -148,8 +153,10 @@ class Simulator:
             raise ScheduleInPastError(
                 f"cannot schedule event {delay} time units in the past"
             )
-        event = Event(self._now + delay, next(self._counter), callback, args)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        seq = next(self._counter)
+        event = Event(time, seq, callback, args)
+        heappush(self._queue, (time, seq, event))
         return event
 
     def schedule_at(
@@ -167,11 +174,13 @@ class Simulator:
 
         Returns True if an event ran, False if the queue was empty.
         """
-        self._discard_cancelled_head()
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heappop(queue)
+        if not queue:
             return False
-        event = heapq.heappop(self._queue)
-        self._now = event.time
+        time, _, event = heappop(queue)
+        self._now = time
         self._events_processed += 1
         event.callback(*event.args)
         return True
@@ -195,22 +204,73 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
+        queue = self._queue
+        pop = heappop
         executed = 0
         try:
-            while True:
+            while queue:
+                head = queue[0]
+                if head[2].cancelled:
+                    pop(queue)
+                    continue
+                if until is not None and head[0] > until:
+                    break
                 if max_events is not None and executed >= max_events:
                     break
-                self._discard_cancelled_head()
-                if not self._queue:
-                    break
-                if until is not None and self._queue[0].time > until:
-                    break
-                self.step()
+                pop(queue)
+                event = head[2]
+                self._now = head[0]
+                self._events_processed += 1
                 executed += 1
+                event.callback(*event.args)
         finally:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
+
+    def run_while(
+        self,
+        keep_going: Callable[[], bool],
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Drain pending events for as long as ``keep_going()`` is true.
+
+        The predicate is evaluated before every event; the drain also
+        stops when the clock (the time of the last executed event) passes
+        ``max_time``, after ``max_events`` events, or when the queue runs
+        dry.  Returns the number of events executed.
+
+        This replaces the ``while not done(): sim.step()`` idiom: the
+        whole drain loop lives inside the engine with the queue and heap
+        ops bound to locals, so the per-event cost is one predicate call
+        instead of predicate + ``step`` + head-scan indirection.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run_while is not re-entrant")
+        self._running = True
+        queue = self._queue
+        pop = heappop
+        executed = 0
+        try:
+            while keep_going():
+                if max_time is not None and self._now > max_time:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                while queue and queue[0][2].cancelled:
+                    pop(queue)
+                if not queue:
+                    break
+                head = pop(queue)
+                self._now = head[0]
+                self._events_processed += 1
+                executed += 1
+                event = head[2]
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        return executed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain, guarded by ``max_events``."""
@@ -227,5 +287,6 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _discard_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heappop(queue)

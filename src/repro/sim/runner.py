@@ -233,14 +233,17 @@ def run_transfer(
     submit_times: dict = {}
     latencies: List[float] = []
 
+    # submit is wrapped (to timestamp each payload for the latency stats)
+    # for the duration of this call only; the original binding is restored
+    # on exit so a sender endpoint reused across transfers does not stack
+    # timed_submit wrappers.
+    submit_was_instance_attr = "submit" in vars(sender)
     original_submit = sender.submit
 
     def timed_submit(payload: Any) -> int:
         seq = original_submit(payload)
         submit_times[seq] = sim.now
         return seq
-
-    sender.submit = timed_submit
 
     def on_deliver(seq: int, payload: Any) -> None:
         delivered_seqs.append(seq)
@@ -280,8 +283,6 @@ def run_transfer(
             sim, forward_channel, reverse_channel, sender, receiver
         )
 
-    source.attach(sim, sender)
-
     def finished() -> bool:
         return (
             source.exhausted
@@ -289,15 +290,27 @@ def run_transfer(
             and len(delivered_payloads) >= source.total
         )
 
-    events = 0
-    while not finished():
-        if max_time is not None and sim.now > max_time:
-            break
-        if events >= max_events:
-            break
-        if not sim.step():
-            break  # queue empty: either finished or deadlocked
-        events += 1
+    def unfinished() -> bool:
+        return not (
+            source.exhausted
+            and sender.all_acknowledged
+            and len(delivered_payloads) >= source.total
+        )
+
+    sender.submit = timed_submit
+    try:
+        source.attach(sim, sender)
+        # drain inside the engine (one predicate call per event) instead
+        # of sim.step() + finished() through Python-level indirection
+        sim.run_while(unfinished, max_time=max_time, max_events=max_events)
+    finally:
+        if submit_was_instance_attr:
+            sender.submit = original_submit
+        else:
+            try:
+                del sender.submit
+            except AttributeError:
+                pass
 
     forward_stats = forward_channel.stats.as_dict()
     reverse_stats = reverse_channel.stats.as_dict()

@@ -113,3 +113,49 @@ class TestResultFields:
         result = run_transfer(sender, receiver, GreedySource(40))
         assert result.throughput == pytest.approx(40 / result.duration)
         assert result.goodput_efficiency == 1.0
+
+
+class TestSubmitRestore:
+    """run_transfer wraps sender.submit for latency timing; the wrapper
+    must not outlive the call (regression: wrappers used to stack)."""
+
+    def test_submit_not_left_in_instance_dict(self):
+        sender = BlockAckSender(4)
+        receiver = BlockAckReceiver(4)
+        run_transfer(sender, receiver, GreedySource(10))
+        assert "submit" not in vars(sender)
+        assert sender.submit.__func__ is BlockAckSender.submit
+
+    def test_rerun_does_not_stack_wrappers(self):
+        sender = BlockAckSender(4)
+        receiver = BlockAckReceiver(4)
+        for _ in range(3):
+            run_transfer(sender, receiver, GreedySource(0))
+        result = run_transfer(sender, receiver, GreedySource(10))
+        # a stacked wrapper would double-record submissions
+        assert len(result.latencies) == 10
+        assert "submit" not in vars(sender)
+
+    def test_restored_after_failed_run(self):
+        sender = BlockAckSender(2)
+        receiver = BlockAckReceiver(2)
+        result = run_transfer(
+            sender, receiver, GreedySource(1000), max_time=5.0
+        )
+        assert not result.completed
+        assert "submit" not in vars(sender)
+
+    def test_preexisting_instance_attribute_restored(self):
+        sender = BlockAckSender(4)
+        receiver = BlockAckReceiver(4)
+        calls = []
+        real_submit = sender.submit
+
+        def counting_submit(payload):
+            calls.append(payload)
+            return real_submit(payload)
+
+        sender.submit = counting_submit
+        run_transfer(sender, receiver, GreedySource(10))
+        assert sender.submit is counting_submit
+        assert len(calls) == 10

@@ -184,3 +184,69 @@ class TestRunControl:
             sim.schedule(delay, lambda: stamps.append(sim.now))
         sim.run()
         assert stamps == sorted(stamps)
+
+
+class TestRunWhile:
+    def test_drains_while_predicate_holds(self, sim):
+        seen = []
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        processed = sim.run_while(lambda: len(seen) < 2)
+        assert seen == [1.0, 2.0]
+        assert processed == 2
+
+    def test_resumes_after_predicate_flips(self, sim):
+        seen = []
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run_while(lambda: len(seen) < 1)
+        sim.run_while(lambda: True)
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_stops_on_empty_queue(self, sim):
+        sim.schedule(1.0, lambda: None)
+        assert sim.run_while(lambda: True) == 1
+
+    def test_max_time_stops_after_crossing_event(self, sim):
+        # historic runner-loop semantics: max_time is checked against the
+        # clock before each pop, so the event that crosses the horizon
+        # still executes and the drain stops on the next iteration
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(5.0, seen.append, "b")
+        sim.schedule(6.0, seen.append, "c")
+        sim.run_while(lambda: True, max_time=3.0)
+        assert seen == ["a", "b"]
+        assert sim.now == 5.0
+
+    def test_max_events_bound(self, sim):
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        assert sim.run_while(lambda: True, max_events=25) == 25
+        assert sim.events_processed == 25
+
+    def test_skips_cancelled_events(self, sim):
+        seen = []
+        doomed = sim.schedule(1.0, seen.append, "nope")
+        sim.schedule(2.0, seen.append, "a")
+        doomed.cancel()
+        processed = sim.run_while(lambda: True)
+        assert seen == ["a"]
+        assert processed == 1
+
+    def test_ties_broken_by_insertion_order(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run_while(lambda: True)
+        assert order == list("abcde")
+
+    def test_not_reentrant(self, sim):
+        def evil():
+            sim.run_while(lambda: True)
+
+        sim.schedule(1.0, evil)
+        with pytest.raises(SimulationError):
+            sim.run_while(lambda: True)

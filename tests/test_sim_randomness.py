@@ -1,5 +1,9 @@
 """Unit tests for seeded random stream management."""
 
+import os
+import subprocess
+import sys
+
 from repro.sim.randomness import RandomStreams, stream_seed
 
 
@@ -54,3 +58,34 @@ class TestRandomStreams:
         streams.get("b")
         streams.get("a")
         assert list(streams.names()) == ["a", "b"]
+
+
+class TestHashSeedIndependence:
+    """Stream derivation must not depend on PYTHONHASHSEED.
+
+    Parallel sweep workers are separate processes; if seed derivation
+    leaned on ``hash()`` (salted per process since Python 3.3), the
+    "byte-identical to serial" guarantee would silently break.
+    """
+
+    PROBE = (
+        "from repro.sim.randomness import RandomStreams, stream_seed;"
+        "streams = RandomStreams(42);"
+        "child = streams.spawn('rep3');"
+        "print(stream_seed(42, 'loss'), streams.get('delay').random(),"
+        " child.get('loss').random())"
+    )
+
+    def _probe(self, hash_seed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        return subprocess.run(
+            [sys.executable, "-c", self.PROBE],
+            check=True, capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        ).stdout
+
+    def test_streams_identical_across_hash_seeds(self):
+        assert self._probe("1") == self._probe("31337")
