@@ -150,15 +150,18 @@ class Channel:
             raise RuntimeError(f"channel {self.name!r} has no receiver connected")
         stats = self.stats
         rng = self.rng
-        observers = self._observers
         send_seq = stats.sent
         stats.sent = send_seq + 1
-        if observers:
+        # the observer list is re-read at every notify point, never
+        # aliased into a local: an observer attached mid-send (e.g. from
+        # a callback fired between two sends, or a telemetry layer wired
+        # up after traffic started) is seen by the very next event
+        if self._observers:
             self._notify("send", message)
 
         if self.loss.drops_at(rng, self.sim.now):
             stats.lost += 1
-            if observers:
+            if self._observers:
                 self._notify("lose", message)
             return
 
@@ -169,7 +172,7 @@ class Channel:
         ):
             copies = 2
             stats.duplicated += 1
-            if observers:
+            if self._observers:
                 self._notify("duplicate", message)  # second copy entering
 
         max_lifetime = self.max_lifetime
@@ -178,7 +181,7 @@ class Channel:
             transit = sample(rng)
             if max_lifetime is not None and transit > max_lifetime:
                 stats.aged_out += 1
-                if observers:
+                if self._observers:
                     self._notify("age", message)
                 continue
             flight_id = next(self._ids)

@@ -22,6 +22,13 @@ Subcommands
 
 ``blockack check --window 2 --max-send 4 [--timeout-mode simple]``
     Model-check the abstract protocol exhaustively and print the report.
+
+``blockack obs export|summarize|diff``
+    Telemetry (:mod:`repro.obs`): ``export`` runs one observed transfer
+    and writes ``results/obs/<run_id>.jsonl`` (per-seq lifecycle spans,
+    metric snapshot, optional live invariant probe); ``summarize``
+    renders one export; ``diff`` compares the metric snapshots of two
+    exports (e.g. two seeds, or the same cell before/after a change).
 """
 
 from __future__ import annotations
@@ -63,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true",
         help="memoize completed runs in results/cache/ (like REPRO_CACHE=1)",
     )
+    run_p.add_argument(
+        "--obs", action="store_true",
+        help="record telemetry for every grid cell and export it to "
+        "results/obs/<run_id>.jsonl (like REPRO_OBS=1)",
+    )
 
     perf_p = sub.add_parser(
         "perf", help="measure hot paths, write a BENCH_<mode>.json baseline"
@@ -83,6 +95,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: BENCH_quick.json, or BENCH_full.json "
         "when --scale > 1)",
     )
+    perf_p.add_argument(
+        "--no-obs-overhead", action="store_true",
+        help="skip the observability off-vs-on overhead measurements",
+    )
+
+    obs_p = sub.add_parser(
+        "obs", help="telemetry: export a run, summarize or diff exports"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    obs_exp = obs_sub.add_parser(
+        "export", help="run one observed transfer and export its telemetry"
+    )
+    obs_exp.add_argument("--protocol", default="blockack")
+    obs_exp.add_argument("--window", type=int, default=8)
+    obs_exp.add_argument("--messages", type=int, default=400)
+    obs_exp.add_argument("--loss", type=float, default=0.05)
+    obs_exp.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="delay spread around mean 1 (reordering intensity)",
+    )
+    obs_exp.add_argument("--seed", type=int, default=11)
+    obs_exp.add_argument(
+        "--probe-every", type=int, default=0, metavar="N",
+        help="sample the live invariant probe every N channel events "
+        "(0 = probe off)",
+    )
+    obs_exp.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="output .jsonl path (default: results/obs/<run_id>.jsonl)",
+    )
+
+    obs_sum = obs_sub.add_parser(
+        "summarize", help="summarize one exported telemetry file"
+    )
+    obs_sum.add_argument("path", help="exported .jsonl file")
+    obs_sum.add_argument(
+        "--text", action="store_true",
+        help="also dump the metrics snapshot in Prometheus text format",
+    )
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare the metric snapshots of two exported runs"
+    )
+    obs_diff.add_argument("left", help="exported .jsonl file (baseline)")
+    obs_diff.add_argument("right", help="exported .jsonl file (candidate)")
 
     tr = sub.add_parser("transfer", help="run one ad-hoc transfer")
     tr.add_argument("--protocol", default="blockack")
@@ -144,6 +202,7 @@ def _cmd_run(
     quick: bool,
     jobs: Optional[int] = None,
     cache: bool = False,
+    obs: bool = False,
 ) -> int:
     import os
 
@@ -155,6 +214,8 @@ def _cmd_run(
         os.environ["REPRO_JOBS"] = str(jobs)
     if cache:
         os.environ["REPRO_CACHE"] = "1"
+    if obs:
+        os.environ["REPRO_OBS"] = "1"
     ids = experiment_ids() if experiment.lower() == "all" else [experiment]
     failures = 0
     for exp_id in ids:
@@ -198,7 +259,11 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     import time
 
-    from repro.perf.bench import run_microbenchmarks, update_bench_json
+    from repro.perf.bench import (
+        run_microbenchmarks,
+        run_obs_overhead,
+        update_bench_json,
+    )
 
     mode = "quick" if args.scale <= 1 else "full"
     output = args.output if args.output else f"BENCH_{mode}.json"
@@ -207,6 +272,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     micro = run_microbenchmarks(scale=args.scale, repeats=args.repeats)
     for name, rate in sorted(micro.items()):
         print(f"  {name:36s} {rate:>14,.0f}")
+
+    obs = None
+    if not args.no_obs_overhead:
+        obs = run_obs_overhead(scale=args.scale, repeats=args.repeats)
+        print("\nobservability overhead (off vs. on):")
+        for name, value in sorted(obs.items()):
+            if name.endswith("_pct"):
+                print(f"  {name:36s} {value:>13.1f}%")
+            else:
+                print(f"  {name:36s} {value:>14,.0f}")
 
     experiments = None
     if args.experiments:
@@ -222,8 +297,96 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             verdict = "ok" if result.reproduced else "NOT REPRODUCED"
             print(f"  {exp_id:4s} {elapsed:8.2f}s  {verdict}")
 
-    update_bench_json(output, mode, micro=micro, experiments=experiments)
+    update_bench_json(output, mode, micro=micro, experiments=experiments, obs=obs)
     print(f"\nwrote {output}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "export":
+        return _cmd_obs_export(args)
+    if args.obs_command == "summarize":
+        return _cmd_obs_summarize(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.protocols.registry import make_pair
+    from repro.workloads.sources import GreedySource as _Greedy
+
+    sender, receiver = make_pair(args.protocol, window=args.window)
+    spread = args.jitter
+
+    def link() -> LinkSpec:
+        return LinkSpec(
+            delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
+            loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
+        )
+
+    run_id = (
+        f"{args.protocol.replace('-', '_')}_w{args.window}"
+        f"_n{args.messages}_s{args.seed}"
+    )
+    result = run_transfer(
+        sender,
+        receiver,
+        _Greedy(args.messages),
+        forward=link(),
+        reverse=link(),
+        seed=args.seed,
+        max_time=1_000_000.0,
+        obs=True,
+        obs_run_id=run_id,
+        obs_labels={
+            "protocol": args.protocol,
+            "window": str(args.window),
+            "total": str(args.messages),
+            "loss": str(args.loss),
+            "jitter": str(args.jitter),
+            "seed": str(args.seed),
+        },
+        obs_sample_invariants_every=args.probe_every,
+    )
+    path = result.obs.export(path=args.output)
+    print(result.summary())
+    if result.obs.probe is not None:
+        probe = result.obs.probe
+        print(
+            f"invariant probe: {probe.checks_run} sweeps over "
+            f"{probe.events_seen} events, "
+            f"{len(probe.violations)} violation(s)"
+        )
+    print(f"wrote {path}")
+    return 0 if result.completed and result.in_order else 1
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import TextExposition
+    from repro.obs.sink import load_run, summarize_run
+
+    dump = load_run(args.path)
+    print(summarize_run(dump))
+    if args.text and dump.snapshot:
+        print()
+        print(TextExposition().render(dump.snapshot), end="")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.sink import diff_snapshots, load_run
+
+    left = load_run(args.left)
+    right = load_run(args.right)
+    print(f"diff: {left.run_id} -> {right.run_id}")
+    lines = diff_snapshots(left.snapshot, right.snapshot)
+    if not lines:
+        print("  snapshots agree on every series")
+        return 0
+    for line in lines:
+        print(f"  {line}")
+    print(f"  ({len(lines)} series differ)")
     return 0
 
 
@@ -289,9 +452,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.quick, args.jobs, args.cache)
+        return _cmd_run(
+            args.experiment, args.quick, args.jobs, args.cache, args.obs
+        )
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "transfer":
         return _cmd_transfer(args)
     if args.command == "check":

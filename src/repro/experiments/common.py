@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.channel.delay import ConstantDelay, ExponentialDelay, UniformDelay
 from repro.channel.impairments import BernoulliLoss, NoLoss
-from repro.perf.sweep import RunConfig, SweepRunner
+from repro.perf.sweep import RunConfig, SweepRunner, obs_enabled_by_env
 from repro.sim.runner import LinkSpec, TransferResult, run_transfer
 from repro.workloads.sources import GreedySource
 
@@ -177,9 +177,19 @@ def protocol_config(
     max_time: Optional[float] = None,
     monitor_invariants: bool = False,
     fault_plan=None,
+    obs: Optional[bool] = None,
     **protocol_kwargs,
 ) -> RunConfig:
-    """The declarative twin of :func:`run_protocol`: one grid cell run."""
+    """The declarative twin of :func:`run_protocol`: one grid cell run.
+
+    ``obs=None`` (the default) resolves against the ``REPRO_OBS``
+    environment variable (the CLI's ``--obs`` flag), so experiments opt
+    into telemetry without changing their code; the resolved value is
+    part of the config — and therefore of its cache key — because an
+    observed run does strictly more work than an unobserved one.
+    """
+    if obs is None:
+        obs = obs_enabled_by_env()
     return RunConfig(
         protocol=name,
         window=window,
@@ -191,6 +201,7 @@ def protocol_config(
         monitor_invariants=monitor_invariants,
         fault_plan=fault_plan,
         protocol_kwargs=protocol_kwargs,
+        obs=obs,
     )
 
 

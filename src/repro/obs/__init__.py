@@ -1,0 +1,71 @@
+"""Unified telemetry layer: metrics, spans, structured export, probes.
+
+``repro.obs`` is the single observability backbone for the simulator,
+the protocol endpoints, the channels, the robustness controller, and the
+UDP transport.  It has four cooperating pieces:
+
+* :mod:`repro.obs.metrics` — a metrics registry
+  (:class:`~repro.obs.metrics.Counter` /
+  :class:`~repro.obs.metrics.Gauge` /
+  :class:`~repro.obs.metrics.Histogram`, with labels and fixed bucket
+  boundaries for RTT/latency distributions).  A process-global
+  :data:`~repro.obs.metrics.DEFAULT_REGISTRY` exists for ad-hoc use, and
+  per-run scoped registries keep parallel sweep workers isolated.  The
+  **null path** is allocation-free: :data:`~repro.obs.metrics.NULL_REGISTRY`
+  hands out no-op singleton instruments, so code can be instrumented
+  unconditionally and pay ~nothing when observability is off.
+* :mod:`repro.obs.spans` — virtual-time spans keyed off ``Simulator.now``
+  tracking the per-sequence-number lifecycle
+  ``submitted -> sent -> [resend...] -> acked -> delivered`` and deriving
+  metrics (retransmits per seq, ack-block sizes ``n-m+1``, time in
+  window, submit-to-deliver latency).
+* :mod:`repro.obs.sink` — structured export: a
+  :class:`~repro.obs.sink.JsonlSink` streaming trace events, spans, and
+  metric snapshots to ``results/obs/<run_id>.jsonl`` with the stable
+  schema of :mod:`repro.obs.schema`, plus snapshot diffing for the
+  ``blockack obs diff`` subcommand.  Prometheus text rendering lives in
+  :class:`~repro.obs.metrics.TextExposition`.
+* :mod:`repro.obs.probes` — live invariant probes: the runtime monitors
+  of :mod:`repro.verify.runtime` adapted into cheap sampling checks
+  (invariant 6 ∧ 7 ∧ 8 every N channel events) that record violations as
+  metrics and trace NOTEs instead of raising.
+
+:class:`~repro.obs.session.Observability` bundles all of it per run;
+``run_transfer(..., obs=True)`` and ``blockack run e3 --obs`` are the two
+entry points most callers want.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_REGISTRY,
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TextExposition,
+)
+from repro.obs.probes import InvariantProbe
+from repro.obs.session import Observability
+from repro.obs.sink import JsonlSink, diff_snapshots, load_run, summarize_run
+from repro.obs.spans import ObsRecorder, SeqSpan, SpanTracker
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TextExposition",
+    "DEFAULT_REGISTRY",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS",
+    "SpanTracker",
+    "SeqSpan",
+    "ObsRecorder",
+    "JsonlSink",
+    "load_run",
+    "summarize_run",
+    "diff_snapshots",
+    "InvariantProbe",
+    "Observability",
+]

@@ -1,0 +1,179 @@
+"""Live invariant probes: the runtime monitor as cheap, sampled telemetry.
+
+:class:`~repro.verify.runtime.InvariantMonitor` checks the observable
+consequences of the paper's invariant (assertions 6 ∧ 7 ∧ 8) on **every**
+channel event, and its cross-checks — scanning every in-flight ack span
+per send — are exactly what you do not want on a heavy-traffic hot path.
+The self-stabilizing ARQ literature (PAPERS.md) and Jain's divergence
+results for timeout algorithms both argue for watching invariants
+*during* long executions, though: silent divergence is precisely the
+failure mode end-of-run verdicts miss.
+
+:class:`InvariantProbe` squares that circle:
+
+* wire-level flight state (which data numbers / ack spans are in
+  transit) is maintained **exactly**, on every event — that part is a
+  couple of dict/list operations;
+* the O(in-flight²) cross-checks — duplicate data numbers, overlapping
+  ack spans, data coexisting with a covering ack, counter ordering
+  ``na <= nr <= vr`` — run as a **full-scan sweep every**
+  ``sample_every`` **events** (configurable; 1 = check like the
+  monitor);
+* violations are **recorded, not raised**: each one increments the
+  ``invariant_violations_total{clause=...}`` counter and (when a
+  recorder is attached) lands in the trace as a NOTE, so a long
+  adversarial run yields a violation *rate* instead of dying at the
+  first breach.
+
+A violation visible only transiently *between* two sweeps can be missed
+— that is the deliberate trade; drop ``sample_every`` to tighten it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.messages import BlockAck, DataMessage
+from repro.obs.metrics import NULL_REGISTRY
+from repro.trace.events import EventKind
+from repro.verify.runtime import InvariantMonitor, span_wires
+
+__all__ = ["InvariantProbe"]
+
+
+class InvariantProbe(InvariantMonitor):
+    """Sampling adaptation of the runtime invariant monitor.
+
+    Parameters (beyond :class:`~repro.verify.runtime.InvariantMonitor`)
+    ----------------------------------------------------------------
+    sample_every:
+        Run the cross-checks once per this many observed channel
+        events.  1 checks on every event (monitor-equivalent coverage at
+        monitor-equivalent cost).
+    registry:
+        Metrics registry for the ``invariant_checks_total`` /
+        ``invariant_violations_total`` counters; defaults to the no-op
+        null registry.
+    recorder:
+        Optional trace recorder; every violation is also recorded as a
+        ``NOTE`` event from actor ``"probe"``.
+    """
+
+    def __init__(
+        self,
+        sender: Any,
+        receiver: Any,
+        forward: Any,
+        reverse: Any,
+        domain: Optional[int] = None,
+        sample_every: int = 64,
+        registry=None,
+        recorder=None,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        registry = registry if registry is not None else NULL_REGISTRY
+        self.sample_every = sample_every
+        self.events_seen = 0
+        self.checks_run = 0
+        self._recorder = recorder
+        self._checks_counter = registry.counter(
+            "invariant_checks_total", "sampled invariant sweeps executed"
+        )
+        self._violations_counter = registry.counter(
+            "invariant_violations_total",
+            "observed breaches of invariant 6 ∧ 7 ∧ 8, by clause",
+            labelnames=("clause",),
+        )
+        # strict=False always: a probe records, it never raises
+        super().__init__(
+            sender, receiver, forward, reverse, domain=domain, strict=False
+        )
+
+    # ------------------------------------------------------------------
+    # channel observers: exact state, sampled checking
+    # ------------------------------------------------------------------
+
+    def _on_forward_event(self, kind: str, message: Any) -> None:
+        if not isinstance(message, DataMessage):
+            return
+        wires = self._forward.data_wires
+        if kind in ("send", "duplicate"):
+            wires[message.seq] = wires.get(message.seq, 0) + 1
+        else:  # deliver / lose / age all remove the copy
+            count = wires.get(message.seq, 0) - 1
+            if count <= 0:
+                wires.pop(message.seq, None)
+            else:
+                wires[message.seq] = count
+        self._tick()
+
+    def _on_reverse_event(self, kind: str, message: Any) -> None:
+        if not isinstance(message, BlockAck):
+            return
+        spans = self._reverse.ack_spans
+        span = (message.lo, message.hi)
+        if kind in ("send", "duplicate"):
+            spans.append(span)
+        elif span in spans:
+            spans.remove(span)
+        self._tick()
+
+    def _tick(self) -> None:
+        self.events_seen += 1
+        if self.events_seen % self.sample_every == 0:
+            self.check_now()
+
+    # ------------------------------------------------------------------
+    # the sampled sweep
+    # ------------------------------------------------------------------
+
+    def check_now(self) -> int:
+        """Run one full cross-check sweep; returns violations found now."""
+        self.checks_run += 1
+        self._checks_counter.inc()
+        before = len(self.violations)
+
+        # assertion 8: at most one in-flight copy per wire number
+        for wire, count in self._forward.data_wires.items():
+            if count > 1:
+                self._flag(
+                    "8: duplicate data in transit",
+                    f"{count} in-flight data messages carry wire seq {wire}",
+                )
+
+        # assertion 8: ack spans pairwise disjoint, and disjoint from data
+        spans = self._reverse.ack_spans
+        covered: set = set()
+        for span in spans:
+            wires = span_wires(span, self.domain)
+            overlap = covered & wires
+            if overlap:
+                self._flag(
+                    "8: overlapping acks in transit",
+                    f"wire seq {min(overlap)} covered by two in-flight acks",
+                )
+            covered |= wires
+        data_overlap = covered & set(self._forward.data_wires)
+        if data_overlap:
+            self._flag(
+                "8: data coexists with covering ack",
+                f"data wire seq {min(data_overlap)} in flight while an "
+                "acknowledgment covers it",
+            )
+
+        # assertion 6: counter ordering na <= nr <= vr
+        self._check_counters()
+        return len(self.violations) - before
+
+    # ------------------------------------------------------------------
+    # violation recording: metric + NOTE instead of raising
+    # ------------------------------------------------------------------
+
+    def _flag(self, clause: str, detail: str) -> None:
+        super()._flag(clause, detail)  # collects; strict is always False
+        self._violations_counter.labels(clause=clause).inc()
+        if self._recorder is not None:
+            self._recorder.record(
+                "probe", EventKind.NOTE, detail=f"invariant {clause}: {detail}"
+            )

@@ -1,0 +1,213 @@
+"""Schema for exported telemetry, and a validator CLI.
+
+The ``.jsonl`` export of :mod:`repro.obs.sink` is a contract: CI
+archives the files as artifacts, ``blockack obs diff`` compares runs
+across commits, and external tooling may parse them.  This module pins
+that contract down (``repro.obs/v1``) and enforces it::
+
+    python -m repro.obs.schema --check results/obs/*.jsonl
+
+Validation is structural, dependency-free (no jsonschema package), and
+strict about the parts that tooling keys on — record types, required
+fields, field types, the one-meta-first / one-snapshot rule — while
+leaving room for additive evolution (unknown *extra* fields are allowed;
+unknown record types are not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+from typing import List, Optional
+
+from repro.obs.sink import SCHEMA_VERSION, read_records
+from repro.trace.events import EventKind
+
+__all__ = ["validate_record", "validate_records", "validate_file", "main"]
+
+_NUMBER = (int, float)
+_EVENT_KINDS = {kind.value for kind in EventKind}
+_SPAN_STATES = {"submitted", "sent", "resent", "acked", "delivered"}
+
+#: required fields per record type: name -> (types, nullable)
+_FIELDS = {
+    "meta": {
+        "schema": (str, False),
+        "run_id": (str, False),
+        "labels": (dict, True),
+    },
+    "event": {
+        "time": (_NUMBER, False),
+        "actor": (str, False),
+        "kind": (str, False),
+    },
+    "span": {
+        "seq": (int, False),
+        "state": (str, False),
+        "submitted": (_NUMBER, True),
+        "first_sent": (_NUMBER, True),
+        "last_sent": (_NUMBER, True),
+        "acked": (_NUMBER, True),
+        "delivered": (_NUMBER, True),
+        "sends": (int, False),
+        "resends": (int, False),
+    },
+    "snapshot": {
+        "metrics": (dict, False),
+    },
+}
+
+_METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+
+def validate_record(record: object, lineno: int = 0) -> List[str]:
+    """Structural errors in one record; empty list means valid."""
+    where = f"line {lineno}" if lineno else "record"
+    if not isinstance(record, dict):
+        return [f"{where}: not a JSON object"]
+    kind = record.get("type")
+    if kind not in _FIELDS:
+        return [f"{where}: unknown record type {kind!r}"]
+    errors = []
+    for field, (types, nullable) in _FIELDS[kind].items():
+        if field not in record:
+            errors.append(f"{where}: {kind} record missing field {field!r}")
+            continue
+        value = record[field]
+        if value is None:
+            if not nullable:
+                errors.append(f"{where}: {kind}.{field} must not be null")
+            continue
+        if not isinstance(value, types) or isinstance(value, bool):
+            # bool is an int subclass; it is never a valid field value here
+            errors.append(
+                f"{where}: {kind}.{field} has type {type(value).__name__}"
+            )
+    if kind == "meta" and record.get("schema") not in (None, SCHEMA_VERSION):
+        if isinstance(record.get("schema"), str):
+            errors.append(
+                f"{where}: unsupported schema {record['schema']!r} "
+                f"(expected {SCHEMA_VERSION!r})"
+            )
+    if kind == "event" and record.get("kind") not in _EVENT_KINDS:
+        errors.append(f"{where}: unknown event kind {record.get('kind')!r}")
+    if kind == "span" and record.get("state") not in _SPAN_STATES:
+        errors.append(f"{where}: unknown span state {record.get('state')!r}")
+    if kind == "snapshot" and isinstance(record.get("metrics"), dict):
+        errors.extend(_validate_metrics(record["metrics"], where))
+    return errors
+
+
+def _validate_metrics(metrics: dict, where: str) -> List[str]:
+    errors = []
+    for name, metric in metrics.items():
+        if not isinstance(metric, dict):
+            errors.append(f"{where}: metric {name!r} is not an object")
+            continue
+        mtype = metric.get("type")
+        if mtype not in _METRIC_TYPES:
+            errors.append(f"{where}: metric {name!r} has type {mtype!r}")
+            continue
+        samples = metric.get("samples")
+        if not isinstance(samples, list):
+            errors.append(f"{where}: metric {name!r} has no samples list")
+            continue
+        for sample in samples:
+            if not isinstance(sample, dict):
+                errors.append(f"{where}: metric {name!r} sample not an object")
+                continue
+            if mtype == "histogram":
+                buckets = sample.get("buckets")
+                counts = sample.get("counts")
+                if not isinstance(buckets, list) or not isinstance(counts, list):
+                    errors.append(
+                        f"{where}: histogram {name!r} sample missing "
+                        "buckets/counts"
+                    )
+                elif len(counts) != len(buckets) + 1:
+                    errors.append(
+                        f"{where}: histogram {name!r} needs len(counts) == "
+                        "len(buckets) + 1 (the +inf bucket)"
+                    )
+            elif not isinstance(sample.get("value"), _NUMBER):
+                errors.append(
+                    f"{where}: {mtype} {name!r} sample value not numeric"
+                )
+    return errors
+
+
+def validate_records(records: List[object]) -> List[str]:
+    """Validate a whole run: per-record checks plus file-level shape."""
+    errors = []
+    meta_lines = []
+    snapshot_lines = []
+    for lineno, record in enumerate(records, start=1):
+        errors.extend(validate_record(record, lineno))
+        if isinstance(record, dict):
+            if record.get("type") == "meta":
+                meta_lines.append(lineno)
+            elif record.get("type") == "snapshot":
+                snapshot_lines.append(lineno)
+    if len(meta_lines) != 1:
+        errors.append(f"file must contain exactly one meta record, found "
+                      f"{len(meta_lines)}")
+    elif meta_lines[0] != 1:
+        errors.append("meta record must be the first line")
+    if len(snapshot_lines) != 1:
+        errors.append(
+            f"file must contain exactly one snapshot record, found "
+            f"{len(snapshot_lines)}"
+        )
+    return errors
+
+
+def validate_file(path) -> List[str]:
+    """Validate one ``.jsonl`` file; returns error strings."""
+    try:
+        records = read_records(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not records:
+        return ["file is empty"]
+    return [f"{path}: {error}" for error in validate_records(records)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.schema",
+        description="validate exported telemetry (.jsonl) against "
+        f"{SCHEMA_VERSION}",
+    )
+    parser.add_argument(
+        "--check", nargs="+", required=True, metavar="PATH",
+        help="files (or directories, scanned for *.jsonl) to validate",
+    )
+    args = parser.parse_args(argv)
+
+    paths: List[pathlib.Path] = []
+    for raw in args.check:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.jsonl")))
+        else:
+            paths.append(path)
+    if not paths:
+        print("error: no .jsonl files to check")
+        return 1
+
+    failures = 0
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            failures += 1
+            for error in errors[:20]:
+                print(f"INVALID {error}")
+            if len(errors) > 20:
+                print(f"INVALID {path}: ... ({len(errors) - 20} more errors)")
+        else:
+            print(f"ok {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

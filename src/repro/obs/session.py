@@ -1,0 +1,286 @@
+"""Per-run observability session: one object that wires everything.
+
+:class:`Observability` owns a scoped :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.spans.SpanTracker`, and knows how to attach
+itself to every instrumentable layer:
+
+* the **simulator** — :class:`SimInstruments` counts events scheduled /
+  cancelled / fired and tracks the event-queue depth gauge (the engine
+  calls these hooks only when instruments are installed; the null path
+  stays branch-identical to the uninstrumented engine);
+* the **channels** — an observer per link bumps
+  ``channel_events_total{link,outcome}`` for every send / deliver / lose
+  / age / duplicate, and final :class:`~repro.channel.channel.ChannelStats`
+  land as gauges at finalize time (including the framed-link corruption
+  counters);
+* the **endpoints** — via :class:`~repro.obs.spans.ObsRecorder`, the
+  trace-recorder tee, which feeds the span tracker from the records all
+  retransmitting protocols already emit;
+* the **robustness controller** — :class:`ControllerInstruments` folds
+  every RTT sample and the resulting RTO into histograms and tracks the
+  backoff ladder position;
+* the **invariant probe** — optional sampled checking of assertions
+  6 ∧ 7 ∧ 8 (see :mod:`repro.obs.probes`).
+
+``run_transfer(..., obs=True)`` builds one of these per run; parallel
+sweep workers therefore never share registry state.  At the end,
+:meth:`export` streams meta + events + spans + snapshot to a
+``results/obs/<run_id>.jsonl`` file via :class:`~repro.obs.sink.JsonlSink`.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from repro.obs.sink import SCHEMA_VERSION, JsonlSink
+from repro.obs.spans import ObsRecorder, SpanTracker
+
+__all__ = [
+    "Observability",
+    "SimInstruments",
+    "ControllerInstruments",
+    "default_obs_dir",
+]
+
+
+def default_obs_dir() -> pathlib.Path:
+    """Where exports land: ``$REPRO_OBS_DIR`` or ``results/obs``."""
+    return pathlib.Path(os.environ.get("REPRO_OBS_DIR", "") or "results/obs")
+
+
+class SimInstruments:
+    """Engine hooks: event counters and the queue-depth gauge.
+
+    Installed with :meth:`repro.sim.engine.Simulator.set_instruments`;
+    the engine invokes these from dedicated instrumented drain loops, so
+    a simulator without instruments runs its original loops untouched.
+    """
+
+    __slots__ = ("_scheduled", "_fired", "_cancelled", "_depth")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._scheduled = registry.counter(
+            "sim_events_scheduled_total", "events pushed onto the event list"
+        )
+        self._fired = registry.counter(
+            "sim_events_fired_total", "event callbacks executed"
+        )
+        self._cancelled = registry.counter(
+            "sim_events_cancelled_total",
+            "cancelled events lazily discarded from the queue",
+        )
+        self._depth = registry.gauge(
+            "sim_queue_depth", "event-list entries (including cancelled)"
+        )
+
+    def on_schedule(self, queue_len: int) -> None:
+        self._scheduled.inc()
+        self._depth.set(queue_len)
+
+    def on_fire(self, queue_len: int) -> None:
+        self._fired.inc()
+        self._depth.set(queue_len)
+
+    def on_cancel_discard(self) -> None:
+        self._cancelled.inc()
+
+
+class ControllerInstruments:
+    """Adaptive-retransmission telemetry: RTT/RTO histograms, backoff."""
+
+    __slots__ = ("_rtt", "_rto", "_backoff", "_verdicts")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._rtt = registry.histogram(
+            "rtt_sample", "unambiguous RTT samples (Karn-filtered)"
+        )
+        self._rto = registry.histogram(
+            "rto_value", "retransmission timeout after each RTT sample"
+        )
+        self._backoff = registry.histogram(
+            "backoff_position",
+            "consecutive-expiry ladder position at each timeout",
+            buckets=COUNT_BUCKETS,
+        )
+        self._verdicts = registry.counter(
+            "retry_verdicts_total", "budget verdicts issued", labelnames=("verdict",)
+        )
+
+    def on_rtt_sample(self, rtt: float, rto: float) -> None:
+        self._rtt.observe(rtt)
+        self._rto.observe(rto)
+
+    def on_timeout(self, attempts: int, verdict: str) -> None:
+        self._backoff.observe(attempts)
+        self._verdicts.labels(verdict=verdict).inc()
+
+
+class Observability:
+    """Everything one observed run needs, bundled and scoped.
+
+    Parameters
+    ----------
+    registry:
+        Scoped registry; a fresh one is created when omitted, so two
+        concurrent runs never share series.
+    run_id:
+        Identifier used in the export's meta record and default file
+        name; derived by the caller (deterministic — sweep workers use
+        the config digest).
+    labels:
+        Free-form key/value context written to the meta record
+        (protocol, seed, experiment cell, ...).
+    sample_invariants_every:
+        0 disables the invariant probe; N >= 1 installs
+        :class:`~repro.obs.probes.InvariantProbe` with that sampling
+        period.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        run_id: str = "run",
+        labels: Optional[Dict[str, str]] = None,
+        sample_invariants_every: int = 0,
+    ) -> None:
+        if sample_invariants_every < 0:
+            raise ValueError(
+                f"sample_invariants_every must be >= 0, "
+                f"got {sample_invariants_every}"
+            )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.run_id = run_id
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.sample_invariants_every = sample_invariants_every
+        self.span_tracker = SpanTracker(self.registry)
+        self.probe = None  # set by install_probe
+        self.recorder: Optional[ObsRecorder] = None
+        self._channel_stats: List[tuple] = []  # (link, channel)
+
+    # ------------------------------------------------------------------
+    # wiring (called by run_transfer, or by hand for custom harnesses)
+    # ------------------------------------------------------------------
+
+    def make_recorder(self, sim, inner) -> ObsRecorder:
+        """The recorder tee endpoints should be attached with."""
+        self.recorder = ObsRecorder(sim, self.span_tracker, inner)
+        return self.recorder
+
+    def attach_sim(self, sim) -> None:
+        sim.set_instruments(SimInstruments(self.registry))
+
+    def attach_channel(self, channel, link: str) -> None:
+        """Observe one link; counts every channel event by outcome."""
+        counter = self.registry.counter(
+            "channel_events_total",
+            "channel events by link and outcome",
+            labelnames=("link", "outcome"),
+        )
+        # pre-bound children: the observer body is one dict hit + one add
+        bound = {
+            outcome: counter.labels(link=link, outcome=outcome)
+            for outcome in ("send", "deliver", "lose", "age", "duplicate")
+        }
+
+        def observe(kind: str, message: Any) -> None:  # noqa: ARG001
+            child = bound.get(kind)
+            if child is not None:
+                child.inc()
+
+        channel.add_observer(observe)
+        self._channel_stats.append((link, channel))
+
+    def attach_controller(self, controller) -> None:
+        """Bind RTO/backoff telemetry to a RetransmissionController."""
+        controller.bind_instruments(ControllerInstruments(self.registry))
+
+    def install_probe(
+        self, sender, receiver, forward, reverse, domain: Optional[int] = None
+    ) -> None:
+        """Attach the sampled invariant probe (if configured on)."""
+        if not self.sample_invariants_every:
+            return
+        from repro.obs.probes import InvariantProbe  # cycle guard
+
+        self.probe = InvariantProbe(
+            sender,
+            receiver,
+            forward,
+            reverse,
+            domain=domain,
+            sample_every=self.sample_invariants_every,
+            registry=self.registry,
+            recorder=self.recorder,
+        )
+
+    # ------------------------------------------------------------------
+    # finalize + export
+    # ------------------------------------------------------------------
+
+    def finalize(self, result: Any = None) -> None:
+        """Fold end-of-run state into the registry.
+
+        Channel statistics become gauges labelled by link (including the
+        framed-link corruption counters when present); the transfer
+        verdict and duration are recorded when a
+        :class:`~repro.sim.runner.TransferResult` is passed.
+        """
+        if self._channel_stats:
+            gauge = self.registry.gauge(
+                "channel_stat",
+                "final channel counters by link",
+                labelnames=("link", "stat"),
+            )
+            for link, channel in self._channel_stats:
+                stats = channel.stats.as_dict()
+                if hasattr(channel, "discarded"):  # framed link wrapper
+                    stats["corrupted"] = channel.corrupted
+                    stats["discarded"] = channel.discarded
+                    stats["bytes_sent"] = channel.bytes_sent
+                for stat, value in stats.items():
+                    gauge.labels(link=link, stat=stat).set(value)
+        if result is not None:
+            self.registry.gauge(
+                "transfer_duration", "virtual time at completion or cutoff"
+            ).set(result.duration)
+            self.registry.gauge(
+                "transfer_delivered", "payloads delivered in order"
+            ).set(result.delivered)
+            self.registry.gauge(
+                "transfer_completed", "1 when the transfer completed cleanly"
+            ).set(1.0 if result.completed else 0.0)
+
+    def meta_record(self) -> dict:
+        return {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "labels": self.labels,
+        }
+
+    def export(
+        self,
+        path=None,
+        include_events: bool = True,
+    ) -> pathlib.Path:
+        """Write this run's telemetry as JSONL; returns the path written.
+
+        ``path=None`` uses ``<default_obs_dir()>/<run_id>.jsonl``.
+        Events are taken from the attached recorder (empty when the run
+        traced nothing); spans and the metric snapshot always export.
+        """
+        if path is None:
+            path = default_obs_dir() / f"{self.run_id}.jsonl"
+        events = []
+        if include_events and self.recorder is not None:
+            events = self.recorder.events
+        with JsonlSink(path) as sink:
+            sink.write(self.meta_record())
+            for event in events:
+                sink.write(event.as_record())
+            sink.write_all(self.span_tracker.as_records())
+            sink.write({"type": "snapshot", "metrics": self.registry.snapshot()})
+        return pathlib.Path(path)

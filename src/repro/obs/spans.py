@@ -1,0 +1,317 @@
+"""Virtual-time spans: the per-sequence-number lifecycle, measured.
+
+A :class:`SeqSpan` follows one sequence number through the protocol::
+
+    submitted -> sent -> [resend ...] -> acked -> delivered
+
+with every transition stamped in **virtual time** (``Simulator.now``).
+The tracker derives the distributions the paper's analysis cares about:
+
+* ``retransmits_per_seq`` — how many extra copies each message cost
+  (go-back-N's whole-window waste vs. block ack's one-per-loss shows up
+  directly here);
+* ``ack_block_size`` — the ``n - m + 1`` span of every received block
+  acknowledgment (the paper's headline economy: one ack, many messages);
+* ``time_in_window`` — submit to cumulative-ack: how long each message
+  occupied sender window state;
+* ``latency`` — submit to deliver, replacing the ad-hoc latency wrapper
+  :func:`repro.sim.runner.run_transfer` used before this layer existed.
+
+:class:`SpanTracker` consumes the same stream of trace records the
+endpoints already emit, so **every retransmitting protocol is
+instrumented at once**: :class:`ObsRecorder` is a duck-typed stand-in
+for :class:`~repro.trace.recorder.TraceRecorder` that tees each record
+into the tracker (and its metric counters) before forwarding to an inner
+recorder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from repro.trace.events import EventKind, TraceEvent
+
+__all__ = ["SeqSpan", "SpanTracker", "ObsRecorder", "LIFECYCLE_STATES"]
+
+#: The lifecycle states a span moves through, in order.  ``resent`` is a
+#: transient sub-state of ``sent`` (re-entered per retransmission).
+LIFECYCLE_STATES = ("submitted", "sent", "resent", "acked", "delivered")
+
+
+class SeqSpan:
+    """Lifecycle timestamps and counts for one sequence number."""
+
+    __slots__ = (
+        "seq",
+        "submitted_at",
+        "first_sent_at",
+        "last_sent_at",
+        "acked_at",
+        "delivered_at",
+        "sends",
+        "resends",
+        "timeouts",
+    )
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.submitted_at: Optional[float] = None
+        self.first_sent_at: Optional[float] = None
+        self.last_sent_at: Optional[float] = None
+        self.acked_at: Optional[float] = None
+        self.delivered_at: Optional[float] = None
+        self.sends = 0
+        self.resends = 0
+        self.timeouts = 0
+
+    @property
+    def state(self) -> str:
+        """Current lifecycle state (the furthest transition reached)."""
+        if self.delivered_at is not None:
+            return "delivered"
+        if self.acked_at is not None:
+            return "acked"
+        if self.resends:
+            return "resent"
+        if self.sends:
+            return "sent"
+        return "submitted"
+
+    @property
+    def complete(self) -> bool:
+        """Both ends of the lifecycle observed (acked and delivered)."""
+        return self.acked_at is not None and self.delivered_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-deliver virtual time, if both ends were observed."""
+        if self.submitted_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.submitted_at
+
+    @property
+    def time_in_window(self) -> Optional[float]:
+        """Submit-to-ack virtual time (sender window occupancy)."""
+        if self.submitted_at is None or self.acked_at is None:
+            return None
+        return self.acked_at - self.submitted_at
+
+    def as_record(self) -> dict:
+        """JSON-safe span record for the ``.jsonl`` export."""
+        return {
+            "type": "span",
+            "seq": self.seq,
+            "state": self.state,
+            "submitted": self.submitted_at,
+            "first_sent": self.first_sent_at,
+            "last_sent": self.last_sent_at,
+            "acked": self.acked_at,
+            "delivered": self.delivered_at,
+            "sends": self.sends,
+            "resends": self.resends,
+            "timeouts": self.timeouts,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeqSpan(seq={self.seq}, state={self.state!r})"
+
+
+class SpanTracker:
+    """Fold trace records into per-seq spans and derived metrics."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.spans: Dict[int, SeqSpan] = {}
+        self._events = registry.counter(
+            "protocol_events_total",
+            "trace records by actor and kind",
+            labelnames=("actor", "kind"),
+        )
+        self._retransmits = registry.histogram(
+            "retransmits_per_seq",
+            "extra transmissions each sequence number needed",
+            buckets=COUNT_BUCKETS,
+        )
+        self._block_size = registry.histogram(
+            "ack_block_size",
+            "messages covered per received block acknowledgment (n-m+1)",
+            buckets=COUNT_BUCKETS,
+        )
+        self._time_in_window = registry.histogram(
+            "time_in_window",
+            "virtual time from submit to cumulative acknowledgment",
+        )
+        self._latency = registry.histogram(
+            "delivery_latency",
+            "virtual time from submit to in-order delivery",
+        )
+        self._window_open = registry.counter(
+            "window_open_total", "times the sender window reopened"
+        )
+        self._timeouts = registry.counter(
+            "timeouts_total", "retransmission timers fired"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle entry points
+    # ------------------------------------------------------------------
+
+    def _span(self, seq: int) -> SeqSpan:
+        span = self.spans.get(seq)
+        if span is None:
+            span = SeqSpan(seq)
+            self.spans[seq] = span
+        return span
+
+    def on_submit(self, seq: int, now: float) -> None:
+        """The application handed ``seq`` to the sender at ``now``."""
+        self._span(seq).submitted_at = now
+
+    def on_deliver(self, seq: int, now: float) -> Optional[float]:
+        """``seq`` was released in order; returns its latency, if known.
+
+        Normally the DELIVER trace record drives this via
+        :meth:`on_event`; the runner also calls it directly from its
+        ``on_deliver`` callback so protocols that do not emit DELIVER
+        records still produce complete spans.
+        """
+        span = self._span(seq)
+        if span.delivered_at is None:
+            span.delivered_at = now
+            latency = span.latency
+            if latency is not None:
+                self._latency.observe(latency)
+            return latency
+        return None
+
+    def on_event(
+        self,
+        now: float,
+        actor: str,
+        kind: EventKind,
+        seq: Optional[int],
+        seq_hi: Optional[int],
+        detail: Any,  # noqa: ARG002 - uniform record signature
+    ) -> None:
+        """One trace record from any endpoint (via :class:`ObsRecorder`)."""
+        self._events.labels(actor=actor, kind=kind.value).inc()
+        if kind is EventKind.SEND_DATA:
+            span = self._span(seq)
+            span.sends += 1
+            if span.first_sent_at is None:
+                span.first_sent_at = now
+            span.last_sent_at = now
+        elif kind is EventKind.RESEND_DATA:
+            span = self._span(seq)
+            span.sends += 1
+            span.resends += 1
+            span.last_sent_at = now
+        elif kind is EventKind.RECV_ACK:
+            hi = seq_hi if seq_hi is not None else seq
+            if seq is not None and hi is not None and hi >= seq:
+                self._block_size.observe(hi - seq + 1)
+                for covered in range(seq, hi + 1):
+                    self._mark_acked(covered, now)
+        elif kind is EventKind.DELIVER:
+            if seq is not None:
+                self.on_deliver(seq, now)
+        elif kind is EventKind.TIMEOUT:
+            self._timeouts.inc()
+            if seq is not None:
+                self._span(seq).timeouts += 1
+        elif kind is EventKind.WINDOW_OPEN:
+            self._window_open.inc()
+
+    def _mark_acked(self, seq: int, now: float) -> None:
+        span = self.spans.get(seq)
+        if span is None or span.acked_at is not None:
+            return
+        span.acked_at = now
+        self._retransmits.observe(span.resends)
+        in_window = span.time_in_window
+        if in_window is not None:
+            self._time_in_window.observe(in_window)
+
+    # ------------------------------------------------------------------
+    # reading the results
+    # ------------------------------------------------------------------
+
+    def latencies(self) -> List[float]:
+        """Submit-to-deliver latencies of completed spans, in seq order.
+
+        This is the list :class:`~repro.sim.runner.TransferResult`
+        exposes; with observability on it replaces the runner's old
+        submit-wrapping latency bookkeeping.
+        """
+        out = []
+        for seq in sorted(self.spans):
+            latency = self.spans[seq].latency
+            if latency is not None:
+                out.append(latency)
+        return out
+
+    def incomplete(self) -> List[SeqSpan]:
+        """Spans that never reached ``delivered`` (lost-progress debris)."""
+        return [
+            self.spans[seq]
+            for seq in sorted(self.spans)
+            if not self.spans[seq].complete
+        ]
+
+    def as_records(self) -> List[dict]:
+        """Every span as a JSON-safe export record, in sequence order."""
+        return [self.spans[seq].as_record() for seq in sorted(self.spans)]
+
+    def state_counts(self) -> Dict[str, int]:
+        """How many spans sit in each lifecycle state right now."""
+        counts: Dict[str, int] = {}
+        for span in self.spans.values():
+            counts[span.state] = counts.get(span.state, 0) + 1
+        return counts
+
+
+class ObsRecorder:
+    """Recorder tee: spans + metrics first, then the wrapped recorder.
+
+    Duck-typed against :class:`~repro.trace.recorder.TraceRecorder`, so
+    endpoints are oblivious: ``sender.attach(sim, tx, recorder)`` works
+    identically whether ``recorder`` is a plain trace recorder, the null
+    recorder, or this tee.  Read-side methods delegate to the inner
+    recorder, so ``result.trace`` behaves exactly as before.
+    """
+
+    def __init__(self, sim, tracker: SpanTracker, inner) -> None:
+        self._sim = sim
+        self._tracker = tracker
+        self._inner = inner
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(self, actor, kind, seq=None, seq_hi=None, detail=None) -> None:
+        self._tracker.on_event(self._sim.now, actor, kind, seq, seq_hi, detail)
+        self._inner.record(actor, kind, seq=seq, seq_hi=seq_hi, detail=detail)
+
+    # -- read side: delegate to the wrapped recorder -----------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._inner.events
+
+    @property
+    def dropped_events(self) -> int:
+        return getattr(self._inner, "dropped_events", 0)
+
+    def filter(self, kind=None, actor=None, predicate=None):
+        return self._inner.filter(kind=kind, actor=actor, predicate=predicate)
+
+    def count(self, kind: EventKind) -> int:
+        return self._inner.count(kind)
+
+    def format(self, limit=None) -> str:
+        return self._inner.format(limit=limit)
+
+    def decision_trace(self) -> List[tuple]:
+        return self._inner.decision_trace()

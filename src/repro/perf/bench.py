@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "run_microbenchmarks",
+    "run_obs_overhead",
     "update_bench_json",
     "compare_bench",
     "main",
@@ -108,7 +109,26 @@ def _channel_transit(n: int) -> int:
     return n
 
 
-def _transfer(total: int) -> Tuple[int, float]:
+def _engine_chain_obs(n: int) -> int:
+    """The chained-event workload with live engine telemetry attached."""
+    from repro.obs.session import Observability
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    Observability(run_id="bench").attach_sim(sim)
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    sim.run()
+    return count[0]
+
+
+def _transfer(total: int, obs: bool = False) -> Tuple[int, float]:
     """One end-to-end block-ack transfer; returns (events, throughput)."""
     from repro.channel.delay import UniformDelay
     from repro.channel.impairments import BernoulliLoss
@@ -126,6 +146,7 @@ def _transfer(total: int) -> Tuple[int, float]:
         reverse=link(),
         seed=1,
         max_time=1_000_000.0,
+        obs=obs,
     )
     assert result.completed and result.in_order
     return result.delivered, result.throughput
@@ -152,15 +173,51 @@ def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
         ),
     }
 
+    metrics["transfer_msgs_per_sec"] = _transfer_rate(n_transfer, repeats)
+    return metrics
+
+
+def _transfer_rate(total: int, repeats: int, obs: bool = False) -> float:
     best = 0.0
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        delivered, _ = _transfer(n_transfer)
+        delivered, _ = _transfer(total, obs=obs)
         elapsed = time.perf_counter() - start
         if elapsed > 0:
             best = max(best, delivered / elapsed)
-    metrics["transfer_msgs_per_sec"] = best
-    return metrics
+    return best
+
+
+def run_obs_overhead(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
+    """Observability cost: the same workloads with telemetry off vs. on.
+
+    ``*_off_*`` entries exercise the allocation-free null path (no
+    session attached — the numbers the <2% regression budget applies
+    to); ``*_on_*`` entries run with a live per-run
+    :class:`~repro.obs.session.Observability` (engine instruments, span
+    tracking, channel observers).  ``*_overhead_pct`` is how much slower
+    "on" is than "off" — informational, not budgeted: observed runs are
+    expected to pay for their telemetry.
+    """
+    n_events = 100_000 * scale
+    n_transfer = 1_000 * scale
+
+    chain_off = _best_rate(lambda: _engine_chain(n_events), repeats)
+    chain_on = _best_rate(lambda: _engine_chain_obs(n_events), repeats)
+    transfer_off = _transfer_rate(n_transfer, repeats)
+    transfer_on = _transfer_rate(n_transfer, repeats, obs=True)
+
+    def overhead(off: float, on: float) -> float:
+        return (off / on - 1.0) * 100.0 if on > 0 else 0.0
+
+    return {
+        "engine_chain_off_events_per_sec": chain_off,
+        "engine_chain_on_events_per_sec": chain_on,
+        "engine_chain_overhead_pct": overhead(chain_off, chain_on),
+        "transfer_off_msgs_per_sec": transfer_off,
+        "transfer_on_msgs_per_sec": transfer_on,
+        "transfer_overhead_pct": overhead(transfer_off, transfer_on),
+    }
 
 
 def update_bench_json(
@@ -168,12 +225,15 @@ def update_bench_json(
     mode: str,
     micro: Optional[Dict[str, float]] = None,
     experiments: Optional[Dict[str, float]] = None,
+    obs: Optional[Dict[str, float]] = None,
 ) -> dict:
     """Merge new measurements into ``path``, creating it if needed.
 
     Sections not passed are preserved from the existing file, so the CLI
-    (micro) and the benchmark suite (experiments) can each own their half
-    of one ``BENCH_<mode>.json``.
+    (micro + obs) and the benchmark suite (experiments) can each own
+    their part of one ``BENCH_<mode>.json``.  The ``obs`` section records
+    observability overhead (see :func:`run_obs_overhead`); baseline
+    comparison ignores it.
     """
     path = pathlib.Path(path)
     data: dict = {}
@@ -190,6 +250,8 @@ def update_bench_json(
         merged = dict(data.get("experiments", {}))
         merged.update(experiments)
         data["experiments"] = {k: merged[k] for k in sorted(merged)}
+    if obs is not None:
+        data["obs"] = {k: obs[k] for k in sorted(obs)}
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return data
 

@@ -40,6 +40,7 @@ __all__ = [
     "SweepRunner",
     "run_protocol_grid",
     "default_jobs",
+    "obs_enabled_by_env",
     "execute_config",
     "serialize_result",
     "deserialize_result",
@@ -61,6 +62,15 @@ def default_jobs() -> int:
 def cache_enabled_by_env() -> bool:
     """True when ``REPRO_CACHE`` asks for the on-disk result cache."""
     return os.environ.get("REPRO_CACHE", "") not in ("", "0")
+
+
+def obs_enabled_by_env() -> bool:
+    """True when ``REPRO_OBS`` asks grid runs to record telemetry.
+
+    Set by the CLI's ``--obs`` flag (like ``--jobs``/``REPRO_JOBS``);
+    each observed grid cell exports one ``results/obs/<run_id>.jsonl``.
+    """
+    return os.environ.get("REPRO_OBS", "") not in ("", "0")
 
 
 @dataclass
@@ -87,6 +97,7 @@ class RunConfig:
     monitor_invariants: bool = False
     fault_plan: Optional[Any] = None
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
+    obs: bool = False  # record + export telemetry for this run
 
     def description(self) -> str:
         """Canonical config string; equal configs describe identically."""
@@ -102,12 +113,20 @@ class RunConfig:
             f"monitor={self.monitor_invariants}",
             f"faults={_describe_fault_plan(self.fault_plan)}",
             f"kwargs={describe(self.protocol_kwargs)}",
+            f"obs={self.obs}",
         ]
         return "RunConfig(" + ",".join(parts) + ")"
 
     def cache_key(self) -> str:
         """Stable hash of the full configuration + seed."""
         return config_digest(self.description())
+
+    def run_id(self) -> str:
+        """Deterministic telemetry run id: readable prefix + config digest."""
+        return (
+            f"{self.protocol.replace('-', '_')}_w{self.window}"
+            f"_n{self.total}_s{self.seed}_{self.cache_key()[:8]}"
+        )
 
 
 def _describe_fault_plan(plan: Any) -> str:
@@ -155,7 +174,7 @@ def execute_config(config: RunConfig) -> TransferResult:
         config.protocol, window=config.window, **config.protocol_kwargs
     )
     plan = copy.deepcopy(config.fault_plan) if config.fault_plan is not None else None
-    return run_transfer(
+    result = run_transfer(
         sender,
         receiver,
         GreedySource(config.total),
@@ -166,7 +185,25 @@ def execute_config(config: RunConfig) -> TransferResult:
         max_events=config.max_events,
         monitor_invariants=config.monitor_invariants,
         fault_plan=plan,
+        obs=config.obs,
+        obs_run_id=config.run_id() if config.obs else None,
+        obs_labels=(
+            {
+                "protocol": config.protocol,
+                "window": str(config.window),
+                "total": str(config.total),
+                "seed": str(config.seed),
+            }
+            if config.obs
+            else None
+        ),
     )
+    if result.obs is not None:
+        # exported eagerly, in the worker process, under a deterministic
+        # name: the file outlives the process and its path rides the
+        # serialized payload through cache hits unchanged
+        result.obs_path = str(result.obs.export())
+    return result
 
 
 def serialize_result(result: TransferResult) -> dict:
@@ -195,6 +232,7 @@ def serialize_result(result: TransferResult) -> dict:
             if result.monitor is not None
             else None
         ),
+        "obs_path": result.obs_path,
     }
 
 
@@ -215,6 +253,7 @@ def deserialize_result(payload: dict) -> TransferResult:
         latencies=list(payload["latencies"]),
         fault_stats=payload["fault_stats"],
         monitor=MonitorSummary(violations) if violations is not None else None,
+        obs_path=payload.get("obs_path"),  # .get: pre-obs cache entries
     )
 
 

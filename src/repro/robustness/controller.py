@@ -109,6 +109,12 @@ class RetransmissionController:
         self._attempts: Dict[Any, int] = {}  # timer key -> consecutive expiries
         self._sent_at: Dict[Any, float] = {}  # seq -> first-send time
         self._tainted: Set[Any] = set()  # seqs ever retransmitted (Karn)
+        self._instruments = None  # see bind_instruments
+
+    def bind_instruments(self, instruments: Optional[Any]) -> None:
+        """Attach telemetry hooks (duck-typed ``ControllerInstruments``:
+        ``on_rtt_sample(rtt, rto)``, ``on_timeout(attempts, verdict)``)."""
+        self._instruments = instruments
 
     # ------------------------------------------------------------------
     # the sender's two questions
@@ -128,6 +134,8 @@ class RetransmissionController:
             self.link_dead = True
         elif verdict is RetryVerdict.DEGRADE:
             self.degrades += 1
+        if self._instruments is not None:
+            self._instruments.on_timeout(self._attempts[key], verdict.value)
         return verdict
 
     # ------------------------------------------------------------------
@@ -151,6 +159,10 @@ class RetransmissionController:
             sent_at = self._sent_at.pop(seq, None)
             if sent_at is not None and seq not in self._tainted:
                 self.estimator.sample(now - sent_at)
+                if self._instruments is not None:
+                    self._instruments.on_rtt_sample(
+                        now - sent_at, self.estimator.rto
+                    )
             self._tainted.discard(seq)
             self._attempts.pop(seq, None)
         if progressed:

@@ -106,6 +106,7 @@ class Simulator:
         self._counter = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._instruments = None  # see set_instruments
 
     # ------------------------------------------------------------------
     # clock and introspection
@@ -166,6 +167,42 @@ class Simulator:
         return self.schedule(time - self._now, callback, *args)
 
     # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    def set_instruments(self, instruments: Optional[Any]) -> None:
+        """Install (or with None, remove) engine telemetry hooks.
+
+        ``instruments`` duck-types :class:`repro.obs.session.SimInstruments`:
+        ``on_schedule(queue_len)``, ``on_fire(queue_len)``,
+        ``on_cancel_discard()``.  The uninstrumented engine is untouched
+        by this feature: ``schedule`` is swapped for its instrumented
+        twin as an *instance* attribute, and the drain loops select an
+        instrumented body once per call — with no instruments installed,
+        every hot path is byte-for-byte the code above.
+        """
+        self._instruments = instruments
+        if instruments is None:
+            self.__dict__.pop("schedule", None)
+        else:
+            self.__dict__["schedule"] = self._schedule_instrumented
+
+    def _schedule_instrumented(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """:meth:`schedule` plus the on_schedule hook (same semantics)."""
+        if delay < 0:
+            raise ScheduleInPastError(
+                f"cannot schedule event {delay} time units in the past"
+            )
+        time = self._now + delay
+        seq = next(self._counter)
+        event = Event(time, seq, callback, args)
+        heappush(self._queue, (time, seq, event))
+        self._instruments.on_schedule(len(self._queue))
+        return event
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
 
@@ -175,13 +212,18 @@ class Simulator:
         Returns True if an event ran, False if the queue was empty.
         """
         queue = self._queue
+        instruments = self._instruments
         while queue and queue[0][2].cancelled:
             heappop(queue)
+            if instruments is not None:
+                instruments.on_cancel_discard()
         if not queue:
             return False
         time, _, event = heappop(queue)
         self._now = time
         self._events_processed += 1
+        if instruments is not None:
+            instruments.on_fire(len(queue))
         event.callback(*event.args)
         return True
 
@@ -206,23 +248,45 @@ class Simulator:
         self._running = True
         queue = self._queue
         pop = heappop
+        instruments = self._instruments
         executed = 0
         try:
-            while queue:
-                head = queue[0]
-                if head[2].cancelled:
+            if instruments is None:
+                while queue:
+                    head = queue[0]
+                    if head[2].cancelled:
+                        pop(queue)
+                        continue
+                    if until is not None and head[0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
                     pop(queue)
-                    continue
-                if until is not None and head[0] > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                pop(queue)
-                event = head[2]
-                self._now = head[0]
-                self._events_processed += 1
-                executed += 1
-                event.callback(*event.args)
+                    event = head[2]
+                    self._now = head[0]
+                    self._events_processed += 1
+                    executed += 1
+                    event.callback(*event.args)
+            else:
+                # instrumented twin of the loop above (kept separate so the
+                # null path pays nothing for observability)
+                while queue:
+                    head = queue[0]
+                    if head[2].cancelled:
+                        pop(queue)
+                        instruments.on_cancel_discard()
+                        continue
+                    if until is not None and head[0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    pop(queue)
+                    event = head[2]
+                    self._now = head[0]
+                    self._events_processed += 1
+                    executed += 1
+                    instruments.on_fire(len(queue))
+                    event.callback(*event.args)
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -251,23 +315,44 @@ class Simulator:
         self._running = True
         queue = self._queue
         pop = heappop
+        instruments = self._instruments
         executed = 0
         try:
-            while keep_going():
-                if max_time is not None and self._now > max_time:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                while queue and queue[0][2].cancelled:
-                    pop(queue)
-                if not queue:
-                    break
-                head = pop(queue)
-                self._now = head[0]
-                self._events_processed += 1
-                executed += 1
-                event = head[2]
-                event.callback(*event.args)
+            if instruments is None:
+                while keep_going():
+                    if max_time is not None and self._now > max_time:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    while queue and queue[0][2].cancelled:
+                        pop(queue)
+                    if not queue:
+                        break
+                    head = pop(queue)
+                    self._now = head[0]
+                    self._events_processed += 1
+                    executed += 1
+                    event = head[2]
+                    event.callback(*event.args)
+            else:
+                # instrumented twin (see run); null path stays untouched
+                while keep_going():
+                    if max_time is not None and self._now > max_time:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    while queue and queue[0][2].cancelled:
+                        pop(queue)
+                        instruments.on_cancel_discard()
+                    if not queue:
+                        break
+                    head = pop(queue)
+                    self._now = head[0]
+                    self._events_processed += 1
+                    executed += 1
+                    event = head[2]
+                    instruments.on_fire(len(queue))
+                    event.callback(*event.args)
         finally:
             self._running = False
         return executed

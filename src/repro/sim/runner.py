@@ -80,6 +80,8 @@ class TransferResult:
     monitor: Any = None  # InvariantMonitor when monitor_invariants=True
     latencies: List[float] = field(default_factory=list)  # submit -> deliver
     fault_stats: dict = field(default_factory=dict)  # injected-fault counters
+    obs: Any = None  # Observability session when obs= was requested
+    obs_path: Optional[str] = None  # exported .jsonl (sweep-run telemetry)
 
     def latency_percentile(self, q: float) -> float:
         """Submit-to-deliver latency percentile (requires latencies)."""
@@ -172,6 +174,10 @@ def run_transfer(
     monitor_invariants: bool = False,
     record_channel_drops: bool = False,
     fault_plan: Optional[Any] = None,
+    obs: Any = False,
+    obs_run_id: Optional[str] = None,
+    obs_labels: Optional[dict] = None,
+    obs_sample_invariants_every: int = 0,
 ) -> TransferResult:
     """Run one complete transfer and measure it.
 
@@ -192,17 +198,51 @@ def run_transfer(
     ``result.fault_stats``.  A sender running with ``adaptive=`` config
     additionally reports its controller under
     ``result.sender_stats["adaptive"]``.
+
+    ``obs`` turns on the unified telemetry layer (:mod:`repro.obs`):
+    pass True for a fresh per-run :class:`~repro.obs.session.Observability`
+    (optionally shaped by ``obs_run_id`` / ``obs_labels`` /
+    ``obs_sample_invariants_every``), or an existing session to reuse its
+    registry.  The session instruments the engine, both channels, the
+    endpoints (per-seq lifecycle spans via the trace-record tee), and the
+    adaptive controller; ``result.latencies`` then comes from the span
+    tracker instead of the runner's submit-wrapping bookkeeping, and the
+    session is returned as ``result.obs`` for snapshotting/export.  With
+    ``obs`` falsy (the default) none of this code runs and no telemetry
+    objects are allocated.
     """
     sim = Simulator()
     streams = RandomStreams(seed)
+
+    obs_session = None
+    if obs:
+        from repro.obs.session import Observability  # cycle guard
+
+        if isinstance(obs, Observability):
+            obs_session = obs
+        else:
+            obs_session = Observability(
+                run_id=obs_run_id or "transfer",
+                labels=obs_labels,
+                sample_invariants_every=obs_sample_invariants_every,
+            )
+        obs_session.attach_sim(sim)
+
     forward_spec = forward if forward is not None else LinkSpec()
     reverse_spec = reverse if reverse is not None else LinkSpec()
     forward_channel = forward_spec.build(sim, streams.get("channel.forward"), "SR")
     reverse_channel = reverse_spec.build(sim, streams.get("channel.reverse"), "RS")
+    if obs_session is not None:
+        obs_session.attach_channel(forward_channel, "SR")
+        obs_session.attach_channel(reverse_channel, "RS")
 
     recorder = (
         TraceRecorder(sim, capacity=trace_capacity) if trace else NullRecorder()
     )
+    if obs_session is not None:
+        # the tee feeds every endpoint trace record into the span tracker
+        # before forwarding; endpoints need no changes to be instrumented
+        recorder = obs_session.make_recorder(sim, recorder)
     if trace and record_channel_drops:
         # channel loss/aging events appear in the trace as DROP records —
         # required by the refinement replay (repro.verify.refinement)
@@ -236,39 +276,71 @@ def run_transfer(
     # submit is wrapped (to timestamp each payload for the latency stats)
     # for the duration of this call only; the original binding is restored
     # on exit so a sender endpoint reused across transfers does not stack
-    # timed_submit wrappers.
+    # timed_submit wrappers.  With observability on the timestamps go to
+    # the span tracker (per-seq lifecycle spans) and latencies are derived
+    # from the spans; otherwise the original dict bookkeeping runs.
     submit_was_instance_attr = "submit" in vars(sender)
     original_submit = sender.submit
 
-    def timed_submit(payload: Any) -> int:
-        seq = original_submit(payload)
-        submit_times[seq] = sim.now
-        return seq
+    if obs_session is not None:
+        tracker = obs_session.span_tracker
 
-    def on_deliver(seq: int, payload: Any) -> None:
-        delivered_seqs.append(seq)
-        delivered_payloads.append(payload)  # kept for the ordering check
-        submitted_at = submit_times.pop(seq, None)
-        if submitted_at is not None:
-            latencies.append(sim.now - submitted_at)
+        def timed_submit(payload: Any) -> int:
+            seq = original_submit(payload)
+            tracker.on_submit(seq, sim.now)
+            return seq
+
+        def on_deliver(seq: int, payload: Any) -> None:
+            delivered_seqs.append(seq)
+            delivered_payloads.append(payload)  # kept for the ordering check
+            # idempotent: protocols that emit DELIVER trace records have
+            # already stamped this span through the recorder tee
+            tracker.on_deliver(seq, sim.now)
+
+    else:
+
+        def timed_submit(payload: Any) -> int:
+            seq = original_submit(payload)
+            submit_times[seq] = sim.now
+            return seq
+
+        def on_deliver(seq: int, payload: Any) -> None:
+            delivered_seqs.append(seq)
+            delivered_payloads.append(payload)  # kept for the ordering check
+            submitted_at = submit_times.pop(seq, None)
+            if submitted_at is not None:
+                latencies.append(sim.now - submitted_at)
 
     receiver.on_deliver = on_deliver
     _derive_timeout(sender, receiver, forward_channel, reverse_channel)
+
+    def wire_domain() -> Optional[int]:
+        numbering = getattr(sender, "numbering", None)
+        domain = numbering.domain_size if numbering is not None else None
+        if domain is None and hasattr(sender, "book"):
+            domain = sender.book.domain.n  # byte-exact bounded endpoints
+        return domain
 
     monitor = None
     if monitor_invariants:
         from repro.verify.runtime import InvariantMonitor  # cycle guard
 
-        numbering = getattr(sender, "numbering", None)
-        domain = numbering.domain_size if numbering is not None else None
-        if domain is None and hasattr(sender, "book"):
-            domain = sender.book.domain.n  # byte-exact bounded endpoints
         monitor = InvariantMonitor(
-            sender, receiver, forward_channel, reverse_channel, domain=domain
+            sender, receiver, forward_channel, reverse_channel,
+            domain=wire_domain(),
+        )
+    if obs_session is not None:
+        obs_session.install_probe(
+            sender, receiver, forward_channel, reverse_channel,
+            domain=wire_domain(),
         )
 
     sender.attach(sim, forward_channel, recorder)
     receiver.attach(sim, reverse_channel, recorder)
+    if obs_session is not None:
+        controller = getattr(sender, "_retx", None)  # built during attach
+        if controller is not None:
+            obs_session.attach_controller(controller)
     forward_channel.connect(receiver.on_message)
     reverse_channel.connect(sender.on_message)
     if (
@@ -329,6 +401,11 @@ def run_transfer(
         sender_stats["adaptive"] = controller.stats_dict()
         sender_stats["link_dead"] = getattr(sender, "link_dead", False)
 
+    if obs_session is not None:
+        # span-derived submit->deliver latencies (seq order; identical to
+        # the delivery-order list for these in-order protocols)
+        latencies = obs_session.span_tracker.latencies()
+
     in_order = delivered_payloads == source.submitted[: len(delivered_payloads)]
     result = TransferResult(
         completed=finished(),
@@ -346,5 +423,8 @@ def run_transfer(
         monitor=monitor,
         latencies=latencies,
         fault_stats=fault_plan.stats.as_dict() if fault_plan is not None else {},
+        obs=obs_session,
     )
+    if obs_session is not None:
+        obs_session.finalize(result)
     return result

@@ -71,3 +71,39 @@ class TraceEvent:
         which true sequence numbers, when.
         """
         return (self.time, self.actor, self.kind, self.seq, self.seq_hi)
+
+    def as_record(self) -> dict:
+        """JSON-safe export form (the ``event`` records of ``repro.obs``).
+
+        ``detail`` survives only if it is already a basic JSON value;
+        richer payloads are stringified — the export is for analysis, not
+        for reconstructing arbitrary objects.
+        """
+        detail = self.detail
+        if detail is not None and not isinstance(detail, (bool, int, float, str)):
+            detail = repr(detail)
+        return {
+            "type": "event",
+            "time": self.time,
+            "actor": self.actor,
+            "kind": self.kind.value,
+            "seq": self.seq,
+            "seq_hi": self.seq_hi,
+            "detail": detail,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TraceEvent":
+        """Rebuild an event from :meth:`as_record` output.
+
+        ``TraceEvent -> as_record -> JSON -> from_record`` round-trips
+        exactly whenever ``detail`` is a basic JSON value (or None).
+        """
+        return cls(
+            time=record["time"],
+            actor=record["actor"],
+            kind=EventKind(record["kind"]),
+            seq=record.get("seq"),
+            seq_hi=record.get("seq_hi"),
+            detail=record.get("detail"),
+        )

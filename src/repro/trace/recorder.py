@@ -17,10 +17,21 @@ class TraceRecorder:
         self._sim = sim
         self._events: List[TraceEvent] = []
         self._capacity = capacity
+        self._dropped = 0
 
     @property
     def enabled(self) -> bool:
         return True
+
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded because the capacity bound was reached.
+
+        A truncated trace is not the full execution; anything comparing
+        traces (E7's decision diff, the refinement replay) must check
+        this is zero before trusting the recording.
+        """
+        return self._dropped
 
     def record(
         self,
@@ -30,8 +41,13 @@ class TraceRecorder:
         seq_hi: Optional[int] = None,
         detail=None,
     ) -> None:
-        """Append one event stamped with the current virtual time."""
+        """Append one event stamped with the current virtual time.
+
+        Once ``capacity`` is reached further events are counted in
+        :attr:`dropped_events` rather than silently discarded.
+        """
         if self._capacity is not None and len(self._events) >= self._capacity:
+            self._dropped += 1
             return
         self._events.append(
             TraceEvent(
@@ -76,6 +92,11 @@ class TraceRecorder:
         lines = [event.format() for event in events]
         if limit is not None and len(self._events) > limit:
             lines.append(f"... ({len(self._events) - limit} more events)")
+        if self._dropped:
+            lines.append(
+                f"!!! trace truncated: {self._dropped} event(s) dropped at "
+                f"capacity {self._capacity}"
+            )
         return "\n".join(lines)
 
     def decision_trace(self) -> List[tuple]:
@@ -93,6 +114,10 @@ class NullRecorder:
     @property
     def enabled(self) -> bool:
         return False
+
+    @property
+    def dropped_events(self) -> int:
+        return 0
 
     def record(self, actor, kind, seq=None, seq_hi=None, detail=None) -> None:
         pass

@@ -34,7 +34,20 @@ from typing import Any, List, Optional
 
 from repro.core.messages import BlockAck, DataMessage
 
-__all__ = ["InvariantMonitor", "MonitorViolation"]
+__all__ = ["InvariantMonitor", "MonitorViolation", "span_wires"]
+
+
+def span_wires(span, domain: Optional[int]) -> set:
+    """The set of wire numbers an ack span ``(lo, hi)`` covers.
+
+    With a finite wire-number ``domain`` the span may wrap; unbounded
+    numbering never wraps.  Shared by :class:`InvariantMonitor` and the
+    sampling probes of :mod:`repro.obs.probes`.
+    """
+    lo, hi = span
+    if domain is None or hi >= lo:
+        return set(range(lo, hi + 1))
+    return set(range(lo, domain)) | set(range(0, hi + 1))
 
 
 @dataclass
@@ -158,12 +171,7 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
 
     def _span_wires(self, span) -> set:
-        lo, hi = span
-        if self.domain is None:
-            return set(range(lo, hi + 1))
-        if hi >= lo:
-            return set(range(lo, hi + 1))
-        return set(range(lo, self.domain)) | set(range(0, hi + 1))
+        return span_wires(span, self.domain)
 
     def _covered_by_ack(self, wire: int) -> bool:
         return any(

@@ -180,6 +180,20 @@ class TestObservers:
         channel.send("x")
         assert "age" in events
 
+    def test_mid_run_attach_seen_by_next_send(self, sim):
+        """An observer attached between two sends must see the second —
+        the obs layer attaches while a transfer is already running."""
+        channel, received = make_channel(sim, delay=ConstantDelay(1.0))
+        channel.send("before")
+        events = []
+        channel.add_observer(lambda kind, m: events.append((kind, m)))
+        channel.send("after")
+        sim.run()
+        assert ("send", "after") in events
+        assert ("deliver", "after") in events
+        # the pre-attach send was never observed
+        assert ("send", "before") not in events
+
 
 class TestReset:
     """Channel.reset must return the channel — and its loss model — to

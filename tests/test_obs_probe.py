@@ -1,0 +1,183 @@
+"""Tests for the sampled invariant probe and the Observability session."""
+
+import pytest
+
+from repro.channel.channel import Channel
+from repro.channel.delay import UniformDelay
+from repro.channel.impairments import BernoulliLoss
+from repro.core.messages import BlockAck, DataMessage
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probes import InvariantProbe
+from repro.obs.session import Observability
+from repro.protocols.registry import make_pair
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.trace.events import EventKind
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.sources import GreedySource
+
+
+def lossy_transfer(total=80, **obs_kwargs):
+    sender, receiver = make_pair("blockack", window=8, bounded_wire=True)
+    return run_transfer(
+        sender,
+        receiver,
+        GreedySource(total),
+        forward=LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)),
+        reverse=LinkSpec(delay=UniformDelay(0.5, 1.5)),
+        seed=7,
+        max_time=100_000.0,
+        obs=True,
+        **obs_kwargs,
+    )
+
+
+class TestProbeUnit:
+    def make_probe(self, sim, **kwargs):
+        forward = Channel(sim)
+        reverse = Channel(sim)
+        forward.connect(lambda m: None)
+        reverse.connect(lambda m: None)
+        sender, receiver = make_pair("blockack", window=4)
+        return (
+            InvariantProbe(sender, receiver, forward, reverse, **kwargs),
+            forward,
+            reverse,
+        )
+
+    def test_sample_every_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            self.make_probe(sim, sample_every=0)
+
+    def test_sweep_runs_once_per_period(self, sim):
+        probe, forward, _ = self.make_probe(sim, sample_every=3)
+        for seq in range(7):
+            forward.send(DataMessage(seq=seq, payload=None))
+        sim.run()
+        # 7 sends + 7 delivers = 14 events -> 4 sweeps
+        assert probe.events_seen == 14
+        assert probe.checks_run == 4
+
+    def test_duplicate_data_flagged_as_metric_and_note(self, sim):
+        registry = MetricsRegistry()
+        recorder = TraceRecorder(sim)
+        probe, forward, _ = self.make_probe(
+            sim, sample_every=1, registry=registry, recorder=recorder
+        )
+        forward.send(DataMessage(seq=5, payload=None))
+        forward.send(DataMessage(seq=5, payload=None))  # same wire number
+        assert not probe.clean
+        violations = registry.get("invariant_violations_total")
+        assert violations.value_for(clause="8: duplicate data in transit") >= 1
+        notes = recorder.filter(kind=EventKind.NOTE, actor="probe")
+        assert notes and "duplicate data" in notes[0].detail
+
+    def test_overlapping_acks_flagged(self, sim):
+        probe, _, reverse = self.make_probe(sim, sample_every=1)
+        reverse.send(BlockAck(lo=0, hi=3))
+        reverse.send(BlockAck(lo=2, hi=5))
+        assert any("overlapping acks" in v.clause for v in probe.violations)
+
+    def test_probe_never_raises(self, sim):
+        probe, forward, _ = self.make_probe(sim, sample_every=1)
+        forward.send(DataMessage(seq=1, payload=None))
+        forward.send(DataMessage(seq=1, payload=None))
+        # strict mode is forced off: violations collect, nothing raised
+        assert probe.strict is False
+        assert len(probe.violations) >= 1
+
+
+class TestProbeInTransfer:
+    def test_clean_protocol_zero_violations(self):
+        result = lossy_transfer(obs_sample_invariants_every=16)
+        probe = result.obs.probe
+        assert result.completed
+        assert probe is not None
+        assert probe.checks_run > 0
+        assert probe.clean
+        checks = result.obs.registry.get("invariant_checks_total")
+        assert checks.value == probe.checks_run
+
+    def test_probe_off_by_default(self):
+        result = lossy_transfer()
+        assert result.obs.probe is None
+
+
+class TestObservabilitySession:
+    def test_rejects_negative_sampling(self):
+        with pytest.raises(ValueError):
+            Observability(sample_invariants_every=-1)
+
+    def test_scoped_sessions_do_not_share_series(self):
+        a = lossy_transfer(obs_run_id="a")
+        b = lossy_transfer(obs_run_id="b")
+        assert a.obs.registry is not b.obs.registry
+
+    def test_transfer_metrics_populated(self):
+        result = lossy_transfer(obs_run_id="metrics")
+        registry = result.obs.registry
+        assert registry.get("sim_events_fired_total").value > 0
+        assert registry.get("channel_events_total").value_for(
+            link="SR", outcome="send"
+        ) > 0
+        assert registry.get("delivery_latency").count == result.delivered
+        assert registry.get("transfer_completed").value == 1.0
+        # the lossy link forced retransmissions, visible in the spans
+        resends = sum(s.resends for s in result.obs.span_tracker.spans.values())
+        assert resends > 0
+
+    def test_rtt_telemetry_from_adaptive_controller(self):
+        from repro.robustness import AdaptiveConfig
+
+        sender, receiver = make_pair(
+            "blockack", window=8, adaptive=AdaptiveConfig()
+        )
+        result = run_transfer(
+            sender,
+            receiver,
+            GreedySource(80),
+            forward=LinkSpec(
+                delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+            ),
+            reverse=LinkSpec(delay=UniformDelay(0.5, 1.5)),
+            seed=7,
+            max_time=100_000.0,
+            obs=True,
+            obs_run_id="rtt",
+        )
+        rtt = result.obs.registry.get("rtt_sample")
+        assert rtt is not None and rtt.count > 0
+
+    def test_fixed_timer_sender_has_no_rtt_series(self):
+        result = lossy_transfer(obs_run_id="rtt_off")
+        assert result.obs.registry.get("rtt_sample") is None
+
+    def test_latencies_match_unobserved_run(self):
+        observed = lossy_transfer(obs_run_id="obs_on")
+        sender, receiver = make_pair("blockack", window=8, bounded_wire=True)
+        plain = run_transfer(
+            sender,
+            receiver,
+            GreedySource(80),
+            forward=LinkSpec(
+                delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.1)
+            ),
+            reverse=LinkSpec(delay=UniformDelay(0.5, 1.5)),
+            seed=7,
+            max_time=100_000.0,
+        )
+        # telemetry must not perturb the simulation: same seed, same
+        # delivery schedule, same latencies
+        assert observed.latencies == pytest.approx(plain.latencies)
+        assert observed.duration == plain.duration
+
+    def test_export_is_schema_valid(self, tmp_path):
+        from repro.obs.schema import validate_file
+        from repro.obs.sink import load_run
+
+        result = lossy_transfer(obs_run_id="export_test")
+        path = result.obs.export(path=tmp_path / "export_test.jsonl")
+        assert validate_file(path) == []
+        dump = load_run(path)
+        assert dump.run_id == "export_test"
+        assert len(dump.spans) == 80
+        assert "delivery_latency" in dump.snapshot

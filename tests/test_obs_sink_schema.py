@@ -1,0 +1,214 @@
+"""Tests for the JSONL sink, run loading, diffing, and the schema gate."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_file, validate_record, validate_records
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    diff_snapshots,
+    load_run,
+    read_records,
+    summarize_run,
+)
+
+
+def meta(run_id="r1"):
+    return {
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "run_id": run_id,
+        "labels": {},
+    }
+
+
+def span(seq=0, state="delivered"):
+    return {
+        "type": "span",
+        "seq": seq,
+        "state": state,
+        "submitted": 0.0,
+        "first_sent": 0.5,
+        "last_sent": 0.5,
+        "acked": 2.0,
+        "delivered": 1.5,
+        "sends": 1,
+        "resends": 0,
+        "timeouts": 0,
+    }
+
+
+def snapshot(metrics=None):
+    return {"type": "snapshot", "metrics": metrics or {}}
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(meta())
+            sink.write_all([span(), snapshot()])
+        assert sink.records_written == 3
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["meta", "span", "snapshot"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(meta())
+        assert path.exists()
+
+    def test_untyped_record_rejected(self, tmp_path):
+        with JsonlSink(tmp_path / "run.jsonl") as sink:
+            with pytest.raises(ValueError):
+                sink.write({"no": "type"})
+
+    def test_non_json_values_coerced(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"type": "meta", "detail": object()})
+        (record,) = read_records(path)
+        assert isinstance(record["detail"], str)
+
+    def test_malformed_jsonl_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            read_records(path)
+
+
+class TestLoadRun:
+    def test_records_sorted_into_sections(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(meta("abc"))
+            sink.write({"type": "event", "time": 0.0, "actor": "s",
+                        "kind": "send_data", "seq": 0})
+            sink.write(span())
+            sink.write(snapshot({"c": {"type": "counter", "help": "",
+                                       "samples": [{"labels": {}, "value": 1}]}}))
+        dump = load_run(path)
+        assert dump.run_id == "abc"
+        assert len(dump.events) == 1 and len(dump.spans) == 1
+        assert "c" in dump.snapshot
+
+    def test_summarize_mentions_states_and_metrics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(meta())
+            sink.write(span())
+            sink.write(snapshot({"c": {"type": "counter", "help": "",
+                                       "samples": [{"labels": {}, "value": 3}]}}))
+        text = summarize_run(load_run(path))
+        assert "delivered=1" in text
+        assert "c: 3" in text
+        assert "latency" in text
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_agree(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = registry.snapshot()
+        assert diff_snapshots(snap, snap) == []
+
+    def test_counter_delta_reported(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(5)
+        (line,) = diff_snapshots(a.snapshot(), b.snapshot())
+        assert line == "c: 2 -> 5 (+3)"
+
+    def test_one_sided_series_flagged(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only_left").inc()
+        b.counter("only_right").inc()
+        lines = diff_snapshots(a.snapshot(), b.snapshot())
+        assert any("(absent)" in line for line in lines)
+        assert len(lines) == 2
+
+    def test_histograms_compared_via_count_and_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h").observe(0.5)
+        lines = diff_snapshots(a.snapshot(), b.snapshot())
+        assert any(line.startswith("h_count") for line in lines)
+
+
+class TestSchemaValidation:
+    def test_valid_file_passes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(meta())
+            sink.write(span())
+            sink.write(snapshot())
+        assert validate_file(path) == []
+
+    def test_exported_registry_snapshot_validates(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("x",)).labels(x="1").inc()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(meta())
+            sink.write(snapshot(registry.snapshot()))
+        assert validate_file(path) == []
+
+    def test_unknown_record_type_rejected(self):
+        assert validate_record({"type": "mystery"}, 1)
+
+    def test_unknown_event_kind_rejected(self):
+        errors = validate_record(
+            {"type": "event", "time": 0.0, "actor": "s", "kind": "nope"}, 1
+        )
+        assert any("event kind" in e for e in errors)
+
+    def test_bool_is_not_a_number(self):
+        errors = validate_record(
+            {"type": "event", "time": True, "actor": "s", "kind": "send_data"}, 1
+        )
+        assert any("time" in e for e in errors)
+
+    def test_wrong_schema_version_rejected(self):
+        record = meta()
+        record["schema"] = "repro.obs/v999"
+        assert any("unsupported schema" in e for e in validate_record(record, 1))
+
+    def test_meta_must_be_first_and_unique(self):
+        errors = validate_records([span(), meta(), snapshot()])
+        assert any("first line" in e for e in errors)
+        errors = validate_records([meta(), meta(), snapshot()])
+        assert any("exactly one meta" in e for e in errors)
+
+    def test_exactly_one_snapshot_required(self):
+        errors = validate_records([meta(), span()])
+        assert any("exactly one snapshot" in e for e in errors)
+
+    def test_histogram_counts_length_checked(self):
+        bad = snapshot({
+            "h": {"type": "histogram", "help": "", "samples": [
+                {"labels": {}, "buckets": [1.0, 2.0], "counts": [1, 2],
+                 "sum": 0.0, "count": 3},
+            ]},
+        })
+        errors = validate_records([meta(), bad])
+        assert any("+inf bucket" in e for e in errors)
+
+    def test_cli_check(self, tmp_path, capsys):
+        from repro.obs.schema import main
+
+        good = tmp_path / "good.jsonl"
+        with JsonlSink(good) as sink:
+            sink.write(meta())
+            sink.write(snapshot())
+        assert main(["--check", str(tmp_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"type": "span"}) + "\n")
+        assert main(["--check", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out

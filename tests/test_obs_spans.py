@@ -1,0 +1,138 @@
+"""Tests for virtual-time spans and the recorder tee."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import LIFECYCLE_STATES, ObsRecorder, SeqSpan, SpanTracker
+from repro.trace.events import EventKind
+from repro.trace.recorder import TraceRecorder
+
+
+def make_tracker():
+    return SpanTracker(MetricsRegistry())
+
+
+class TestSeqSpan:
+    def test_lifecycle_state_progression(self):
+        span = SeqSpan(0)
+        assert span.state == "submitted"
+        span.sends = 1
+        assert span.state == "sent"
+        span.resends = 1
+        assert span.state == "resent"
+        span.acked_at = 5.0
+        assert span.state == "acked"
+        span.delivered_at = 6.0
+        assert span.state == "delivered"
+        assert span.state in LIFECYCLE_STATES
+
+    def test_latency_and_time_in_window(self):
+        span = SeqSpan(0)
+        span.submitted_at = 1.0
+        span.acked_at = 4.0
+        span.delivered_at = 3.0
+        assert span.time_in_window == 3.0
+        assert span.latency == 2.0
+
+    def test_incomplete_span_has_no_latency(self):
+        span = SeqSpan(0)
+        span.submitted_at = 1.0
+        assert span.latency is None
+        assert not span.complete
+
+
+class TestSpanTracker:
+    def test_send_resend_ack_deliver_cycle(self):
+        tracker = make_tracker()
+        tracker.on_submit(0, 0.0)
+        tracker.on_event(1.0, "sender", EventKind.SEND_DATA, 0, None, None)
+        tracker.on_event(3.0, "sender", EventKind.RESEND_DATA, 0, None, None)
+        tracker.on_event(5.0, "sender", EventKind.RECV_ACK, 0, 0, None)
+        tracker.on_event(4.0, "receiver", EventKind.DELIVER, 0, None, None)
+        span = tracker.spans[0]
+        assert span.sends == 2 and span.resends == 1
+        assert span.first_sent_at == 1.0 and span.last_sent_at == 3.0
+        assert span.acked_at == 5.0 and span.delivered_at == 4.0
+        assert span.complete
+
+    def test_block_ack_marks_every_covered_seq(self):
+        tracker = make_tracker()
+        for seq in range(4):
+            tracker.on_submit(seq, 0.0)
+            tracker.on_event(1.0, "sender", EventKind.SEND_DATA, seq, None, None)
+        tracker.on_event(6.0, "sender", EventKind.RECV_ACK, 0, 3, None)
+        assert all(tracker.spans[seq].acked_at == 6.0 for seq in range(4))
+        # the n-m+1 block size was observed once
+        block = tracker.registry.get("ack_block_size")
+        assert block.count == 1 and block.sum == 4.0
+
+    def test_deliver_is_idempotent(self):
+        tracker = make_tracker()
+        tracker.on_submit(0, 0.0)
+        assert tracker.on_deliver(0, 2.0) == 2.0
+        assert tracker.on_deliver(0, 9.0) is None  # second call ignored
+        assert tracker.spans[0].delivered_at == 2.0
+
+    def test_latencies_in_seq_order(self):
+        tracker = make_tracker()
+        for seq, latency in ((2, 5.0), (0, 1.0), (1, 3.0)):
+            tracker.on_submit(seq, 0.0)
+            tracker.on_deliver(seq, latency)
+        assert tracker.latencies() == [1.0, 3.0, 5.0]
+
+    def test_incomplete_spans_reported(self):
+        tracker = make_tracker()
+        tracker.on_submit(0, 0.0)
+        tracker.on_submit(1, 0.0)
+        tracker.on_deliver(0, 1.0)
+        tracker.on_event(2.0, "sender", EventKind.RECV_ACK, 0, 0, None)
+        stuck = tracker.incomplete()
+        assert [span.seq for span in stuck] == [1]
+
+    def test_timeout_and_window_open_counters(self):
+        tracker = make_tracker()
+        tracker.on_event(1.0, "sender", EventKind.TIMEOUT, 0, None, None)
+        tracker.on_event(2.0, "sender", EventKind.WINDOW_OPEN, None, None, None)
+        assert tracker.registry.get("timeouts_total").value == 1.0
+        assert tracker.registry.get("window_open_total").value == 1.0
+        assert tracker.spans[0].timeouts == 1
+
+    def test_span_records_are_json_shaped(self):
+        tracker = make_tracker()
+        tracker.on_submit(0, 0.0)
+        tracker.on_deliver(0, 1.0)
+        (record,) = tracker.as_records()
+        assert record["type"] == "span"
+        assert record["seq"] == 0
+        assert record["state"] == "delivered"
+
+
+class TestObsRecorder:
+    def test_tee_feeds_tracker_and_inner(self, sim):
+        tracker = make_tracker()
+        inner = TraceRecorder(sim)
+        tee = ObsRecorder(sim, tracker, inner)
+        sim.schedule(2.0, tee.record, "sender", EventKind.SEND_DATA, 7)
+        sim.run()
+        # tracker saw it at virtual time 2.0
+        assert tracker.spans[7].first_sent_at == 2.0
+        # the wrapped recorder got the unmodified record
+        assert inner.events[0].seq == 7 and inner.events[0].time == 2.0
+
+    def test_read_side_delegates(self, sim):
+        inner = TraceRecorder(sim)
+        tee = ObsRecorder(sim, make_tracker(), inner)
+        tee.record("sender", EventKind.SEND_DATA, seq=0)
+        assert tee.events is inner.events
+        assert tee.count(EventKind.SEND_DATA) == 1
+        assert tee.decision_trace() == inner.decision_trace()
+        assert tee.dropped_events == 0
+        assert tee.enabled
+
+    def test_dropped_events_surface_through_tee(self, sim):
+        inner = TraceRecorder(sim, capacity=1)
+        tee = ObsRecorder(sim, make_tracker(), inner)
+        tee.record("sender", EventKind.SEND_DATA, seq=0)
+        tee.record("sender", EventKind.SEND_DATA, seq=1)
+        assert tee.dropped_events == 1
+        # spans still track the dropped event — capacity bounds the
+        # stored trace, not the telemetry
+        assert 1 in tee._tracker.spans

@@ -1,5 +1,7 @@
 """Tests for the trace facility."""
 
+import json
+
 from repro.sim.engine import Simulator
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.recorder import NullRecorder, TraceRecorder, decision_diff
@@ -19,6 +21,30 @@ class TestTraceEvent:
         a = TraceEvent(1.0, "sender", EventKind.TIMEOUT, seq=1, detail="x")
         b = TraceEvent(1.0, "sender", EventKind.TIMEOUT, seq=1, detail="y")
         assert a.decision_key() == b.decision_key()
+
+    def test_jsonl_round_trip(self):
+        event = TraceEvent(
+            2.25, "receiver", EventKind.SEND_ACK, seq=3, seq_hi=7, detail="dup"
+        )
+        record = json.loads(json.dumps(event.as_record()))
+        assert record["type"] == "event"
+        assert TraceEvent.from_record(record) == event
+
+    def test_round_trip_preserves_none_fields(self):
+        event = TraceEvent(0.0, "channel:SR", EventKind.DROP)
+        restored = TraceEvent.from_record(
+            json.loads(json.dumps(event.as_record()))
+        )
+        assert restored == event
+        assert restored.seq is None and restored.detail is None
+
+    def test_as_record_stringifies_rich_detail(self):
+        event = TraceEvent(
+            1.0, "sender", EventKind.NOTE, detail={"not": "json-stable"}
+        )
+        record = event.as_record()
+        assert isinstance(record["detail"], str)
+        json.dumps(record)  # must be serialisable as-is
 
 
 class TestTraceRecorder:
@@ -59,6 +85,21 @@ class TestTraceRecorder:
             recorder.record("sender", EventKind.SEND_DATA, seq=seq)
         assert len(recorder.events) == 2
 
+    def test_capacity_overflow_is_counted_not_silent(self, sim):
+        recorder = TraceRecorder(sim, capacity=2)
+        assert recorder.dropped_events == 0
+        for seq in range(5):
+            recorder.record("sender", EventKind.SEND_DATA, seq=seq)
+        assert recorder.dropped_events == 3
+        assert "3 event(s) dropped at capacity 2" in recorder.format()
+
+    def test_uncapped_recorder_never_drops(self, sim):
+        recorder = TraceRecorder(sim)
+        for seq in range(100):
+            recorder.record("sender", EventKind.SEND_DATA, seq=seq)
+        assert recorder.dropped_events == 0
+        assert "dropped" not in recorder.format()
+
     def test_format_truncation_note(self, sim):
         recorder = TraceRecorder(sim)
         for seq in range(5):
@@ -96,3 +137,24 @@ class TestDecisionDiff:
         left = [(float(i), "s", EventKind.SEND_DATA, 0, None) for i in range(30)]
         right = [(float(i), "s", EventKind.SEND_DATA, 1, None) for i in range(30)]
         assert len(decision_diff(left, right, limit=5)) == 5
+
+    def test_detail_only_differences_are_invisible(self, sim):
+        """Traces differing only in detail payloads have equal decision
+        traces — detail carries wire encodings, not protocol decisions."""
+        left = TraceRecorder(sim)
+        right = TraceRecorder(sim)
+        for seq in range(4):
+            left.record("sender", EventKind.SEND_DATA, seq=seq, detail="raw")
+            right.record(
+                "sender", EventKind.SEND_DATA, seq=seq, detail={"mod": seq % 2}
+            )
+        assert decision_diff(left.decision_trace(), right.decision_trace()) == []
+
+    def test_time_only_differences_are_significant(self, sim):
+        """Timestamps ARE part of the decision key: E7's equivalence
+        claim is that two variants act identically under the *same*
+        schedule, so a timing drift is a real behavioural divergence."""
+        left = [(1.0, "s", EventKind.SEND_DATA, 0, None)]
+        right = [(1.5, "s", EventKind.SEND_DATA, 0, None)]
+        diff = decision_diff(left, right)
+        assert diff and diff[0].startswith("@0")
