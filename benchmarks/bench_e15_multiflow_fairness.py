@@ -1,0 +1,12 @@
+"""E15 — multi-flow fairness over a shared lossy link.
+
+Regenerates the experiment's table into results/e15_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md §12 and
+repro.experiments.e15_multiflow_fairness for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e15_multiflow_fairness(benchmark, results_dir):
+    run_and_record(benchmark, "e15", results_dir)

@@ -13,7 +13,13 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
-__all__ = ["Summary", "summarize", "confidence_halfwidth", "percentile"]
+__all__ = [
+    "Summary",
+    "summarize",
+    "confidence_halfwidth",
+    "percentile",
+    "jain_fairness",
+]
 
 # two-sided 95% Student-t critical values for small samples, indexed by
 # degrees of freedom; falls back to the normal 1.96 beyond the table.
@@ -102,3 +108,23 @@ def percentile(values: Sequence[float], q: float) -> float:
         return ordered[lower]
     frac = rank - lower
     return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index of per-flow allocations.
+
+    ``(sum x)^2 / (n * sum x^2)`` — 1.0 when every flow gets the same
+    share, ``1/n`` when one flow monopolizes the resource.  Defined as
+    1.0 for the degenerate all-zero allocation (no flow is worse off
+    than any other).
+    """
+    if not values:
+        raise ValueError("cannot compute fairness of an empty allocation")
+    data = [float(v) for v in values]
+    if any(v < 0 for v in data):
+        raise ValueError("fairness is defined for non-negative allocations")
+    square_sum = sum(v * v for v in data)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(data)
+    return (total * total) / (len(data) * square_sum)

@@ -289,3 +289,9 @@ GilbertElliottLoss`, :class:`~repro.channel.impairments.ScriptedLoss`)
             f"Channel({self.name!r}, delay={self.delay!r}, loss={self.loss!r}, "
             f"in_flight={self.in_flight_count})"
         )
+
+
+# the raw channel is the reference implementation of the harness surface
+from repro.channel.surface import ChannelSurface  # noqa: E402  (cycle-free)
+
+ChannelSurface.register(Channel)

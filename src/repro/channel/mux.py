@@ -1,0 +1,193 @@
+"""Flow multiplexing: N endpoint pairs over one shared impaired link.
+
+The paper's model (and this repo's :func:`~repro.sim.runner.run_transfer`)
+wires one sender/receiver pair to dedicated channels.  A production
+deployment of the window protocol looks different: *many* concurrent
+flows share the same physical link, and loss, delay, aging, and fault
+plans act on the link — not on per-flow copies of it.  :class:`FlowMux`
+provides exactly that:
+
+* every message a :class:`FlowPort` sends is wrapped in a
+  :class:`~repro.core.messages.FlowEnvelope` tagging it with the port's
+  flow id (plus a per-flow envelope counter for reorder accounting);
+* the mux owns the shared channel's receiver slot and demultiplexes each
+  delivered envelope to the destination flow's connected endpoint;
+* each port exposes the full harness channel surface
+  (:class:`~repro.channel.surface.ChannelSurface`) — per-flow stats,
+  observers that see *unwrapped* protocol messages (so invariant
+  monitors and probes work per flow unchanged), in-flight iteration
+  filtered to the flow — while the shared link keeps the aggregate view.
+
+The shared link may be a raw :class:`~repro.channel.channel.Channel`
+(envelopes travel as objects) or a :class:`~repro.wire.framed
+.FramedChannel` (envelopes serialize as ``0x03`` frames carrying the
+inner frame; a bit flip anywhere discards the envelope whole, so a
+damaged frame is never misdelivered to the wrong flow).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.channel.channel import ChannelStats
+from repro.channel.surface import ChannelSurface
+from repro.core.messages import FlowEnvelope
+from repro.wire.codec import MAX_FLOW_ID
+
+__all__ = ["FlowMux", "FlowPort"]
+
+
+class FlowMux:
+    """Demultiplexer owning one shared channel's delivery path.
+
+    Construction claims the link's receiver slot (``link.connect``); all
+    subsequent endpoint wiring goes through per-flow ports obtained with
+    :meth:`port`.  Messages arriving without a flow envelope, or for a
+    flow with no connected receiver, raise — silent cross-flow delivery
+    would invalidate every per-flow invariant.
+    """
+
+    def __init__(self, link: Any) -> None:
+        self.link = link
+        self._ports: Dict[int, FlowPort] = {}
+        link.connect(self._demux)
+        link.add_observer(self._observe)
+
+    @property
+    def sim(self):
+        return self.link.sim
+
+    @property
+    def name(self) -> str:
+        return self.link.name
+
+    def port(self, flow: int) -> "FlowPort":
+        """The (created-on-first-use) port for ``flow``."""
+        if not 0 <= flow <= MAX_FLOW_ID:
+            raise ValueError(
+                f"flow id {flow} outside the 16-bit wire domain"
+            )
+        existing = self._ports.get(flow)
+        if existing is not None:
+            return existing
+        port = FlowPort(self, flow)
+        self._ports[flow] = port
+        return port
+
+    def ports(self) -> List["FlowPort"]:
+        """All created ports, in flow-id order."""
+        return [self._ports[flow] for flow in sorted(self._ports)]
+
+    # -- delivery path -----------------------------------------------------
+
+    def _demux(self, envelope: Any) -> None:
+        if not isinstance(envelope, FlowEnvelope):
+            raise TypeError(
+                f"flow mux on {self.name!r} received an untagged message: "
+                f"{envelope!r}"
+            )
+        port = self._ports.get(envelope.flow)
+        if port is None or port._receiver is None:
+            raise RuntimeError(
+                f"no receiver connected for flow {envelope.flow} on "
+                f"{self.name!r}"
+            )
+        port._receiver(envelope.message)
+
+    def _observe(self, kind: str, message: Any) -> None:
+        if not isinstance(message, FlowEnvelope):
+            return
+        port = self._ports.get(message.flow)
+        if port is not None:
+            port._on_event(kind, message)
+
+
+class FlowPort:
+    """One flow's channel-shaped view of the shared link.
+
+    Implements the complete :class:`~repro.channel.surface.ChannelSurface`
+    so endpoints, monitors, probes, and obs sessions attach to a port
+    exactly as they would to a dedicated channel.  ``stats`` counts this
+    flow's envelopes only; ``reordered`` uses the per-flow envelope
+    counter, so link-level reordering between *different* flows (harmless
+    to each) is not charged to either.
+    """
+
+    def __init__(self, mux: FlowMux, flow: int) -> None:
+        self._mux = mux
+        self.flow = flow
+        self._receiver: Optional[Callable[[Any], None]] = None
+        self._observers: List[Callable[[str, Any], None]] = []
+        self.stats = ChannelStats()
+        self._next_fseq = 0
+        self._last_delivered_fseq: Optional[int] = None
+
+    @property
+    def sim(self):
+        return self._mux.sim
+
+    @property
+    def name(self) -> str:
+        return f"{self._mux.name}.f{self.flow}"
+
+    def connect(self, receiver: Callable[[Any], None]) -> None:
+        self._receiver = receiver
+
+    def send(self, message: Any) -> None:
+        envelope = FlowEnvelope(
+            flow=self.flow, fseq=self._next_fseq, message=message
+        )
+        self._next_fseq += 1
+        self._mux.link.send(envelope)
+
+    def add_observer(self, observer: Callable[[str, Any], None]) -> None:
+        """Observers see this flow's *unwrapped* protocol messages."""
+        self._observers.append(observer)
+
+    def _on_event(self, kind: str, envelope: FlowEnvelope) -> None:
+        if kind == "send":
+            self.stats.sent += 1
+        elif kind == "deliver":
+            self.stats.delivered += 1
+            last = self._last_delivered_fseq
+            if last is not None and envelope.fseq < last:
+                self.stats.reordered += 1
+            else:
+                self._last_delivered_fseq = envelope.fseq
+        elif kind == "lose":
+            self.stats.lost += 1
+        elif kind == "age":
+            self.stats.aged_out += 1
+        elif kind == "duplicate":
+            self.stats.duplicated += 1
+        for observer in self._observers:
+            observer(kind, envelope.message)
+
+    # -- in-flight inspection ----------------------------------------------
+
+    def in_flight(self) -> Iterator[Any]:
+        """This flow's in-flight messages, unwrapped."""
+        for message in self._mux.link.in_flight():
+            if isinstance(message, FlowEnvelope) and message.flow == self.flow:
+                yield message.message
+
+    @property
+    def in_flight_count(self) -> int:
+        return sum(1 for _ in self.in_flight())
+
+    @property
+    def is_empty(self) -> bool:
+        return next(self.in_flight(), None) is None
+
+    def count_matching(self, predicate: Callable[[Any], bool]) -> int:
+        return sum(1 for message in self.in_flight() if predicate(message))
+
+    @property
+    def effective_max_lifetime(self) -> Optional[float]:
+        return self._mux.link.effective_max_lifetime
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowPort({self.name!r}, in_flight={self.in_flight_count})"
+
+
+ChannelSurface.register(FlowPort)

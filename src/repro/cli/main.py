@@ -18,7 +18,9 @@ Subcommands
 
 ``blockack transfer --protocol blockack --window 8 --messages 500 ...``
     Run a single ad-hoc transfer and print its summary (useful for
-    exploring channel conditions interactively).
+    exploring channel conditions interactively).  ``--flows N`` runs N
+    concurrent flows of the protocol over one shared link pair and
+    prints per-flow results (see :mod:`repro.sim.host`).
 
 ``blockack check --window 2 --max-send 4 [--timeout-mode simple]``
     Model-check the abstract protocol exhaustively and print the report.
@@ -74,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs", action="store_true",
         help="record telemetry for every grid cell and export it to "
         "results/obs/<run_id>.jsonl (like REPRO_OBS=1)",
+    )
+    run_p.add_argument(
+        "--flows", type=int, default=None, metavar="N",
+        help="pin the multi-flow experiments to exactly N concurrent flows "
+        "(like REPRO_FLOWS=N; currently honoured by e15)",
     )
 
     perf_p = sub.add_parser(
@@ -156,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=int, default=0, metavar="N",
         help="print the first N trace events",
     )
+    tr.add_argument(
+        "--flows", type=int, default=1, metavar="N",
+        help="run N concurrent flows of the protocol over one shared "
+        "link pair and print per-flow results (default: 1)",
+    )
 
     chk = sub.add_parser("check", help="model-check the abstract protocol")
     chk.add_argument("--window", type=int, default=2)
@@ -203,6 +215,7 @@ def _cmd_run(
     jobs: Optional[int] = None,
     cache: bool = False,
     obs: bool = False,
+    flows: Optional[int] = None,
 ) -> int:
     import os
 
@@ -216,6 +229,8 @@ def _cmd_run(
         os.environ["REPRO_CACHE"] = "1"
     if obs:
         os.environ["REPRO_OBS"] = "1"
+    if flows is not None:
+        os.environ["REPRO_FLOWS"] = str(flows)
     ids = experiment_ids() if experiment.lower() == "all" else [experiment]
     failures = 0
     for exp_id in ids:
@@ -230,21 +245,45 @@ def _cmd_run(
 def _cmd_transfer(args: argparse.Namespace) -> int:
     from repro.protocols.registry import make_pair
 
-    sender, receiver = make_pair(args.protocol, window=args.window)
     spread = args.jitter
-    link = LinkSpec(
-        delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
-        loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
-    )
+
+    def link() -> LinkSpec:
+        return LinkSpec(
+            delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
+            loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
+        )
+
+    if args.flows > 1:
+        from repro.sim.host import run_flows, uniform_flows
+
+        session = run_flows(
+            uniform_flows(args.protocol, args.flows, args.window, args.messages),
+            forward=link(),
+            reverse=link(),
+            seed=args.seed,
+            trace=args.trace > 0,
+            max_time=1_000_000.0,
+        )
+        print(session.summary())
+        for flow in session.flows:
+            retx = flow.sender_stats.get("retransmissions", 0)
+            print(
+                f"  flow {flow.flow}: {flow.delivered}/{flow.submitted} "
+                f"delivered, {retx} retransmission(s), "
+                f"{'in-order' if flow.in_order else 'ORDER VIOLATION'}"
+            )
+        if args.trace > 0 and session.trace is not None:
+            print()
+            print(session.trace.format(limit=args.trace))
+        return 0 if session.completed and session.in_order else 1
+
+    sender, receiver = make_pair(args.protocol, window=args.window)
     result = run_transfer(
         sender,
         receiver,
         GreedySource(args.messages),
-        forward=link,
-        reverse=LinkSpec(
-            delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
-            loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
-        ),
+        forward=link(),
+        reverse=link(),
         seed=args.seed,
         trace=args.trace > 0,
         max_time=1_000_000.0,
@@ -453,7 +492,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(
-            args.experiment, args.quick, args.jobs, args.cache, args.obs
+            args.experiment, args.quick, args.jobs, args.cache, args.obs,
+            args.flows,
         )
     if args.command == "perf":
         return _cmd_perf(args)

@@ -18,9 +18,16 @@ in-flight multiset semantics of the paper carry over unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
-__all__ = ["DataMessage", "BlockAck", "CumulativeAck", "is_data", "is_ack"]
+__all__ = [
+    "DataMessage",
+    "BlockAck",
+    "CumulativeAck",
+    "FlowEnvelope",
+    "is_data",
+    "is_ack",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,37 @@ class CumulativeAck:
 
     def __str__(self) -> str:
         return f"CACK({self.seq})"
+
+
+@dataclass(frozen=True)
+class FlowEnvelope:
+    """A flow-tagged wrapper around one protocol message on a shared link.
+
+    :class:`~repro.channel.mux.FlowMux` wraps every message a flow port
+    sends into one of these so N independent endpoint pairs can share a
+    single impaired channel; the mux strips the envelope again before the
+    destination endpoint sees the message.  Protocol logic never inspects
+    envelopes — they are link-layer addressing, exactly like the flow
+    label of a real multiplexed link.
+
+    Attributes
+    ----------
+    flow:
+        The flow identifier (16 bits on the wire).
+    fseq:
+        Per-flow envelope counter stamped at send time, used for
+        per-flow reorder accounting.  Diagnostic only; carried mod
+        ``2**16`` on framed links.
+    message:
+        The wrapped protocol message (data or acknowledgment).
+    """
+
+    flow: int
+    fseq: int
+    message: Any
+
+    def __str__(self) -> str:
+        return f"f{self.flow}:{self.message}"
 
 
 def is_data(message: Any) -> bool:

@@ -178,6 +178,7 @@ def protocol_config(
     monitor_invariants: bool = False,
     fault_plan=None,
     obs: Optional[bool] = None,
+    flows: int = 1,
     **protocol_kwargs,
 ) -> RunConfig:
     """The declarative twin of :func:`run_protocol`: one grid cell run.
@@ -187,6 +188,11 @@ def protocol_config(
     into telemetry without changing their code; the resolved value is
     part of the config — and therefore of its cache key — because an
     observed run does strictly more work than an unobserved one.
+
+    ``flows > 1`` runs that many identical flows of the protocol over
+    one shared link pair (:mod:`repro.sim.host`); ``total`` is then the
+    per-flow payload count and the result carries per-flow rows plus a
+    Jain fairness index.
     """
     if obs is None:
         obs = obs_enabled_by_env()
@@ -202,6 +208,7 @@ def protocol_config(
         fault_plan=fault_plan,
         protocol_kwargs=protocol_kwargs,
         obs=obs,
+        flows=flows,
     )
 
 

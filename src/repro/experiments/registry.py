@@ -1,4 +1,4 @@
-"""Registry of all experiments, ordered E1..E14."""
+"""Registry of all experiments, ordered E1..E15."""
 
 from __future__ import annotations
 
@@ -19,6 +19,7 @@ from repro.experiments import (
     e12_timeout_ablation,
     e13_position_reuse,
     e14_adaptive_timeout,
+    e15_multiflow_fairness,
 )
 from repro.experiments.common import ExperimentResult, ExperimentSpec
 
@@ -39,6 +40,7 @@ _MODULES = (
     e12_timeout_ablation,
     e13_position_reuse,
     e14_adaptive_timeout,
+    e15_multiflow_fairness,
 )
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -47,7 +49,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 
 
 def experiment_ids() -> List[str]:
-    """All experiment ids in order: ['e1', ..., 'e14']."""
+    """All experiment ids in order: ['e1', ..., 'e15']."""
     return list(EXPERIMENTS)
 
 

@@ -152,6 +152,25 @@ def _transfer(total: int, obs: bool = False) -> Tuple[int, float]:
     return result.delivered, result.throughput
 
 
+def _multiflow_session(total_per_flow: int, flows: int = 8) -> int:
+    """One N-flow session over a shared lossy link; returns deliveries."""
+    from repro.channel.delay import UniformDelay
+    from repro.channel.impairments import BernoulliLoss
+    from repro.sim.host import run_flows, uniform_flows
+    from repro.sim.runner import LinkSpec
+
+    link = lambda: LinkSpec(delay=UniformDelay(0.5, 1.5), loss=BernoulliLoss(0.05))
+    session = run_flows(
+        uniform_flows("blockack", flows, 8, total_per_flow),
+        forward=link(),
+        reverse=link(),
+        seed=1,
+        max_time=1_000_000.0,
+    )
+    assert session.completed and session.in_order
+    return session.delivered
+
+
 def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
     """Measure the hot paths; returns ``{metric: rate}`` (higher=better).
 
@@ -174,6 +193,12 @@ def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
     }
 
     metrics["transfer_msgs_per_sec"] = _transfer_rate(n_transfer, repeats)
+    # mux + demux + per-flow accounting on the same payload volume as the
+    # single-flow transfer benchmark: the gap between the two rates is
+    # the flow-multiplexing tax
+    metrics["multiflow_session_msgs_per_sec"] = _best_rate(
+        lambda: _multiflow_session(max(1, n_transfer // 8), flows=8), repeats
+    )
     return metrics
 
 

@@ -98,6 +98,7 @@ class RunConfig:
     fault_plan: Optional[Any] = None
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
     obs: bool = False  # record + export telemetry for this run
+    flows: int = 1  # concurrent flows sharing the links; total is per-flow
 
     def description(self) -> str:
         """Canonical config string; equal configs describe identically."""
@@ -115,6 +116,10 @@ class RunConfig:
             f"kwargs={describe(self.protocol_kwargs)}",
             f"obs={self.obs}",
         ]
+        if self.flows != 1:
+            # appended conditionally so every pre-multi-flow cache entry
+            # keeps its key; flows=1 is byte-identical to the old format
+            parts.append(f"flows={self.flows}")
         return "RunConfig(" + ",".join(parts) + ")"
 
     def cache_key(self) -> str:
@@ -123,9 +128,10 @@ class RunConfig:
 
     def run_id(self) -> str:
         """Deterministic telemetry run id: readable prefix + config digest."""
+        flows = f"_f{self.flows}" if self.flows != 1 else ""
         return (
             f"{self.protocol.replace('-', '_')}_w{self.window}"
-            f"_n{self.total}_s{self.seed}_{self.cache_key()[:8]}"
+            f"_n{self.total}{flows}_s{self.seed}_{self.cache_key()[:8]}"
         )
 
 
@@ -167,13 +173,65 @@ class MonitorSummary:
 
 
 def execute_config(config: RunConfig) -> TransferResult:
-    """Build and run one configured transfer (in whatever process)."""
+    """Build and run one configured transfer (in whatever process).
+
+    ``flows > 1`` routes through the multi-flow session host
+    (:func:`repro.sim.host.run_flows`): ``flows`` identical greedy flows
+    of the protocol share the two links, and the flattened result
+    carries per-flow rows plus the Jain fairness index.
+    """
     from repro.protocols.registry import make_pair  # local: avoid cycles
+
+    obs_labels = None
+    if config.obs:
+        obs_labels = {
+            "protocol": config.protocol,
+            "window": str(config.window),
+            "total": str(config.total),
+            "seed": str(config.seed),
+        }
+        if config.flows != 1:
+            obs_labels["flows"] = str(config.flows)
+    plan = copy.deepcopy(config.fault_plan) if config.fault_plan is not None else None
+
+    if config.flows > 1:
+        if plan is not None:
+            raise ValueError(
+                "fault plans script a single endpoint pair; multi-flow "
+                "sessions do not support them yet (see ROADMAP open items)"
+            )
+        from repro.sim.host import (  # local: avoid cycles
+            run_flows,
+            session_to_transfer,
+            uniform_flows,
+        )
+
+        session = run_flows(
+            uniform_flows(
+                config.protocol,
+                config.flows,
+                config.window,
+                config.total,
+                **config.protocol_kwargs,
+            ),
+            forward=config.forward,
+            reverse=config.reverse,
+            seed=config.seed,
+            max_time=config.max_time,
+            max_events=config.max_events,
+            monitor_invariants=config.monitor_invariants,
+            obs=config.obs,
+            obs_run_id=config.run_id() if config.obs else None,
+            obs_labels=obs_labels,
+        )
+        result = session_to_transfer(session)
+        if result.obs is not None:
+            result.obs_path = str(result.obs.export())
+        return result
 
     sender, receiver = make_pair(
         config.protocol, window=config.window, **config.protocol_kwargs
     )
-    plan = copy.deepcopy(config.fault_plan) if config.fault_plan is not None else None
     result = run_transfer(
         sender,
         receiver,
@@ -187,16 +245,7 @@ def execute_config(config: RunConfig) -> TransferResult:
         fault_plan=plan,
         obs=config.obs,
         obs_run_id=config.run_id() if config.obs else None,
-        obs_labels=(
-            {
-                "protocol": config.protocol,
-                "window": str(config.window),
-                "total": str(config.total),
-                "seed": str(config.seed),
-            }
-            if config.obs
-            else None
-        ),
+        obs_labels=obs_labels,
     )
     if result.obs is not None:
         # exported eagerly, in the worker process, under a deterministic
@@ -233,6 +282,9 @@ def serialize_result(result: TransferResult) -> dict:
             else None
         ),
         "obs_path": result.obs_path,
+        "per_flow": result.per_flow or None,
+        "fairness": result.fairness,
+        "ordered_prefix": result.ordered_prefix,
     }
 
 
@@ -254,6 +306,9 @@ def deserialize_result(payload: dict) -> TransferResult:
         fault_stats=payload["fault_stats"],
         monitor=MonitorSummary(violations) if violations is not None else None,
         obs_path=payload.get("obs_path"),  # .get: pre-obs cache entries
+        per_flow=list(payload.get("per_flow") or []),  # pre-multi-flow too
+        fairness=payload.get("fairness"),
+        ordered_prefix=payload.get("ordered_prefix", payload["in_order"]),
     )
 
 

@@ -13,6 +13,12 @@ whole design space of the paper:
 * **ack policy** — how the receiver resolves the nondeterminism of
   actions 4/5 (see :mod:`repro.protocols.ack_policy`).
 
+Endpoint scaffolding (payload store, transmission bookkeeping, adaptive
+retransmission, timer plumbing) comes from
+:mod:`repro.protocols.window_core`; this module keeps the protocol's own
+decision logic — the numbering codec, the timeout guards, and the block
+acknowledgment bookkeeping.
+
 Timeout modes
 -------------
 
@@ -83,10 +89,9 @@ from repro.core.messages import BlockAck, DataMessage
 from repro.core.numbering import Numbering, UnboundedNumbering
 from repro.core.window import ReceiverWindow, SenderWindow
 from repro.protocols.ack_policy import AckPolicy, EagerAckPolicy
-from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.robustness.budget import RetryVerdict
-from repro.robustness.controller import AdaptiveConfig, RetransmissionController
-from repro.sim.timers import AdaptiveTimer, AdaptiveTimerBank, Timer
+from repro.protocols.window_core import WindowedReceiver, WindowedSender
+from repro.robustness.controller import AdaptiveConfig
+from repro.sim.timers import Timer
 from repro.trace.events import EventKind
 
 __all__ = [
@@ -118,7 +123,7 @@ def safe_timeout_period(
     return forward_lifetime + ack_latency + reverse_lifetime + margin
 
 
-class BlockAckSender(SenderEndpoint):
+class BlockAckSender(WindowedSender):
     """Sender side of the block-acknowledgment protocol.
 
     Parameters
@@ -157,6 +162,9 @@ class BlockAckSender(SenderEndpoint):
         mode, which has no timers to adapt.
     """
 
+    timer_name = "retx"
+    attach_error = "timeout_period must be set before attaching the sender"
+
     def __init__(
         self,
         window: int,
@@ -167,28 +175,24 @@ class BlockAckSender(SenderEndpoint):
         lookahead: int = 1,
         adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
-        super().__init__()
         if timeout_mode not in TIMEOUT_MODES:
             raise ValueError(
                 f"timeout_mode must be one of {TIMEOUT_MODES}, got {timeout_mode!r}"
             )
         if adaptive is not None and timeout_mode == "oracle":
             raise ValueError("adaptive retransmission needs timers; oracle has none")
+        super().__init__(timeout_period=timeout_period, adaptive=adaptive)
         self.window = SenderWindow(window, lookahead=lookahead)
         self.numbering = numbering if numbering is not None else UnboundedNumbering()
         self.timeout_mode = timeout_mode
-        self.timeout_period = timeout_period
+        # map the paper's timeout modes onto the core's timer styles
+        self.timer_style = {"simple": "single", "oracle": "custom"}.get(
+            timeout_mode, "per_seq"
+        )
         self.reverse_lifetime = reverse_lifetime
-        self.adaptive = adaptive
-        self.link_dead = False
         self.hi_acked = -1  # highest sequence number seen in any valid ack
-        self._retx: Optional[RetransmissionController] = None
-        self._down = False  # crashed and not yet restored
-        self._payloads: Dict[int, Any] = {}
         self._parked: Set[int] = set()  # expired but not yet eligible
         self._covered_at: Dict[int, float] = {}  # seq -> time hi_acked passed it
-        self._timer: Optional[AdaptiveTimer] = None  # simple mode
-        self._timers: Optional[AdaptiveTimerBank] = None  # per-message modes
         self._poll: Optional[Timer] = None  # oracle mode
         # oracle hooks, wired by enable_oracle()
         self._oracle_receiver: Optional["BlockAckReceiver"] = None
@@ -200,44 +204,13 @@ class BlockAckSender(SenderEndpoint):
     # ------------------------------------------------------------------
 
     def _after_attach(self) -> None:
-        if self.timeout_period is None:
-            raise ValueError(
-                "timeout_period must be set before attaching the sender"
-            )
-        if self.reverse_lifetime is None:
+        if self.reverse_lifetime is None and self.timeout_period is not None:
             # T >= forward + ack latency + reverse, so T always bounds the
             # reverse lifetime; a tighter value comes from the runner.
             self.reverse_lifetime = self.timeout_period
-        if self.adaptive is not None:
-            self._retx = self.adaptive.build(self.timeout_period)
-        if self.timeout_mode == "simple":
-            self._timer = AdaptiveTimer(
-                self.sim,
-                self._on_simple_timeout,
-                period_fn=self._simple_period,
-                name="retx",
-            )
-        elif self.timeout_mode == "oracle":
+        super()._after_attach()
+        if self.timeout_mode == "oracle":
             self._poll = Timer(self.sim, self._on_oracle_poll, name="oracle-poll")
-        else:
-            self._timers = AdaptiveTimerBank(
-                self.sim,
-                self._on_message_timeout,
-                period_fn=self._message_period,
-                name="retx",
-            )
-
-    def _simple_period(self) -> float:
-        """Arming period for the single Section-II timer."""
-        if self._retx is not None:
-            return self._retx.period(None)
-        return self.timeout_period
-
-    def _message_period(self, seq: int) -> float:
-        """Arming period for one per-message timer."""
-        if self._retx is not None:
-            return self._retx.period(seq)
-        return self.timeout_period
 
     def enable_oracle(self, forward, reverse, receiver: "BlockAckReceiver") -> None:
         """Wire the oracle guard's inputs (``oracle`` mode only)."""
@@ -250,17 +223,6 @@ class BlockAckSender(SenderEndpoint):
     # ------------------------------------------------------------------
     # application interface
     # ------------------------------------------------------------------
-
-    @property
-    def can_accept(self) -> bool:
-        return not self.link_dead and not self._down and self.window.can_send
-
-    def submit(self, payload: Any) -> int:
-        seq = self.window.take_next()  # paper action 0
-        self._payloads[seq] = payload
-        self.stats.submitted += 1
-        self._transmit(seq, attempt=0)
-        return seq
 
     def resize_window(self, new_window: int) -> None:
         """Change the flow-control window at runtime (Section VI remark).
@@ -275,37 +237,23 @@ class BlockAckSender(SenderEndpoint):
         if not was_open and self.window.can_send:
             self._window_opened()
 
-    @property
-    def all_acknowledged(self) -> bool:
-        return self.window.all_acknowledged
-
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------
 
-    def _transmit(self, seq: int, attempt: int) -> None:
-        message = DataMessage(
+    def _wire_message(self, seq: int, attempt: int) -> DataMessage:
+        return DataMessage(
             seq=self.numbering.encode(seq),
             payload=self._payloads.get(seq),
             attempt=attempt,
         )
-        self.stats.data_sent += 1
-        if attempt > 0:
-            self.stats.retransmissions += 1
-            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
-        else:
-            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
-        self.tx.send(message)
-        if self._retx is not None:
-            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
-        if self.timeout_mode == "simple":
-            # the single timer measures time since the *last* transmission
-            self._timer.restart()
-        elif self.timeout_mode == "oracle":
+
+    def _arm_timers(self, seq: int, attempt: int) -> None:
+        if self.timeout_mode == "oracle":
             if not self._poll.running:
                 self._poll.start(self.timeout_period)
         else:
-            self._timers.start(seq)
+            super()._arm_timers(seq, attempt)
 
     # ------------------------------------------------------------------
     # acknowledgment handling (paper action 1)
@@ -329,11 +277,8 @@ class BlockAckSender(SenderEndpoint):
         outcome = self.window.apply_ack(lo, hi)
         if outcome.stale:
             self.stats.stale_acks += 1
-        if self._retx is not None:
-            self._retx.on_ack(outcome.newly_acked, self.sim.now)
         self.hi_acked = max(self.hi_acked, hi)
-        self.stats.acked = self.window.na
-        self.stats.last_ack_time = self.sim.now
+        self._register_ack(outcome.newly_acked, self.window.na)
         for seq in outcome.newly_acked:
             self._payloads.pop(seq, None)
             if self._timers is not None:
@@ -348,32 +293,13 @@ class BlockAckSender(SenderEndpoint):
             self._note_coverage()
             self._release_parked()
         if outcome.advanced:
-            self.trace.record(
-                self.actor_name, EventKind.WINDOW_OPEN, seq=self.window.na
-            )
-            self._window_opened()
+            self._window_open_event(self.window.na)
 
     # ------------------------------------------------------------------
     # timeout machinery
     # ------------------------------------------------------------------
 
-    def _consult_budget(self, key) -> bool:
-        """Adaptive only: escalate one fired timeout through the budget.
-
-        Returns False when the link was just declared dead, in which
-        case the caller must not retransmit.
-        """
-        if self._retx is None:
-            return True
-        verdict = self._retx.on_timeout(key)
-        if verdict is RetryVerdict.LINK_DEAD:
-            self._declare_link_dead()
-            return False
-        if verdict is RetryVerdict.DEGRADE:
-            self._degrade_window()
-        return True
-
-    def _degrade_window(self) -> None:
+    def _degrade(self) -> None:
         """Graceful degradation: shrink the effective window one step."""
         new_window = max(1, int(self.window.w * self.adaptive.degrade_factor))
         if new_window < self.window.w:
@@ -384,17 +310,10 @@ class BlockAckSender(SenderEndpoint):
             )
             self.window.resize(new_window)
 
-    def _declare_link_dead(self) -> None:
-        """Retry budget exhausted: stop retransmitting, surface the verdict."""
-        self.link_dead = True
-        self.trace.record(self.actor_name, EventKind.NOTE, detail="link dead")
-        if self._timer is not None:
-            self._timer.stop()
-        if self._timers is not None:
-            self._timers.stop_all()
+    def _after_link_dead(self) -> None:
         self._parked.clear()
 
-    def _on_simple_timeout(self) -> None:
+    def _on_single_timeout(self) -> None:
         """Section II action 2: retransmit ``na`` only."""
         if self.window.all_acknowledged:
             return
@@ -405,6 +324,12 @@ class BlockAckSender(SenderEndpoint):
         if not self._consult_budget(None):
             return
         self._transmit(self.window.na, attempt=1)
+
+    def _on_seq_timeout(self, seq: int) -> None:
+        # late-bound delegation: _on_message_timeout predates the
+        # window-core refactor and is interposed on by extensions (see
+        # examples/adaptive_window.py), so it stays the real handler
+        self._on_message_timeout(seq)
 
     def _on_message_timeout(self, seq: int) -> None:
         """Per-message timer expiry (``per_message_safe`` / ``aggressive``)."""
@@ -570,7 +495,7 @@ class BlockAckSender(SenderEndpoint):
         return lo <= seq <= hi
 
 
-class BlockAckReceiver(ReceiverEndpoint):
+class BlockAckReceiver(WindowedReceiver):
     """Receiver side of the block-acknowledgment protocol.
 
     Implements paper actions 3 (accept / duplicate-ack), 4 (slide ``vr``),
@@ -600,11 +525,10 @@ class BlockAckReceiver(ReceiverEndpoint):
     def on_message(self, message: Any) -> None:
         if not isinstance(message, DataMessage):
             raise TypeError(f"block-ack receiver got {message!r}")
-        self.stats.data_received += 1
         seq = self.numbering.decode_at_receiver(
             message.seq, self.window.nr, self._w
         )
-        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=seq)
+        self._note_arrival(seq)
         outcome = self.window.accept(seq, message.payload)
         if outcome.duplicate:
             # v < nr: already accepted — re-acknowledge with (v, v)
@@ -618,9 +542,7 @@ class BlockAckReceiver(ReceiverEndpoint):
             self.stats.out_of_order += 1
         pending_before = self.window.vr - self.window.nr
         self.window.advance()  # paper action 4 (iterated)
-        self.stats.max_buffered = max(
-            self.stats.max_buffered, len(self.window.received_unaccepted)
-        )
+        self._note_buffered(len(self.window.received_unaccepted))
         pending = self.window.vr - self.window.nr
         if pending > pending_before or pending > 0:
             self.ack_policy.on_update(pending)
@@ -635,10 +557,7 @@ class BlockAckReceiver(ReceiverEndpoint):
             return
         lo, hi, payloads = self.window.take_block()
         self._send_ack(lo, hi, duplicate=False)
-        for offset, payload in enumerate(payloads):
-            seq = lo + offset
-            self.trace.record(self.actor_name, EventKind.DELIVER, seq=seq)
-            self._deliver(seq, payload)
+        self._deliver_block(lo, payloads)
 
     def _send_ack(self, lo: int, hi: int, duplicate: bool) -> None:
         ack = BlockAck(

@@ -16,6 +16,11 @@ byte-identical wire traffic and identical payload delivery.
 The sender uses the Section-II *simple* timeout (one timer, retransmit
 ``na``), matching the protocol the paper actually carries through its
 Section-V transformation.
+
+Endpoint scaffolding (transmission bookkeeping, adaptive retransmission,
+timer plumbing) comes from :mod:`repro.protocols.window_core`; the
+bounded books and the ring payload store stay here because their O(w)
+storage discipline is the whole point of Section V.
 """
 
 from __future__ import annotations
@@ -25,16 +30,14 @@ from typing import Any, Optional
 from repro.core.bounded import BoundedReceiverBook, BoundedSenderBook
 from repro.core.messages import BlockAck, DataMessage
 from repro.protocols.ack_policy import AckPolicy, EagerAckPolicy
-from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.robustness.budget import RetryVerdict
-from repro.robustness.controller import AdaptiveConfig, RetransmissionController
-from repro.sim.timers import AdaptiveTimer
+from repro.protocols.window_core import WindowedReceiver, WindowedSender
+from repro.robustness.controller import AdaptiveConfig
 from repro.trace.events import EventKind
 
 __all__ = ["BoundedBlockAckSender", "BoundedBlockAckReceiver"]
 
 
-class BoundedBlockAckSender(SenderEndpoint):
+class BoundedBlockAckSender(WindowedSender):
     """Sender with O(w) total state: Section V's final sender program.
 
     ``adaptive`` optionally replaces the fixed timeout with a
@@ -45,84 +48,49 @@ class BoundedBlockAckSender(SenderEndpoint):
     behavior.  ``None`` keeps the fixed-timer program bit-for-bit.
     """
 
+    timer_style = "single"
+    timer_name = "bounded-retx"
+
     def __init__(
         self,
         window: int,
         timeout_period: Optional[float] = None,
         adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(timeout_period=timeout_period, adaptive=adaptive)
         self.book = BoundedSenderBook(window)
         self.w = window
-        self.timeout_period = timeout_period
-        self.adaptive = adaptive
-        self.link_dead = False
-        self._retx: Optional[RetransmissionController] = None
-        self._payloads: list = [None] * window  # ring keyed by seq mod w
-        self._timer: Optional[AdaptiveTimer] = None
+        self._payloads = [None] * window  # ring keyed by seq mod w
         self._delivered_count = 0  # stats only; NOT protocol state
 
-    def _after_attach(self) -> None:
-        if self.timeout_period is None:
-            raise ValueError("timeout_period must be set before attaching")
-        if self.adaptive is not None:
-            self._retx = self.adaptive.build(self.timeout_period)
-        self._timer = AdaptiveTimer(
-            self.sim, self._on_timeout, period_fn=self._period, name="bounded-retx"
-        )
-
-    def _period(self) -> float:
-        if self._retx is not None:
-            return self._retx.period(None)
-        return self.timeout_period
-
-    @property
-    def can_accept(self) -> bool:
-        return not self.link_dead and self.book.can_send
-
-    def submit(self, payload: Any) -> int:
-        wire = self.book.take_next()
-        self._payloads[wire % self.w] = payload
-        self.stats.submitted += 1
-        self._transmit(wire, attempt=0)
-        return wire
+    def _send_window_open(self) -> bool:
+        return self.book.can_send
 
     @property
     def all_acknowledged(self) -> bool:
         return self.book.all_acknowledged
 
-    def _transmit(self, wire: int, attempt: int) -> None:
-        self.stats.data_sent += 1
-        if attempt > 0:
-            self.stats.retransmissions += 1
-            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=wire)
-        else:
-            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=wire)
-        self.tx.send(
-            DataMessage(
-                seq=wire, payload=self._payloads[wire % self.w], attempt=attempt
-            )
-        )
-        if self._retx is not None:
-            self._retx.on_send(wire, self.sim.now, retransmit=attempt > 0)
+    def _take_next(self) -> int:
+        return self.book.take_next()
+
+    def _store_payload(self, wire: int, payload: Any) -> None:
+        self._payloads[wire % self.w] = payload
+
+    def _payload_for(self, wire: int) -> Any:
+        return self._payloads[wire % self.w]
+
+    def _arm_timers(self, wire: int, attempt: int) -> None:
         self._timer.restart()
 
-    def _on_timeout(self) -> None:
+    def _on_single_timeout(self) -> None:
         if self.book.all_acknowledged:
             return
         self.stats.timeouts_fired += 1
         self.trace.record(
             self.actor_name, EventKind.TIMEOUT, seq=self.book.na, detail="simple"
         )
-        if self._retx is not None:
-            verdict = self._retx.on_timeout(None)
-            if verdict is RetryVerdict.LINK_DEAD:
-                self.link_dead = True
-                self.trace.record(
-                    self.actor_name, EventKind.NOTE, detail="link dead"
-                )
-                self._timer.stop()
-                return
+        if not self._consult_budget(None):
+            return
         self._transmit(self.book.na, attempt=1)
 
     def on_message(self, ack: Any) -> None:
@@ -136,24 +104,16 @@ class BoundedBlockAckSender(SenderEndpoint):
         advanced = self.book.apply_ack(ack.lo, ack.hi)
         if advanced == 0:
             self.stats.stale_acks += 1
-        if self._retx is not None:
-            newly = [
-                self.book.domain.add(na_before, i) for i in range(advanced)
-            ]
-            self._retx.on_ack(newly, self.sim.now)
+        newly = [self.book.domain.add(na_before, i) for i in range(advanced)]
         self._delivered_count += advanced
-        self.stats.acked = self._delivered_count
-        self.stats.last_ack_time = self.sim.now
+        self._register_ack(newly, self._delivered_count)
         if self.book.all_acknowledged:
             self._timer.stop()
         if advanced:
-            self.trace.record(
-                self.actor_name, EventKind.WINDOW_OPEN, seq=self.book.na
-            )
-            self._window_opened()
+            self._window_open_event(self.book.na)
 
 
-class BoundedBlockAckReceiver(ReceiverEndpoint):
+class BoundedBlockAckReceiver(WindowedReceiver):
     """Receiver with O(w) total state: Section V's final receiver program."""
 
     def __init__(
@@ -171,9 +131,8 @@ class BoundedBlockAckReceiver(ReceiverEndpoint):
     def on_message(self, message: Any) -> None:
         if not isinstance(message, DataMessage):
             raise TypeError(f"bounded block-ack receiver got {message!r}")
-        self.stats.data_received += 1
         wire = message.seq
-        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=wire)
+        self._note_arrival(wire)
         if self.book.accept(wire, message.payload):
             # v < nr: duplicate of an accepted message — re-ack (v, v)
             self.stats.duplicates += 1
@@ -183,9 +142,7 @@ class BoundedBlockAckReceiver(ReceiverEndpoint):
             self.stats.out_of_order += 1
         pending_before = self.book.domain.sub(self.book.vr, self.book.nr)
         self.book.advance()
-        self.stats.max_buffered = max(
-            self.stats.max_buffered, self.book.buffered_count()
-        )
+        self._note_buffered(self.book.buffered_count())
         pending = self.book.domain.sub(self.book.vr, self.book.nr)
         if pending > pending_before or pending > 0:
             self.ack_policy.on_update(pending)

@@ -16,23 +16,27 @@ Against block acknowledgment this baseline shows both paper claims: equal
 throughput when channels are perfect (E2) and collapse under loss (whole
 windows retransmitted, E3) or reorder (out-of-order arrivals discarded,
 E10).
+
+Endpoint scaffolding (payload store, transmission bookkeeping, adaptive
+retransmission, timer plumbing) comes from
+:mod:`repro.protocols.window_core`; this module keeps only the go-back-N
+decision logic.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 from repro.core.messages import CumulativeAck, DataMessage
-from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.robustness.budget import RetryVerdict
-from repro.robustness.controller import AdaptiveConfig, RetransmissionController
-from repro.sim.timers import AdaptiveTimer
+from repro.core.window import ReceiverWindow, SenderWindow
+from repro.protocols.window_core import WindowedReceiver, WindowedSender
+from repro.robustness.controller import AdaptiveConfig
 from repro.trace.events import EventKind
 
 __all__ = ["GoBackNSender", "GoBackNReceiver"]
 
 
-class GoBackNSender(SenderEndpoint):
+class GoBackNSender(WindowedSender):
     """Go-back-N sender: cumulative acks, whole-window retransmission.
 
     ``adaptive`` optionally replaces the fixed timeout with a
@@ -41,98 +45,59 @@ class GoBackNSender(SenderEndpoint):
     ``None`` keeps the fixed-timer baseline bit-for-bit.
     """
 
+    timer_style = "single"
+    timer_name = "gbn-retx"
+
     def __init__(
         self,
         window: int,
         timeout_period: Optional[float] = None,
         adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
-        super().__init__()
-        if window <= 0:
-            raise ValueError(f"window must be positive, got {window}")
-        self.w = window
-        self.na = 0  # oldest unacknowledged
-        self.ns = 0  # next to send
-        self.timeout_period = timeout_period
-        self.adaptive = adaptive
-        self.link_dead = False
-        self._retx: Optional[RetransmissionController] = None
-        self._payloads: Dict[int, Any] = {}
-        self._timer: Optional[AdaptiveTimer] = None
+        super().__init__(timeout_period=timeout_period, adaptive=adaptive)
+        self.window = SenderWindow(window)
 
-    def _after_attach(self) -> None:
-        if self.timeout_period is None:
-            raise ValueError("timeout_period must be set before attaching")
-        if self.adaptive is not None:
-            self._retx = self.adaptive.build(self.timeout_period)
-        self._timer = AdaptiveTimer(
-            self.sim, self._on_timeout, period_fn=self._period, name="gbn-retx"
-        )
-
-    def _period(self) -> float:
-        if self._retx is not None:
-            return self._retx.period(None)
-        return self.timeout_period
-
-    # -- application interface -------------------------------------------
+    # compatibility accessors: the raw counters were public before the
+    # window-core refactor moved them onto SenderWindow
+    @property
+    def na(self) -> int:
+        return self.window.na
 
     @property
-    def can_accept(self) -> bool:
-        return not self.link_dead and self.ns < self.na + self.w
-
-    def submit(self, payload: Any) -> int:
-        if not self.can_accept:
-            raise RuntimeError(f"window full: na={self.na} ns={self.ns}")
-        seq = self.ns
-        self.ns += 1
-        self._payloads[seq] = payload
-        self.stats.submitted += 1
-        self._transmit(seq, attempt=0)
-        return seq
+    def ns(self) -> int:
+        return self.window.ns
 
     @property
-    def all_acknowledged(self) -> bool:
-        return self.na == self.ns
+    def w(self) -> int:
+        return self.window.w
 
     # -- transmission -------------------------------------------------------
 
-    def _transmit(self, seq: int, attempt: int) -> None:
-        self.stats.data_sent += 1
-        if attempt > 0:
-            self.stats.retransmissions += 1
-            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
-        else:
-            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
-        self.tx.send(
-            DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
-        )
-        if self._retx is not None:
-            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
+    def _arm_timers(self, seq: int, attempt: int) -> None:
+        # one timer for the whole window: arm on first use, never restart
+        # mid-flight (the go-back retransmission loop re-arms at the end)
         if not self._timer.running:
             self._timer.start()
 
-    def _on_timeout(self) -> None:
+    def _on_single_timeout(self) -> None:
         """Go back: retransmit every outstanding message, restart timer."""
         if self.all_acknowledged:
             return
         self.stats.timeouts_fired += 1
         self.trace.record(
-            self.actor_name, EventKind.TIMEOUT, seq=self.na, detail="go-back"
+            self.actor_name, EventKind.TIMEOUT, seq=self.window.na, detail="go-back"
         )
-        if self._retx is not None:
-            verdict = self._retx.on_timeout(None)
-            if verdict is RetryVerdict.LINK_DEAD:
-                self.link_dead = True
-                self.trace.record(
-                    self.actor_name, EventKind.NOTE, detail="link dead"
-                )
-                self._timer.stop()
-                return
-            if verdict is RetryVerdict.DEGRADE:
-                self.w = max(1, int(self.w * self.adaptive.degrade_factor))
-        for seq in range(self.na, self.ns):
+        if not self._consult_budget(None):
+            return
+        for seq in self.window.outstanding():
             self._transmit(seq, attempt=1)
         self._timer.start()
+
+    def _degrade(self) -> None:
+        # shrink the effective window; cumulative acking needs no trace
+        self.window.resize(
+            max(1, int(self.window.w * self.adaptive.degrade_factor))
+        )
 
     # -- acknowledgment handling ---------------------------------------------
 
@@ -140,53 +105,54 @@ class GoBackNSender(SenderEndpoint):
         if not isinstance(ack, CumulativeAck):
             raise TypeError(f"go-back-N sender got {ack!r}")
         self.stats.acks_received += 1
-        if ack.seq < self.na:
+        if ack.seq < self.window.na:
             self.stats.stale_acks += 1
             return
-        if ack.seq >= self.ns:
+        if ack.seq >= self.window.ns:
             # cannot happen with unbounded numbers; defensive for reuse
             self.stats.stale_acks += 1
             return
         self.trace.record(self.actor_name, EventKind.RECV_ACK, seq=ack.seq)
-        newly_acked = list(range(self.na, ack.seq + 1))
-        for seq in newly_acked:
+        outcome = self.window.apply_ack(self.window.na, ack.seq)
+        for seq in outcome.newly_acked:
             self._payloads.pop(seq, None)
-        self.na = ack.seq + 1
-        if self._retx is not None:
-            self._retx.on_ack(newly_acked, self.sim.now)
-        self.stats.acked = self.na
-        self.stats.last_ack_time = self.sim.now
+        self._register_ack(outcome.newly_acked, self.window.na)
         if self.all_acknowledged:
             self._timer.stop()
         else:
             self._timer.start()  # restart for new oldest
-        self.trace.record(self.actor_name, EventKind.WINDOW_OPEN, seq=self.na)
-        self._window_opened()
+        self._window_open_event(self.window.na)
 
 
-class GoBackNReceiver(ReceiverEndpoint):
+class GoBackNReceiver(WindowedReceiver):
     """Go-back-N receiver: in-order accept only, cumulative acks."""
 
     def __init__(self, window: int) -> None:
         super().__init__()
-        self.w = window  # unused except for symmetry/diagnostics
-        self.nr = 0  # next expected
+        self.window = ReceiverWindow(window)
+
+    @property
+    def nr(self) -> int:
+        """Next expected sequence number (public before the refactor)."""
+        return self.window.nr
 
     def on_message(self, message: Any) -> None:
         if not isinstance(message, DataMessage):
             raise TypeError(f"go-back-N receiver got {message!r}")
-        self.stats.data_received += 1
-        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=message.seq)
-        if message.seq == self.nr:
-            self.nr += 1
-            self.trace.record(self.actor_name, EventKind.DELIVER, seq=message.seq)
-            self._deliver(message.seq, message.payload)
-        elif message.seq < self.nr:
+        seq = message.seq
+        self._note_arrival(seq)
+        if seq == self.window.nr:
+            # in-order: accept and release immediately (never buffered)
+            self.window.accept(seq, message.payload)
+            self.window.advance()
+            lo, _hi, payloads = self.window.take_block()
+            self._deliver_block(lo, payloads)
+        elif seq < self.window.nr:
             self.stats.duplicates += 1
         else:
             self.stats.out_of_order += 1  # discarded, not buffered
-        if self.nr > 0:
-            self._send_ack(self.nr - 1)
+        if self.window.nr > 0:
+            self._send_ack(self.window.nr - 1)
 
     def _send_ack(self, seq: int) -> None:
         self.stats.acks_sent += 1

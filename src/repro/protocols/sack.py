@@ -23,16 +23,21 @@ per arrival like selective repeat (E4's overhead), and its acknowledgment
 is *advisory* — SACKed data may legally be retransmitted — whereas block
 acknowledgment's pairs are definitive, which is what lets the paper bound
 the number space at ``2w``.
+
+Endpoint scaffolding (payload store, transmission bookkeeping, window
+occupancy) comes from :mod:`repro.protocols.window_core`; the SACK
+scoreboard stays separate because SACK blocks are advisory, not
+definitive — they never advance the window's acknowledgment cursor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set, Tuple
 
 from repro.core.messages import DataMessage
-from repro.core.window import ReceiverWindow
-from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.core.window import ReceiverWindow, SenderWindow
+from repro.protocols.window_core import WindowedReceiver, WindowedSender
 from repro.sim.timers import Timer
 from repro.trace.events import EventKind
 
@@ -62,73 +67,54 @@ class SackAck:
         return f"SACK(cum={self.cum}{';' + blocks if blocks else ''})"
 
 
-class SackSender(SenderEndpoint):
+class SackSender(WindowedSender):
     """Scoreboard sender with fast retransmit and a timer backstop."""
 
+    # the plain RTO Timer below predates the adaptive bank; SACK's own
+    # fast-retransmit logic covers what backoff would
+    timer_style = "custom"
+    timer_name = "sack-rto"
+
     def __init__(self, window: int, timeout_period: Optional[float] = None) -> None:
-        super().__init__()
-        if window <= 0:
-            raise ValueError(f"window must be positive, got {window}")
-        self.w = window
-        self.na = 0
-        self.ns = 0
-        self.timeout_period = timeout_period
-        self._payloads: Dict[int, Any] = {}
+        super().__init__(timeout_period=timeout_period)
+        self.window = SenderWindow(window)
         self._sacked: Set[int] = set()
         self._fast_retransmitted: Set[int] = set()  # once per episode
         self._dup_acks = 0
-        self._timer: Optional[Timer] = None
 
-    def _after_attach(self) -> None:
-        if self.timeout_period is None:
-            raise ValueError("timeout_period must be set before attaching")
-        self._timer = Timer(self.sim, self._on_timeout, name="sack-rto")
+    def _build_timers(self) -> None:
+        self._rto = Timer(self.sim, self._on_timeout, name=self.timer_name)
 
-    # -- application interface -------------------------------------------
+    # compatibility accessors: the raw counters were public before the
+    # window-core refactor moved them onto SenderWindow
+    @property
+    def na(self) -> int:
+        return self.window.na
 
     @property
-    def can_accept(self) -> bool:
-        return self.ns < self.na + self.w
-
-    def submit(self, payload: Any) -> int:
-        if not self.can_accept:
-            raise RuntimeError(f"window full: na={self.na} ns={self.ns}")
-        seq = self.ns
-        self.ns += 1
-        self._payloads[seq] = payload
-        self.stats.submitted += 1
-        self._transmit(seq, attempt=0)
-        return seq
+    def ns(self) -> int:
+        return self.window.ns
 
     @property
-    def all_acknowledged(self) -> bool:
-        return self.na == self.ns
+    def w(self) -> int:
+        return self.window.w
 
     # -- transmission ------------------------------------------------------
 
-    def _transmit(self, seq: int, attempt: int) -> None:
-        self.stats.data_sent += 1
-        if attempt > 0:
-            self.stats.retransmissions += 1
-            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
-        else:
-            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
-        self.tx.send(
-            DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
-        )
-        if not self._timer.running:
-            self._timer.start(self.timeout_period)
+    def _arm_timers(self, seq: int, attempt: int) -> None:
+        if not self._rto.running:
+            self._rto.start(self.timeout_period)
 
     def _on_timeout(self) -> None:
         """RTO backstop: resend the oldest hole, reset the episode."""
         if self.all_acknowledged:
             return
         self.stats.timeouts_fired += 1
-        self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=self.na)
+        self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=self.window.na)
         self._fast_retransmitted.clear()  # new recovery episode
         self._dup_acks = 0
-        self._transmit(self.na, attempt=1)
-        self._timer.start(self.timeout_period)
+        self._transmit(self.window.na, attempt=1)
+        self._rto.start(self.timeout_period)
 
     # -- acknowledgment handling ---------------------------------------------
 
@@ -141,39 +127,37 @@ class SackSender(SenderEndpoint):
             detail=ack.blocks,
         )
         advanced = False
-        if ack.cum + 1 > self.na:
-            for seq in range(self.na, ack.cum + 1):
+        if ack.cum + 1 > self.window.na and ack.cum < self.window.ns:
+            outcome = self.window.apply_ack(self.window.na, ack.cum)
+            for seq in outcome.newly_acked:
                 self._payloads.pop(seq, None)
                 self._sacked.discard(seq)
                 self._fast_retransmitted.discard(seq)
-            self.na = ack.cum + 1
             self._dup_acks = 0
             advanced = True
-            self.stats.acked = self.na
-            self.stats.last_ack_time = self.sim.now
+            self._register_ack(outcome.newly_acked, self.window.na)
             if self.all_acknowledged:
-                self._timer.stop()
+                self._rto.stop()
             else:
-                self._timer.start(self.timeout_period)
+                self._rto.start(self.timeout_period)
         else:
             self._dup_acks += 1
             self.stats.stale_acks += 1
 
         for lo, hi in ack.blocks:
-            for seq in range(max(lo, self.na), min(hi + 1, self.ns)):
+            for seq in range(max(lo, self.window.na), min(hi + 1, self.window.ns)):
                 self._sacked.add(seq)
 
         self._fast_retransmit_holes()
         if advanced:
-            self.trace.record(self.actor_name, EventKind.WINDOW_OPEN, seq=self.na)
-            self._window_opened()
+            self._window_open_event(self.window.na)
 
     def _fast_retransmit_holes(self) -> None:
         """Resend holes with enough reordering evidence above them."""
         if not self._sacked:
             return
         sacked_sorted = sorted(self._sacked)
-        for seq in range(self.na, sacked_sorted[-1]):
+        for seq in range(self.window.na, sacked_sorted[-1]):
             if seq in self._sacked or seq in self._fast_retransmitted:
                 continue
             above = sum(1 for s in sacked_sorted if s > seq)
@@ -186,7 +170,7 @@ class SackSender(SenderEndpoint):
                 self._transmit(seq, attempt=1)
 
 
-class SackReceiver(ReceiverEndpoint):
+class SackReceiver(WindowedReceiver):
     """Out-of-order buffering receiver emitting cum + SACK blocks."""
 
     def __init__(self, window: int) -> None:
@@ -196,25 +180,13 @@ class SackReceiver(ReceiverEndpoint):
     def on_message(self, message: Any) -> None:
         if not isinstance(message, DataMessage):
             raise TypeError(f"SACK receiver got {message!r}")
-        self.stats.data_received += 1
         seq = message.seq
-        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=seq)
+        self._note_arrival(seq)
         outcome = self.window.accept(seq, message.payload)
-        if outcome.duplicate:
-            self.stats.duplicates += 1
-        elif outcome.redundant:
-            self.stats.redundant += 1
-        elif seq != self.window.vr:
-            self.stats.out_of_order += 1
+        self._classify(outcome, seq, self.window.vr)
         self.window.advance()
-        self.stats.max_buffered = max(
-            self.stats.max_buffered, len(self.window.received_unaccepted)
-        )
-        while self.window.ack_ready:
-            lo, hi, payloads = self.window.take_block()
-            for offset, payload in enumerate(payloads):
-                self.trace.record(self.actor_name, EventKind.DELIVER, seq=lo + offset)
-                self._deliver(lo + offset, payload)
+        self._note_buffered(len(self.window.received_unaccepted))
+        self._drain_ready()
         self._send_ack(recent=seq)
 
     def _send_ack(self, recent: int) -> None:

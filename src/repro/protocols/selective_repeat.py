@@ -15,24 +15,27 @@ Block acknowledgment keeps this protocol's loss resilience (E3) while
 cutting its per-message acknowledgment traffic (E4) — that comparison is
 the heart of the paper's Section VI claim that selective repeat and
 go-back-N are the two degenerate corners of block acknowledgment.
+
+Endpoint scaffolding (payload store, transmission bookkeeping, adaptive
+retransmission, per-sequence timer bank) comes from
+:mod:`repro.protocols.window_core`; this module keeps only the
+selective-repeat decision logic.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 from repro.core.messages import BlockAck, DataMessage
 from repro.core.window import ReceiverWindow, SenderWindow
-from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.robustness.budget import RetryVerdict
-from repro.robustness.controller import AdaptiveConfig, RetransmissionController
-from repro.sim.timers import AdaptiveTimerBank
+from repro.protocols.window_core import WindowedReceiver, WindowedSender
+from repro.robustness.controller import AdaptiveConfig
 from repro.trace.events import EventKind
 
 __all__ = ["SelectiveRepeatSender", "SelectiveRepeatReceiver"]
 
 
-class SelectiveRepeatSender(SenderEndpoint):
+class SelectiveRepeatSender(WindowedSender):
     """Selective-repeat sender: per-message acks and timers.
 
     ``adaptive`` optionally replaces the fixed per-message timeout with a
@@ -41,83 +44,31 @@ class SelectiveRepeatSender(SenderEndpoint):
     degradation); ``None`` keeps the fixed-timer baseline bit-for-bit.
     """
 
+    timer_style = "per_seq"
+    timer_name = "sr-retx"
+
     def __init__(
         self,
         window: int,
         timeout_period: Optional[float] = None,
         adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(timeout_period=timeout_period, adaptive=adaptive)
         self.window = SenderWindow(window)
-        self.timeout_period = timeout_period
-        self.adaptive = adaptive
-        self.link_dead = False
-        self._retx: Optional[RetransmissionController] = None
-        self._payloads: Dict[int, Any] = {}
-        self._timers: Optional[AdaptiveTimerBank] = None
 
-    def _after_attach(self) -> None:
-        if self.timeout_period is None:
-            raise ValueError("timeout_period must be set before attaching")
-        if self.adaptive is not None:
-            self._retx = self.adaptive.build(self.timeout_period)
-        self._timers = AdaptiveTimerBank(
-            self.sim, self._on_timeout, period_fn=self._period, name="sr-retx"
-        )
-
-    def _period(self, seq: int) -> float:
-        if self._retx is not None:
-            return self._retx.period(seq)
-        return self.timeout_period
-
-    @property
-    def can_accept(self) -> bool:
-        return not self.link_dead and self.window.can_send
-
-    def submit(self, payload: Any) -> int:
-        seq = self.window.take_next()
-        self._payloads[seq] = payload
-        self.stats.submitted += 1
-        self._transmit(seq, attempt=0)
-        return seq
-
-    @property
-    def all_acknowledged(self) -> bool:
-        return self.window.all_acknowledged
-
-    def _transmit(self, seq: int, attempt: int) -> None:
-        self.stats.data_sent += 1
-        if attempt > 0:
-            self.stats.retransmissions += 1
-            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
-        else:
-            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
-        self.tx.send(
-            DataMessage(seq=seq, payload=self._payloads.get(seq), attempt=attempt)
-        )
-        if self._retx is not None:
-            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
-        self._timers.start(seq)
-
-    def _on_timeout(self, seq: int) -> None:
+    def _on_seq_timeout(self, seq: int) -> None:
         if self.window.is_acked(seq):
             return
         self.stats.timeouts_fired += 1
         self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=seq)
-        if self._retx is not None:
-            verdict = self._retx.on_timeout(seq)
-            if verdict is RetryVerdict.LINK_DEAD:
-                self.link_dead = True
-                self.trace.record(
-                    self.actor_name, EventKind.NOTE, detail="link dead"
-                )
-                self._timers.stop_all()
-                return
-            if verdict is RetryVerdict.DEGRADE:
-                self.window.resize(
-                    max(1, int(self.window.w * self.adaptive.degrade_factor))
-                )
+        if not self._consult_budget(seq):
+            return
         self._transmit(seq, attempt=1)
+
+    def _degrade(self) -> None:
+        self.window.resize(
+            max(1, int(self.window.w * self.adaptive.degrade_factor))
+        )
 
     def on_message(self, ack: Any) -> None:
         if not isinstance(ack, BlockAck) or not ack.is_singleton:
@@ -129,20 +80,14 @@ class SelectiveRepeatSender(SenderEndpoint):
             return
         self.trace.record(self.actor_name, EventKind.RECV_ACK, seq=seq, seq_hi=seq)
         outcome = self.window.apply_ack(seq, seq)
-        if self._retx is not None:
-            self._retx.on_ack(outcome.newly_acked, self.sim.now)
+        self._register_ack(outcome.newly_acked, self.window.na)
         self._timers.stop(seq)
         self._payloads.pop(seq, None)
-        self.stats.acked = self.window.na
-        self.stats.last_ack_time = self.sim.now
         if outcome.advanced:
-            self.trace.record(
-                self.actor_name, EventKind.WINDOW_OPEN, seq=self.window.na
-            )
-            self._window_opened()
+            self._window_open_event(self.window.na)
 
 
-class SelectiveRepeatReceiver(ReceiverEndpoint):
+class SelectiveRepeatReceiver(WindowedReceiver):
     """Selective-repeat receiver: out-of-order buffering, one ack per datum."""
 
     def __init__(self, window: int) -> None:
@@ -152,29 +97,15 @@ class SelectiveRepeatReceiver(ReceiverEndpoint):
     def on_message(self, message: Any) -> None:
         if not isinstance(message, DataMessage):
             raise TypeError(f"selective-repeat receiver got {message!r}")
-        self.stats.data_received += 1
         seq = message.seq
-        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=seq)
+        self._note_arrival(seq)
         outcome = self.window.accept(seq, message.payload)
-        if outcome.duplicate:
-            self.stats.duplicates += 1
-        elif outcome.redundant:
-            self.stats.redundant += 1
-        elif seq != self.window.vr:
-            self.stats.out_of_order += 1
+        self._classify(outcome, seq, self.window.vr)
         # the defining trait: EVERY received data message gets its own ack
         self._send_ack(seq)
         self.window.advance()
-        self.stats.max_buffered = max(
-            self.stats.max_buffered, len(self.window.received_unaccepted)
-        )
-        while self.window.ack_ready:
-            lo, hi, payloads = self.window.take_block()
-            for offset, payload in enumerate(payloads):
-                self.trace.record(
-                    self.actor_name, EventKind.DELIVER, seq=lo + offset
-                )
-                self._deliver(lo + offset, payload)
+        self._note_buffered(len(self.window.received_unaccepted))
+        self._drain_ready()
 
     def _send_ack(self, seq: int) -> None:
         self.stats.acks_sent += 1

@@ -1,0 +1,331 @@
+"""Shared window-protocol endpoint core.
+
+Every windowed protocol in this package — block acknowledgment, its
+bounded Section-V twin, go-back-N, selective repeat, and the TCP-SACK
+baseline — used to re-implement the same endpoint scaffolding: a payload
+store keyed by sequence number, transmission bookkeeping (stats counters
+plus ``SEND_DATA``/``RESEND_DATA`` trace records), retransmission-timer
+plumbing, the adaptive-retransmission controller hookup, and the
+acknowledgment-cursor bookkeeping that advances ``na`` and reopens the
+window.  That duplication made each new endpoint expensive to write and
+impossible to keep uniform, which is exactly what the multi-flow session
+host needs: N cheap, interchangeable, flow-aware endpoints per simulated
+network.
+
+This module factors the scaffolding into two bases:
+
+* :class:`WindowedSender` — owns the timeout period, the optional
+  :class:`~repro.robustness.controller.AdaptiveConfig` plumbing, the
+  payload store, and the retransmission timers (``timer_style`` picks
+  one Section-II style timer, a per-sequence bank, or none).  Subclasses
+  supply the *ack policy side* of the sender: how a wire message is
+  built (:meth:`_wire_message`), how timers re-arm after a transmission
+  (:meth:`_arm_timers`), and what an acknowledgment means
+  (:meth:`on_message`); the core provides the invariant-preserving
+  helpers they compose (:meth:`_transmit`, :meth:`_register_ack`,
+  :meth:`_consult_budget`, :meth:`_declare_link_dead`).
+* :class:`WindowedReceiver` — owns a
+  :class:`~repro.core.window.ReceiverWindow` (``nr``/``vr`` tracking)
+  and the arrival/delivery bookkeeping every receiver repeats:
+  :meth:`_note_arrival` (stats + ``RECV_DATA``), :meth:`_classify`
+  (duplicate / redundant / out-of-order counters plus the reorder-buffer
+  high-water mark), and :meth:`_deliver_block` (in-order release with
+  ``DELIVER`` records).
+
+The per-protocol modules shrink to their actual decision logic, and the
+refactor is pinned byte-identical to the pre-refactor implementations by
+the golden decision-trace tests (``tests/test_golden_traces.py``).
+
+Window *state* itself stays in :mod:`repro.core.window` (unbounded
+counters) and :mod:`repro.core.bounded` (mod-``2w`` rings); this module
+is the endpoint machinery around that state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.core.messages import DataMessage
+from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
+from repro.robustness.budget import RetryVerdict
+from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.sim.timers import AdaptiveTimer, AdaptiveTimerBank
+from repro.trace.events import EventKind
+
+__all__ = ["WindowedSender", "WindowedReceiver", "TIMER_STYLES"]
+
+#: how a windowed sender retransmits: one Section-II style timer covering
+#: the oldest outstanding message, a per-sequence timer bank, or no
+#: core-managed timer at all (the subclass arms its own).
+TIMER_STYLES = ("single", "per_seq", "custom")
+
+
+class WindowedSender(SenderEndpoint):
+    """Common machinery for every windowed protocol sender.
+
+    Parameters
+    ----------
+    timeout_period:
+        The retransmission period ``T``; required before attach for
+        timer-driven styles (the runner derives a provably safe value
+        from the channel bounds when left ``None``).
+    adaptive:
+        Optional :class:`~repro.robustness.controller.AdaptiveConfig`;
+        when set, timer periods come from a
+        :class:`~repro.robustness.controller.RetransmissionController`
+        and sustained timeout runs degrade the window
+        (:meth:`_degrade`) and eventually declare the link dead.
+        ``None`` keeps fixed-timer behaviour bit-for-bit.
+
+    Class attributes subclasses may override
+    ----------------------------------------
+    ``timer_style``
+        One of :data:`TIMER_STYLES` (default ``"per_seq"``).
+    ``timer_name``
+        Label for the core-built timer(s) (default ``"retx"``).
+    ``attach_error``
+        Message raised when attaching without a timeout period.
+    """
+
+    timer_style = "per_seq"
+    timer_name = "retx"
+    attach_error = "timeout_period must be set before attaching"
+
+    def __init__(
+        self,
+        timeout_period: Optional[float] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+    ) -> None:
+        super().__init__()
+        self.timeout_period = timeout_period
+        self.adaptive = adaptive
+        self.link_dead = False
+        self.flow_id: Optional[int] = None  # set by the multi-flow host
+        self._retx: Optional[RetransmissionController] = None
+        self._down = False  # crashed and not yet restored
+        self._payloads: Dict[int, Any] = {}
+        self._timer: Optional[AdaptiveTimer] = None  # "single" style
+        self._timers: Optional[AdaptiveTimerBank] = None  # "per_seq" style
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _after_attach(self) -> None:
+        if self.timeout_period is None:
+            raise ValueError(self.attach_error)
+        if self.adaptive is not None:
+            self._retx = self.adaptive.build(self.timeout_period)
+        self._build_timers()
+
+    def _build_timers(self) -> None:
+        """Construct the core-managed timer(s) for this ``timer_style``."""
+        if self.timer_style == "single":
+            self._timer = AdaptiveTimer(
+                self.sim,
+                self._on_single_timeout,
+                period_fn=self._single_period,
+                name=self.timer_name,
+            )
+        elif self.timer_style == "per_seq":
+            self._timers = AdaptiveTimerBank(
+                self.sim,
+                self._on_seq_timeout,
+                period_fn=self._seq_period,
+                name=self.timer_name,
+            )
+        elif self.timer_style != "custom":
+            raise ValueError(
+                f"timer_style must be one of {TIMER_STYLES}, "
+                f"got {self.timer_style!r}"
+            )
+
+    def _single_period(self) -> float:
+        """Arming period for the single Section-II style timer."""
+        if self._retx is not None:
+            return self._retx.period(None)
+        return self.timeout_period
+
+    def _seq_period(self, seq: int) -> float:
+        """Arming period for one per-sequence timer."""
+        if self._retx is not None:
+            return self._retx.period(seq)
+        return self.timeout_period
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        return not self.link_dead and not self._down and self._send_window_open()
+
+    def _send_window_open(self) -> bool:
+        """Window-occupancy part of the submit guard."""
+        return self.window.can_send
+
+    @property
+    def all_acknowledged(self) -> bool:
+        return self.window.all_acknowledged
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: Any) -> int:
+        seq = self._take_next()  # paper action 0
+        self._store_payload(seq, payload)
+        self.stats.submitted += 1
+        self._transmit(seq, attempt=0)
+        return seq
+
+    def _take_next(self) -> int:
+        """Allocate the next sequence number."""
+        return self.window.take_next()
+
+    def _store_payload(self, seq: int, payload: Any) -> None:
+        """Retain the payload until ``seq`` is acknowledged."""
+        self._payloads[seq] = payload
+
+    def _payload_for(self, seq: int) -> Any:
+        """Stored payload for one (re)transmission."""
+        return self._payloads.get(seq)
+
+    def _wire_message(self, seq: int, attempt: int) -> Any:
+        """Build the wire message for one (re)transmission of ``seq``."""
+        return DataMessage(seq=seq, payload=self._payload_for(seq), attempt=attempt)
+
+    def _transmit(self, seq: int, attempt: int) -> None:
+        """One (re)transmission: stats, trace, send, controller, timers."""
+        message = self._wire_message(seq, attempt)
+        self.stats.data_sent += 1
+        if attempt > 0:
+            self.stats.retransmissions += 1
+            self.trace.record(self.actor_name, EventKind.RESEND_DATA, seq=seq)
+        else:
+            self.trace.record(self.actor_name, EventKind.SEND_DATA, seq=seq)
+        self.tx.send(message)
+        if self._retx is not None:
+            self._retx.on_send(seq, self.sim.now, retransmit=attempt > 0)
+        self._arm_timers(seq, attempt)
+
+    def _arm_timers(self, seq: int, attempt: int) -> None:
+        """Re-arm retransmission timers after a transmission."""
+        if self._timer is not None:
+            # the single timer measures time since the *last* transmission
+            self._timer.restart()
+        elif self._timers is not None:
+            self._timers.start(seq)
+
+    # ------------------------------------------------------------------
+    # acknowledgment bookkeeping
+    # ------------------------------------------------------------------
+
+    def _register_ack(
+        self, newly_acked: Iterable[int], acked_value: int
+    ) -> None:
+        """Fold one informative acknowledgment into the shared state.
+
+        Feeds the adaptive controller its RTT evidence and refreshes the
+        ``acked``/``last_ack_time`` stats.  Callers remain responsible
+        for payload/timer cleanup (it differs per protocol).
+        """
+        if self._retx is not None:
+            self._retx.on_ack(newly_acked, self.sim.now)
+        self.stats.acked = acked_value
+        self.stats.last_ack_time = self.sim.now
+
+    def _window_open_event(self, na: int) -> None:
+        """Record the window reopening and wake the source."""
+        self.trace.record(self.actor_name, EventKind.WINDOW_OPEN, seq=na)
+        self._window_opened()
+
+    # ------------------------------------------------------------------
+    # timeout escalation (adaptive retransmission)
+    # ------------------------------------------------------------------
+
+    def _consult_budget(self, key: Any) -> bool:
+        """Adaptive only: escalate one fired timeout through the budget.
+
+        Returns False when the link was just declared dead, in which
+        case the caller must not retransmit.
+        """
+        if self._retx is None:
+            return True
+        verdict = self._retx.on_timeout(key)
+        if verdict is RetryVerdict.LINK_DEAD:
+            self._declare_link_dead()
+            return False
+        if verdict is RetryVerdict.DEGRADE:
+            self._degrade()
+        return True
+
+    def _degrade(self) -> None:
+        """Graceful degradation hook; default shrinks nothing."""
+
+    def _declare_link_dead(self) -> None:
+        """Retry budget exhausted: stop retransmitting, surface the verdict."""
+        self.link_dead = True
+        self.trace.record(self.actor_name, EventKind.NOTE, detail="link dead")
+        if self._timer is not None:
+            self._timer.stop()
+        if self._timers is not None:
+            self._timers.stop_all()
+        self._after_link_dead()
+
+    def _after_link_dead(self) -> None:
+        """Hook for subclass cleanup once the link is declared dead."""
+
+    # ------------------------------------------------------------------
+    # timeout handlers (wired by _build_timers; override per style)
+    # ------------------------------------------------------------------
+
+    def _on_single_timeout(self) -> None:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+    def _on_seq_timeout(self, seq: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class WindowedReceiver(ReceiverEndpoint):
+    """Common machinery for every windowed protocol receiver.
+
+    Subclasses own a :class:`~repro.core.window.ReceiverWindow` (or the
+    bounded book equivalent) as ``self.window`` and call the helpers
+    here from their :meth:`on_message`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.flow_id: Optional[int] = None  # set by the multi-flow host
+
+    def _note_arrival(self, seq: int) -> None:
+        """Stats + trace for one arriving data message."""
+        self.stats.data_received += 1
+        self.trace.record(self.actor_name, EventKind.RECV_DATA, seq=seq)
+
+    def _classify(self, outcome: Any, seq: int, expected: int) -> None:
+        """Bump the duplicate / redundant / out-of-order counters."""
+        if outcome.duplicate:
+            self.stats.duplicates += 1
+        elif outcome.redundant:
+            self.stats.redundant += 1
+        elif seq != expected:
+            self.stats.out_of_order += 1
+
+    def _note_buffered(self, buffered_count: int) -> None:
+        """Track the reorder-buffer high-water mark."""
+        self.stats.max_buffered = max(self.stats.max_buffered, buffered_count)
+
+    def _deliver_block(self, lo: int, payloads: Iterable[Any]) -> None:
+        """Release one in-order block to the application, tracing each."""
+        for offset, payload in enumerate(payloads):
+            seq = lo + offset
+            self.trace.record(self.actor_name, EventKind.DELIVER, seq=seq)
+            self._deliver(seq, payload)
+
+    def _drain_ready(self) -> None:
+        """Deliver every completed in-order block (paper actions 4+5)."""
+        while self.window.ack_ready:
+            lo, _hi, payloads = self.window.take_block()
+            self._deliver_block(lo, payloads)

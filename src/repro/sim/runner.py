@@ -45,6 +45,15 @@ class LinkSpec:
     duplicate_probability: float = 0.0  # assumption-boundary ablations only
 
     def build(self, sim: Simulator, rng, name: str):
+        """Build the channel stack for this link, named ``name``.
+
+        Every channel object gets a unique, stable label: a framed link
+        presents ``name`` on the wrapper while the raw byte channel
+        underneath is labelled ``name.raw``, so traces and obs series
+        never see two distinct channel objects sharing one label (flow
+        ports over a built link extend it the same way: ``name.f<id>``).
+        """
+        framed = self.bit_error_rate > 0.0
         channel = Channel(
             sim,
             delay=self.delay if self.delay is not None else ConstantDelay(1.0),
@@ -52,12 +61,14 @@ class LinkSpec:
             rng=rng,
             max_lifetime=self.max_lifetime,
             duplicate_probability=self.duplicate_probability,
-            name=name,
+            name=f"{name}.raw" if framed else name,
         )
-        if self.bit_error_rate > 0.0:
+        if framed:
             from repro.wire.framed import FramedChannel  # cycle guard
 
-            return FramedChannel(channel, self.bit_error_rate, rng=rng)
+            return FramedChannel(
+                channel, self.bit_error_rate, rng=rng, name=name
+            )
         return channel
 
 
@@ -82,6 +93,9 @@ class TransferResult:
     fault_stats: dict = field(default_factory=dict)  # injected-fault counters
     obs: Any = None  # Observability session when obs= was requested
     obs_path: Optional[str] = None  # exported .jsonl (sweep-run telemetry)
+    per_flow: List[dict] = field(default_factory=list)  # multi-flow rows
+    fairness: Optional[float] = None  # Jain index when flows share the link
+    ordered_prefix: bool = True  # delivered payloads form an in-order prefix
 
     def latency_percentile(self, q: float) -> float:
         """Submit-to-deliver latency percentile (requires latencies)."""
@@ -413,6 +427,7 @@ def run_transfer(
         delivered=len(delivered_payloads),
         submitted=len(source.submitted),
         in_order=in_order and len(delivered_payloads) == len(source.submitted),
+        ordered_prefix=in_order,
         sender_stats=sender_stats,
         receiver_stats=receiver.stats.as_dict(),
         forward_stats=forward_stats,

@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Optional, Union
+from typing import Union
 
-from repro.core.messages import BlockAck, DataMessage
+from repro.core.messages import BlockAck, DataMessage, FlowEnvelope
 
 __all__ = [
     "CorruptFrame",
@@ -39,15 +39,20 @@ __all__ = [
     "decode_message",
     "frame_overhead",
     "MAX_WIRE_SEQ",
+    "MAX_FLOW_ID",
 ]
 
 _TYPE_DATA = 0x01
 _TYPE_ACK = 0x02
+_TYPE_MUX = 0x03  # flow envelope: header + complete inner frame as payload
 _HEADER = struct.Struct(">BHHH")
 _CRC = struct.Struct(">I")
 
 #: sequence numbers are carried in 16 bits
 MAX_WIRE_SEQ = 0xFFFF
+
+#: flow identifiers share the 16-bit header field layout
+MAX_FLOW_ID = 0xFFFF
 
 #: fixed bytes added around a payload: header + CRC trailer
 FRAME_OVERHEAD = _HEADER.size + _CRC.size
@@ -71,8 +76,30 @@ def _check_seq(value: int, what: str) -> None:
         raise FrameError(f"{what} {value} does not fit the 16-bit field")
 
 
-def encode_message(message: Union[DataMessage, BlockAck]) -> bytes:
-    """Serialize a protocol message into a checksummed frame."""
+def encode_message(
+    message: Union[DataMessage, BlockAck, FlowEnvelope],
+) -> bytes:
+    """Serialize a protocol message into a checksummed frame.
+
+    A :class:`~repro.core.messages.FlowEnvelope` becomes a ``0x03`` frame
+    whose payload is the complete inner frame (header + CRC); the outer
+    CRC covers the whole envelope, so a bit flip anywhere discards the
+    envelope as one unit — a multiplexed link never misdelivers a
+    damaged frame to the wrong flow.
+    """
+    if isinstance(message, FlowEnvelope):
+        _check_seq(message.flow, "flow identifier")
+        inner = encode_message(message.message)
+        if len(inner) > 0xFFFF:
+            raise FrameError(
+                f"inner frame of {len(inner)} bytes exceeds the envelope field"
+            )
+        # the per-flow envelope counter is diagnostic and unbounded in
+        # memory; on the wire it wraps into the 16-bit field
+        body = _HEADER.pack(
+            _TYPE_MUX, message.flow, message.fseq & MAX_WIRE_SEQ, len(inner)
+        ) + inner
+        return body + _CRC.pack(zlib.crc32(body))
     if isinstance(message, DataMessage):
         payload = message.payload if message.payload is not None else b""
         if not isinstance(payload, (bytes, bytearray)):
@@ -95,7 +122,7 @@ def encode_message(message: Union[DataMessage, BlockAck]) -> bytes:
     return body + _CRC.pack(zlib.crc32(body))
 
 
-def decode_message(frame: bytes) -> Union[DataMessage, BlockAck]:
+def decode_message(frame: bytes) -> Union[DataMessage, BlockAck, FlowEnvelope]:
     """Parse and validate a frame; raises :class:`CorruptFrame` on damage."""
     if len(frame) < FRAME_OVERHEAD:
         raise CorruptFrame(f"frame of {len(frame)} bytes is shorter than a header")
@@ -115,4 +142,13 @@ def decode_message(frame: bytes) -> Union[DataMessage, BlockAck]:
         if length != 0 or len(body) != _HEADER.size:
             raise CorruptFrame("ack frame carries unexpected payload")
         return BlockAck(lo=field_a, hi=field_b)
+    if frame_type == _TYPE_MUX:
+        inner = body[_HEADER.size :]
+        if len(inner) != length:
+            raise CorruptFrame(
+                f"envelope length field says {length}, frame carries {len(inner)}"
+            )
+        return FlowEnvelope(
+            flow=field_a, fseq=field_b, message=decode_message(inner)
+        )
     raise CorruptFrame(f"unknown frame type 0x{frame_type:02x}")

@@ -44,12 +44,14 @@ class FramedChannel:
         inner: Channel,
         bit_error_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        name: Optional[str] = None,
     ) -> None:
         if not 0.0 <= bit_error_rate <= 1.0:
             raise ValueError(
                 f"bit_error_rate must be in [0, 1], got {bit_error_rate}"
             )
         self.inner = inner
+        self._name = name
         self.bit_error_rate = bit_error_rate
         self.rng = rng if rng is not None else random.Random(0)
         self.corrupted = 0  # frames damaged in transit
@@ -135,7 +137,13 @@ class FramedChannel:
 
     @property
     def name(self) -> str:
-        return self.inner.name
+        """This link's label: its own name when given, else the inner's.
+
+        :meth:`~repro.sim.runner.LinkSpec.build` names the wrapper with
+        the link label and the raw channel with a ``.raw`` suffix, so no
+        two channel objects in a run ever share a trace/obs label.
+        """
+        return self._name if self._name is not None else self.inner.name
 
     @property
     def is_empty(self) -> bool:
@@ -162,3 +170,9 @@ class FramedChannel:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FramedChannel({self.inner!r}, ber={self.bit_error_rate})"
+
+
+# framed links must forward the complete harness channel surface
+from repro.channel.surface import ChannelSurface  # noqa: E402  (cycle-free)
+
+ChannelSurface.register(FramedChannel)

@@ -18,6 +18,11 @@ class TestParser:
         args = build_parser().parse_args(["transfer"])
         assert args.protocol == "blockack"
         assert args.window == 8
+        assert args.flows == 1
+
+    def test_run_flows_flag(self):
+        args = build_parser().parse_args(["run", "e15", "--flows", "3"])
+        assert args.flows == 3
 
 
 class TestCommands:
@@ -33,6 +38,16 @@ class TestCommands:
         ])
         assert code == 0
         assert "completed" in capsys.readouterr().out
+
+    def test_transfer_multi_flow(self, capsys):
+        code = main([
+            "transfer", "--flows", "3", "--messages", "25",
+            "--loss", "0.05", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out
+        assert "flow 2:" in out  # one line per flow
 
     def test_transfer_with_trace(self, capsys):
         code = main(["transfer", "--messages", "10", "--trace", "5"])

@@ -1,0 +1,297 @@
+"""Multi-flow session host: N=1 parity, shared-link sessions, sweep plumbing.
+
+The acceptance contract of :mod:`repro.sim.host`:
+
+* ``run_flows`` with one flow reproduces :func:`~repro.sim.runner
+  .run_transfer` exactly — same ``TransferResult`` fields, same decision
+  trace — on the E3 quick configurations for every refactored protocol;
+* with N >= 2 flows over one shared lossy link pair, every flow delivers
+  exactly-once in-order and the per-flow invariant monitors/probes
+  record zero violations;
+* multi-flow results flow through the sweep runner (``RunConfig.flows``)
+  with per-flow rows and the Jain fairness index surviving the
+  serialize/deserialize round trip.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.stats import jain_fairness
+from repro.experiments.common import lossy_link
+from repro.perf.sweep import (
+    RunConfig,
+    deserialize_result,
+    execute_config,
+    serialize_result,
+)
+from repro.protocols.registry import make_pair
+from repro.sim.host import (
+    FlowSpec,
+    run_flows,
+    session_to_transfer,
+    uniform_flows,
+)
+from repro.sim.runner import LinkSpec, run_transfer
+from repro.workloads.sources import GreedySource
+
+PROTOCOLS = ("blockack", "gobackn", "selective-repeat")
+#: the E3 quick grid: window 8, FIFO-jitterless links, these loss rates
+E3_WINDOW = 8
+E3_LOSSES = (0.0, 0.05, 0.20)
+
+
+def _shared_link(loss=0.1):
+    return lossy_link(loss)
+
+
+class TestSingleFlowParity:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("loss", E3_LOSSES)
+    def test_run_flows_n1_equals_run_transfer(self, protocol, loss):
+        """E3 quick cells: identical results and decision traces."""
+        sender, receiver = make_pair(protocol, window=E3_WINDOW)
+        reference = run_transfer(
+            sender, receiver, GreedySource(300),
+            forward=lossy_link(loss, spread=0.0),
+            reverse=lossy_link(loss, spread=0.0),
+            seed=11, trace=True,
+        )
+        sender, receiver = make_pair(protocol, window=E3_WINDOW)
+        session = run_flows(
+            [FlowSpec(sender, receiver, GreedySource(300), label=protocol)],
+            forward=lossy_link(loss, spread=0.0),
+            reverse=lossy_link(loss, spread=0.0),
+            seed=11, trace=True,
+        )
+        result = session.transfer
+        assert result is not None  # N=1 went through run_transfer itself
+        for field in (
+            "completed", "duration", "delivered", "submitted", "in_order",
+            "sender_stats", "receiver_stats", "forward_stats",
+            "reverse_stats", "timeout_period", "latencies",
+        ):
+            assert getattr(result, field) == getattr(reference, field), field
+        assert (
+            result.trace.decision_trace() == reference.trace.decision_trace()
+        )
+        assert session.fairness == 1.0
+        assert len(session.flows) == 1
+        assert session.delivered == reference.delivered
+
+    def test_empty_flow_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_flows([])
+
+    def test_uniform_flows_validates_count(self):
+        with pytest.raises(ValueError):
+            uniform_flows("blockack", 0, 4, 10)
+
+
+class TestSharedLinkSessions:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_every_flow_exactly_once_in_order(self, protocol):
+        session = run_flows(
+            uniform_flows(protocol, 4, 4, 40),
+            forward=_shared_link(), reverse=_shared_link(),
+            seed=23, monitor_invariants=True, collect_payloads=True,
+        )
+        assert session.completed and session.in_order
+        assert len(session.flows) == 4
+        for flow in session.flows:
+            assert flow.completed and flow.in_order
+            assert flow.delivered == flow.submitted == 40
+            assert flow.delivered_payloads == [("msg", i) for i in range(40)]
+            assert flow.violations == 0  # per-flow invariant 6 ∧ 7 ∧ 8
+        assert session.violations == 0
+        assert session.delivered == 160
+        assert session.fairness == 1.0
+
+    def test_shared_link_carries_all_flows(self):
+        session = run_flows(
+            uniform_flows("blockack", 3, 4, 25),
+            forward=_shared_link(), reverse=_shared_link(), seed=5,
+        )
+        # the shared channel's counters are the sum of the per-flow views
+        assert session.forward_stats["sent"] == sum(
+            flow.forward_stats["sent"] for flow in session.flows
+        )
+        assert session.reverse_stats["delivered"] == sum(
+            flow.reverse_stats["delivered"] for flow in session.flows
+        )
+
+    def test_per_flow_actor_names_in_trace(self):
+        session = run_flows(
+            uniform_flows("blockack", 2, 4, 10),
+            forward=LinkSpec(), reverse=LinkSpec(), seed=1, trace=True,
+        )
+        actors = {event.actor for event in session.trace.events}
+        assert {"sender.f0", "receiver.f0", "sender.f1", "receiver.f1"} <= actors
+
+    def test_horizon_cutoff_keeps_prefix_order(self):
+        """Fixed-horizon fairness runs: incomplete but prefix-ordered."""
+        session = run_flows(
+            uniform_flows("blockack", 2, 4, 100_000),
+            forward=_shared_link(), reverse=_shared_link(),
+            seed=3, max_time=40.0,
+        )
+        assert not session.completed
+        for flow in session.flows:
+            assert not flow.completed  # the source never drained...
+            assert flow.ordered_prefix  # ...but what arrived is exact
+            assert 0 < flow.delivered < 100_000
+
+    def test_framed_shared_link(self):
+        """Envelopes as 0x03 frames: corruption is clean per-flow loss."""
+
+        class _ByteSource(GreedySource):
+            def _make_payload(self):
+                return f"chunk-{len(self.submitted):05d}".encode()
+
+        flows = [
+            FlowSpec(*make_pair("blockack", window=4), _ByteSource(30))
+            for _ in range(2)
+        ]
+        session = run_flows(
+            flows,
+            forward=LinkSpec(max_lifetime=8.0, bit_error_rate=1e-5),
+            reverse=LinkSpec(max_lifetime=8.0, bit_error_rate=1e-5),
+            seed=9, monitor_invariants=True,
+        )
+        assert session.completed and session.in_order
+        assert session.violations == 0
+        assert "discarded" in session.forward_stats  # framed counters kept
+
+    def test_multi_flow_obs_with_probes(self, tmp_path):
+        session = run_flows(
+            uniform_flows("blockack", 2, 4, 30),
+            forward=_shared_link(), reverse=_shared_link(), seed=13,
+            obs=True, obs_run_id="host-test",
+            obs_sample_invariants_every=8,
+        )
+        assert session.completed and session.in_order
+        assert session.violations == 0  # probes attached per flow
+        for flow in session.flows:
+            assert flow.monitor is not None
+            assert flow.monitor.checks_run > 0
+            assert flow.latencies  # span-derived per-flow latencies
+        names = set(session.obs.registry.snapshot())
+        assert {"flow_stat", "session_fairness", "channel_events_total"} <= names
+        path = session.obs.export(path=tmp_path / "host-test.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+
+
+class TestSessionToTransfer:
+    def test_aggregates_and_per_flow_rows(self):
+        session = run_flows(
+            uniform_flows("blockack", 3, 4, 20),
+            forward=_shared_link(), reverse=_shared_link(),
+            seed=2, monitor_invariants=True,
+        )
+        flat = session_to_transfer(session)
+        assert flat.delivered == session.delivered == 60
+        assert flat.fairness == session.fairness
+        assert flat.ordered_prefix
+        assert len(flat.per_flow) == 3
+        assert flat.sender_stats["data_sent"] == sum(
+            flow.sender_stats["data_sent"] for flow in session.flows
+        )
+        assert flat.monitor is not None and flat.monitor.ok
+        for row in flat.per_flow:
+            assert row["violations"] == 0
+            assert row["in_order"] and row["ordered_prefix"]
+
+    def test_n1_keeps_the_exact_transfer_result(self):
+        sender, receiver = make_pair("blockack", window=4)
+        session = run_flows(
+            [FlowSpec(sender, receiver, GreedySource(15))],
+            forward=LinkSpec(), reverse=LinkSpec(), seed=1,
+        )
+        flat = session_to_transfer(session)
+        assert flat is session.transfer
+        assert len(flat.per_flow) == 1 and flat.fairness == 1.0
+
+
+class TestSweepPlumbing:
+    def test_flows_config_runs_through_execute(self):
+        config = RunConfig(
+            protocol="selective-repeat", window=4, total=20,
+            forward=_shared_link(), reverse=_shared_link(),
+            seed=11, flows=3, monitor_invariants=True,
+        )
+        result = execute_config(config)
+        assert result.completed and result.in_order
+        assert result.delivered == 60  # total is per flow
+        assert len(result.per_flow) == 3
+        assert result.fairness == pytest.approx(
+            jain_fairness([row["delivered"] for row in result.per_flow])
+        )
+
+    def test_per_flow_rows_survive_serialization(self):
+        config = RunConfig(
+            protocol="blockack", window=4, total=15,
+            forward=_shared_link(), reverse=_shared_link(),
+            seed=7, flows=2,
+        )
+        result = execute_config(config)
+        payload = json.loads(json.dumps(serialize_result(result)))
+        back = deserialize_result(payload)
+        assert back.per_flow == result.per_flow
+        assert back.fairness == result.fairness
+        assert back.ordered_prefix == result.ordered_prefix
+
+    def test_legacy_payload_still_deserializes(self):
+        config = RunConfig(
+            protocol="blockack", window=4, total=15,
+            forward=LinkSpec(), reverse=LinkSpec(), seed=7,
+        )
+        payload = serialize_result(execute_config(config))
+        for key in ("per_flow", "fairness", "ordered_prefix"):
+            payload.pop(key, None)  # pre-multi-flow cache entry
+        back = deserialize_result(payload)
+        assert back.per_flow == [] and back.fairness is None
+        assert back.ordered_prefix == back.in_order
+
+    def test_flows_changes_cache_key_but_n1_format_is_stable(self):
+        base = dict(
+            protocol="blockack", window=4, total=15,
+            forward=LinkSpec(), reverse=LinkSpec(), seed=7,
+        )
+        single = RunConfig(**base)
+        multi = RunConfig(**base, flows=4)
+        assert single.cache_key() != multi.cache_key()
+        assert "flows" not in single.description()  # old keys unchanged
+        assert "flows=4" in multi.description()
+        assert "_f4_" in multi.run_id()
+
+    def test_fault_plans_rejected_for_multi_flow(self):
+        from repro.robustness.faults import CrashRestart, FaultPlan
+
+        config = RunConfig(
+            protocol="blockack", window=4, total=15,
+            forward=_shared_link(), reverse=_shared_link(),
+            seed=7, flows=2,
+            fault_plan=FaultPlan(
+                crashes=(CrashRestart(at=5.0, outage=2.0, endpoint="sender"),)
+            ),
+        )
+        with pytest.raises(ValueError):
+            execute_config(config)
+
+
+class TestFairnessIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_monopoly_is_one_over_n(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_empty_and_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([1, -1])
