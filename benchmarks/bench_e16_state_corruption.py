@@ -1,0 +1,12 @@
+"""E16 — self-stabilizing recovery from state corruption.
+
+Regenerates the experiment's table into results/e16_<mode>.txt and
+asserts the paper claim's shape reproduced.  See DESIGN.md § per-
+experiment index and repro.experiments.e16_state_corruption for the full story.
+"""
+
+from conftest import run_and_record
+
+
+def test_e16_state_corruption(benchmark, results_dir):
+    run_and_record(benchmark, "e16", results_dir)

@@ -168,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run N concurrent flows of the protocol over one shared "
         "link pair and print per-flow results (default: 1)",
     )
+    tr.add_argument(
+        "--corrupt", action="append", default=[], metavar="SITE:SEV@T",
+        help="inject adversarial state corruption at virtual time T, "
+        "e.g. sender.window:worst@40 (repeatable; prints the "
+        "stabilization verdict)",
+    )
 
     chk = sub.add_parser("check", help="model-check the abstract protocol")
     chk.add_argument("--window", type=int, default=2)
@@ -242,6 +248,21 @@ def _cmd_run(
     return 1 if failures else 0
 
 
+def _parse_corruption(text: str):
+    """Parse one ``site:severity@time`` corruption spec."""
+    from repro.robustness.corruption import StateCorruption
+
+    try:
+        head, at = text.rsplit("@", 1)
+        site, severity = head.split(":", 1)
+        return StateCorruption(at=float(at), site=site, severity=severity)
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad --corrupt spec {text!r} (want site:severity@time, "
+            f"e.g. sender.window:worst@40): {exc}"
+        )
+
+
 def _cmd_transfer(args: argparse.Namespace) -> int:
     from repro.protocols.registry import make_pair
 
@@ -253,7 +274,19 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             loss=BernoulliLoss(args.loss) if args.loss > 0 else NoLoss(),
         )
 
+    fault_plan = None
+    if args.corrupt:
+        from repro.robustness.faults import FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=args.seed,
+            corruptions=[_parse_corruption(spec) for spec in args.corrupt],
+        )
+
     if args.flows > 1:
+        if fault_plan is not None:
+            raise SystemExit("--corrupt targets a single endpoint pair; "
+                             "combine it with --flows 1")
         from repro.sim.host import run_flows, uniform_flows
 
         session = run_flows(
@@ -287,11 +320,25 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace=args.trace > 0,
         max_time=1_000_000.0,
+        fault_plan=fault_plan,
+        monitor_invariants=fault_plan is not None,
     )
     print(result.summary())
+    if result.stabilization is not None:
+        stab = result.stabilization
+        reconv = stab["reconvergence_time"]
+        print(
+            f"stabilization: {stab['verdict']} "
+            f"({stab['corruptions']} corruption(s), "
+            f"{stab['repairs']} repair(s), reconvergence "
+            f"{'n/a' if reconv is None else f'{reconv:g}tu'})"
+        )
     if args.trace > 0 and result.trace is not None:
         print()
         print(result.trace.format(limit=args.trace))
+    if result.stabilization is not None:
+        ok = result.completed and result.stabilization["verdict"] != "diverged"
+        return 0 if ok else 1
     return 0 if result.completed and result.in_order else 1
 
 

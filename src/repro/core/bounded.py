@@ -94,6 +94,19 @@ class BoundedSenderBook:
         """Raw cell inspection for tests: the bit for ``wire_seq``'s slot."""
         return self._ackd[wire_seq % self.w]
 
+    def marked_cells(self) -> list[int]:
+        """Cells currently flagged acknowledged (ahead of a stalled na)."""
+        return [cell for cell in range(self.w) if self._ackd[cell]]
+
+    def _covered_cells(self) -> set:
+        """Cells some number in the live span ``[na, ns)`` maps to."""
+        cells = set()
+        seq = self.na
+        while seq != self.ns:
+            cells.add(seq % self.w)
+            seq = self.domain.add(seq, 1)
+        return cells
+
     def outstanding_wire(self) -> list[int]:
         """Wire numbers sent but not acknowledged, oldest first."""
         result = []
@@ -107,6 +120,111 @@ class BoundedSenderBook:
     @property
     def all_acknowledged(self) -> bool:
         return self.na == self.ns and not any(self._ackd)
+
+    def repair(self, witness_cells: Optional[set] = None) -> list[str]:
+        """Restore local consistency after arbitrary state corruption.
+
+        With mod-``2w`` counters there is no unbounded history to consult,
+        but assertion 6 still bounds the live span: ``(ns - na) mod n``
+        must not exceed ``w``.  When it does, ``na`` is pulled back to
+        ``ns - w`` — the demote-to-unacknowledged direction; spurious
+        retransmissions are absorbed by the receiver's mod-``2w``
+        duplicate test and re-acknowledged.  Cells of the ``ackd`` ring
+        that no live number maps to (including ``na``'s own cell, which
+        action 1' always leaves false) are cleared for the same reason.
+
+        ``witness_cells`` — cells whose payload buffer is still occupied —
+        lets the caller repair live cells too, in both directions: the
+        sender releases a payload exactly when its number is
+        acknowledged, so an "acked" cell still holding one is lying
+        (demote), and a live cell holding *none* was acknowledged
+        (promote — ``na`` advances over the released prefix; without
+        this a rewound ``na`` leaves "unacknowledged" numbers nothing
+        can retransmit).  Without that witness a false "acknowledged"
+        bit on a live cell is locally indistinguishable from a real
+        acknowledgment — the O(w)-storage stabilization gap discussed
+        in PROTOCOL.md §9.  Returns a description of each repair
+        applied.
+        """
+        repairs: list[str] = []
+        n = self.domain.n
+        if not 0 <= self.na < n:
+            repairs.append(f"na {self.na} -> {self.na % n} (out of domain)")
+            self.na %= n
+        if not 0 <= self.ns < n:
+            repairs.append(f"ns {self.ns} -> {self.ns % n} (out of domain)")
+            self.ns %= n
+        if self.domain.sub(self.ns, self.na) > self.w:
+            pulled = self.domain.sub(self.ns, self.w)
+            repairs.append(
+                f"na {self.na} -> {pulled} (span exceeded w={self.w})"
+            )
+            self.na = pulled
+        if witness_cells:
+            # every occupied payload cell must map to a live number in
+            # [na, ns); pull na back (demote) until it does — at span w
+            # the live numbers cover all w cells, so this terminates
+            pulled_from = self.na
+            while self.domain.sub(self.ns, self.na) < self.w and not (
+                witness_cells <= self._covered_cells()
+            ):
+                self.na = self.domain.sub(self.na, 1)
+            if self.na != pulled_from:
+                repairs.append(
+                    f"na {pulled_from} -> {self.na} "
+                    "(occupied payload cell outside the live span)"
+                )
+        if witness_cells is not None:
+            # the payload cell empties exactly at acknowledgment, so a
+            # live number whose cell holds nothing was acknowledged:
+            # advance na over the released prefix (stops at the first
+            # occupied cell, so the demotion above is never undone)
+            advanced_from = self.na
+            while self.na != self.ns and (self.na % self.w) not in witness_cells:
+                self._ackd[self.na % self.w] = False
+                self.na = self.domain.add(self.na, 1)
+            if self.na != advanced_from:
+                repairs.append(
+                    f"na {advanced_from} -> {self.na} "
+                    "(payload cells released at acknowledgment)"
+                )
+        live = set()
+        seq = self.domain.add(self.na, 1)
+        while seq != self.ns:
+            live.add(seq % self.w)
+            seq = self.domain.add(seq, 1)
+        live.discard(self.na % self.w)  # paper: ¬ackd[na]
+        bogus = [
+            cell for cell in range(self.w)
+            if self._ackd[cell] and cell not in live
+        ]
+        if bogus:
+            repairs.append(f"cleared ackd cells {bogus} (no live number)")
+            for cell in bogus:
+                self._ackd[cell] = False
+        if witness_cells is not None:
+            lying = [
+                cell for cell in sorted(witness_cells)
+                if self._ackd[cell] and cell in live
+            ]
+            if lying:
+                repairs.append(
+                    f"cleared ackd cells {lying} (payload still held)"
+                )
+                for cell in lying:
+                    self._ackd[cell] = False
+            released = [
+                cell for cell in sorted(live - witness_cells)
+                if not self._ackd[cell]
+            ]
+            if released:
+                repairs.append(
+                    f"set ackd cells {released} "
+                    "(payload released at acknowledgment)"
+                )
+                for cell in released:
+                    self._ackd[cell] = True
+        return repairs
 
     def __repr__(self) -> str:
         return f"BoundedSenderBook(na={self.na}, ns={self.ns}, w={self.w})"
@@ -186,6 +304,78 @@ class BoundedReceiverBook:
     def buffered_count(self) -> int:
         """Number of out-of-order messages currently buffered."""
         return sum(self._rcvd)
+
+    def repair(self) -> list[str]:
+        """Restore local consistency after arbitrary state corruption.
+
+        ``nr`` is the durable anchor (numbers behind it were covered by
+        emitted acknowledgments).  The accepted run ``(vr - nr) mod n``
+        can never legitimately exceed ``w``; when it does, ``vr`` rolls
+        back to ``nr`` and the volatile rings are cleared — exactly the
+        crash-restart demotion, which the sender repairs by
+        retransmission.  Within a legal-looking span the payload buffer
+        is the witness: a number accepted into ``[nr, vr)`` holds its
+        payload until :meth:`take_block` releases it, so ``vr`` is
+        clamped to the payload-backed run and ``rcvd`` cells without a
+        payload (or without a live number) are cleared — always the
+        demote-to-not-received direction, repaired by retransmission.
+        Returns a description of each repair applied.
+        """
+        repairs: list[str] = []
+        n = self.domain.n
+        if not 0 <= self.nr < n:
+            repairs.append(f"nr {self.nr} -> {self.nr % n} (out of domain)")
+            self.nr %= n
+        if not 0 <= self.vr < n:
+            repairs.append(f"vr {self.vr} -> {self.vr % n} (out of domain)")
+            self.vr %= n
+        if self.domain.sub(self.vr, self.nr) > self.w:
+            repairs.append(
+                f"vr {self.vr} -> {self.nr} (span exceeded w={self.w}); "
+                "volatile rings cleared"
+            )
+            self.vr = self.nr
+            self._rcvd = [False] * self.w
+            self._payloads = [None] * self.w
+            return repairs
+        # payload-witness the accepted run: clamp vr to the cells that
+        # still hold the payloads take_block would deliver
+        seq = self.nr
+        while seq != self.vr:
+            if self._payloads[seq % self.w] is None:
+                repairs.append(
+                    f"vr {self.vr} -> {seq} (no payload backing)"
+                )
+                self.vr = seq
+                break
+            seq = self.domain.add(seq, 1)
+        # cells a buffered number could live in: [vr, nr + w) mod n
+        live = set()
+        seq = self.vr
+        stop = self.domain.add(self.nr, self.w)
+        while seq != stop:
+            live.add(seq % self.w)
+            seq = self.domain.add(seq, 1)
+        # cells holding accepted-run payloads awaiting take_block
+        accepted = set()
+        seq = self.nr
+        while seq != self.vr:
+            accepted.add(seq % self.w)
+            seq = self.domain.add(seq, 1)
+        bogus = [
+            cell for cell in range(self.w)
+            if self._rcvd[cell]
+            and (cell not in live or self._payloads[cell] is None)
+        ]
+        if bogus:
+            repairs.append(
+                f"cleared rcvd cells {bogus} (no live number or no payload)"
+            )
+            for cell in bogus:
+                self._rcvd[cell] = False
+                if cell not in accepted:
+                    self._payloads[cell] = None
+        return repairs
 
     def __repr__(self) -> str:
         return f"BoundedReceiverBook(nr={self.nr}, vr={self.vr}, w={self.w})"

@@ -22,7 +22,7 @@ equivalence-tested against this one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 __all__ = ["SenderWindow", "ReceiverWindow", "AckOutcome", "AcceptOutcome"]
 
@@ -209,6 +209,67 @@ class SenderWindow:
         assert all(self.na < s < self.ns for s in self._ackd) or not self._ackd
         assert self.na not in self._ackd  # paper: ¬ackd[na]
 
+    def repair(self, witness: Optional[Iterable[int]] = None) -> list[str]:
+        """Restore local consistency after arbitrary state corruption.
+
+        ``witness`` is the set of sequence numbers whose payloads the
+        sender still holds.  The payload store is the repair's ledger of
+        authority, in *both* directions: a payload is stored at send and
+        popped exactly at acknowledgment, so a held payload proves its
+        number sent-but-unacknowledged (bounding ``na`` below and ``ns``
+        above), and an *absent* payload for a number in ``[na, ns)``
+        proves it was acknowledged.  Cursor and ``ackd`` record are
+        rewritten to the unique state consistent with that ledger.
+        Demotions are safe because a spurious retransmission is absorbed
+        by the receiver's duplicate handling; promotions are safe
+        because the pop-on-ack discipline means the ledger cannot
+        under-report an unacknowledged number (and without them a
+        rewound ``na`` leaves "unacknowledged" numbers nothing can
+        retransmit — a deadlock, not a recovery).  Passing ``None``
+        (unknown witness) repairs only the locally detectable
+        inconsistencies — the conservative, demote-only subset.
+        Returns a description of each repair applied (empty if the state
+        was already consistent).
+        """
+        repairs: list[str] = []
+        if witness is None:
+            if self.na > self.ns:
+                repairs.append(f"na {self.na} -> {self.ns} (cursor inversion)")
+                self.na = self.ns
+            bogus = {s for s in self._ackd if not (self.na < s < self.ns)}
+            if bogus:
+                repairs.append(f"ackd -= {sorted(bogus)} (outside (na, ns))")
+                self._ackd -= bogus
+            return repairs
+        held = set(witness)
+        if held and self.ns < max(held) + 1:
+            repairs.append(
+                f"ns {self.ns} -> {max(held) + 1} (held payload witness)"
+            )
+            self.ns = max(held) + 1
+        target = min(held) if held else self.ns
+        if self.na != target:
+            reason = (
+                "held payload witness" if self.na > target
+                else "payloads below released at acknowledgment"
+            )
+            repairs.append(f"na {self.na} -> {target} ({reason})")
+            self.na = target
+        canonical = {s for s in range(self.na, self.ns) if s not in held}
+        demoted = sorted(self._ackd - canonical)
+        promoted = sorted(canonical - self._ackd)
+        if demoted:
+            repairs.append(
+                f"ackd -= {demoted} (payload still held or outside (na, ns))"
+            )
+        if promoted:
+            repairs.append(
+                f"ackd += {promoted} (payload released at acknowledgment)"
+            )
+        if demoted or promoted:
+            self._ackd = canonical
+        return repairs
+
     def __repr__(self) -> str:
         return (
             f"SenderWindow(na={self.na}, ns={self.ns}, w={self.w}, "
@@ -311,6 +372,57 @@ class ReceiverWindow:
         """Assert the receiver share of paper assertions 6 and 7."""
         assert self.nr <= self.vr, (self.nr, self.vr)
         assert all(s > self.vr for s in self._rcvd) or not self._rcvd
+
+    def repair(self) -> list[str]:
+        """Restore local consistency after arbitrary state corruption.
+
+        ``nr`` is durable (every number below it was covered by an
+        emitted acknowledgment) so it anchors the repair; the payload
+        buffer is the witness for ``vr``: every accepted-but-unclaimed
+        number in ``[nr, vr)`` must hold a payload.  ``vr`` is clamped to
+        the longest payload-backed run above ``nr``; payload-backed
+        numbers stranded above the clamped ``vr`` are re-buffered as
+        out-of-order receipts, so nothing genuinely received is redone.
+        As at the sender, repairs only demote numbers to *not yet
+        accepted* — the sender retransmits anything demoted because it
+        was never acknowledged.  Returns a description of each repair.
+        """
+        repairs: list[str] = []
+        if self.vr < self.nr:
+            repairs.append(f"vr {self.vr} -> {self.nr} (cursor inversion)")
+            self.vr = self.nr
+        run = self.nr
+        while run < self.vr and run in self._payloads:
+            run += 1
+        if run < self.vr:
+            stranded = [
+                s for s in range(run + 1, self.vr) if s in self._payloads
+            ]
+            repairs.append(
+                f"vr {self.vr} -> {run} (no payload for {run}); "
+                f"re-buffered {stranded}"
+            )
+            self.vr = run
+            self._rcvd.update(stranded)
+        stale = {s for s in self._rcvd if s < self.vr}
+        if stale:
+            repairs.append(f"rcvd -= {sorted(stale)} (below vr)")
+            self._rcvd -= stale
+        unbacked = {s for s in self._rcvd if s not in self._payloads}
+        if unbacked:
+            repairs.append(f"rcvd -= {sorted(unbacked)} (no payload held)")
+            self._rcvd -= unbacked
+        orphans = {
+            s for s in self._payloads
+            if s < self.nr or (s >= self.vr and s not in self._rcvd)
+        }
+        if orphans:
+            repairs.append(f"dropped orphan payloads {sorted(orphans)}")
+            for s in orphans:
+                del self._payloads[s]
+        if self.advance():
+            repairs.append(f"vr advanced to {self.vr} over re-buffered run")
+        return repairs
 
     def __repr__(self) -> str:
         return (

@@ -1,4 +1,4 @@
-"""Registry of all experiments, ordered E1..E15."""
+"""Registry of all experiments, ordered E1..E16."""
 
 from __future__ import annotations
 
@@ -20,6 +20,7 @@ from repro.experiments import (
     e13_position_reuse,
     e14_adaptive_timeout,
     e15_multiflow_fairness,
+    e16_state_corruption,
 )
 from repro.experiments.common import ExperimentResult, ExperimentSpec
 
@@ -41,6 +42,7 @@ _MODULES = (
     e13_position_reuse,
     e14_adaptive_timeout,
     e15_multiflow_fairness,
+    e16_state_corruption,
 )
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -49,7 +51,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 
 
 def experiment_ids() -> List[str]:
-    """All experiment ids in order: ['e1', ..., 'e15']."""
+    """All experiment ids in order: ['e1', ..., 'e16']."""
     return list(EXPERIMENTS)
 
 

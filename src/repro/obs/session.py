@@ -91,9 +91,10 @@ class SimInstruments:
 class ControllerInstruments:
     """Adaptive-retransmission telemetry: RTT/RTO histograms, backoff."""
 
-    __slots__ = ("_rtt", "_rto", "_backoff", "_verdicts")
+    __slots__ = ("_rtt", "_rto", "_backoff", "_verdicts", "_registry")
 
     def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
         self._rtt = registry.histogram(
             "rtt_sample", "unambiguous RTT samples (Karn-filtered)"
         )
@@ -113,9 +114,23 @@ class ControllerInstruments:
         self._rtt.observe(rtt)
         self._rto.observe(rto)
 
-    def on_timeout(self, attempts: int, verdict: str) -> None:
+    def on_timeout(
+        self, attempts: int, verdict: str, key: Any = None, now: Any = None
+    ) -> None:
         self._backoff.observe(attempts)
         self._verdicts.labels(verdict=verdict).inc()
+        if verdict == "link_dead":
+            # pin down *which* expiry killed the link: the triggering
+            # timer key (sequence number, or "-" for single-timer modes)
+            # and the virtual time ride the counter labels
+            self._registry.counter(
+                "link_dead_declared_total",
+                "LINK_DEAD verdicts by triggering timer key and time",
+                labelnames=("seq", "at"),
+            ).labels(
+                seq="-" if key is None else str(key),
+                at="-" if now is None else f"{now:g}",
+            ).inc()
 
 
 class Observability:
@@ -252,6 +267,27 @@ class Observability:
             self.registry.gauge(
                 "transfer_completed", "1 when the transfer completed cleanly"
             ).set(1.0 if result.completed else 0.0)
+            stabilization = getattr(result, "stabilization", None)
+            if stabilization is not None:
+                self.registry.gauge(
+                    "stabilization_verdict",
+                    "corruption-recovery verdict (1 for the verdict reached)",
+                    labelnames=("verdict",),
+                ).labels(verdict=stabilization["verdict"]).set(1.0)
+                self.registry.gauge(
+                    "stabilization_corruptions",
+                    "state corruptions injected by the fault plan",
+                ).set(stabilization["corruptions"])
+                self.registry.gauge(
+                    "stabilization_repairs",
+                    "guard/repair rules fired after corruption",
+                ).set(stabilization["repairs"])
+                reconvergence = stabilization["reconvergence_time"]
+                if reconvergence is not None:
+                    self.registry.gauge(
+                        "stabilization_reconvergence_time",
+                        "virtual time from first corruption to last disturbance",
+                    ).set(reconvergence)
 
     def meta_record(self) -> dict:
         return {

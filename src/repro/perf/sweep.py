@@ -140,16 +140,20 @@ def _describe_fault_plan(plan: Any) -> str:
         return "None"
     # FaultPlan's repr is a debugging aid; spell out every constructor
     # field so the cache key captures the complete scripted fault trace
-    return describe(
-        {
-            "forward_corruption": plan.forward_corruption,
-            "reverse_corruption": plan.reverse_corruption,
-            "forward_brownout": plan.forward_brownout,
-            "reverse_brownout": plan.reverse_brownout,
-            "crashes": list(plan.crashes),
-            "seed": plan.seed,
-        }
-    )
+    fields = {
+        "forward_corruption": plan.forward_corruption,
+        "reverse_corruption": plan.reverse_corruption,
+        "forward_brownout": plan.forward_brownout,
+        "reverse_brownout": plan.reverse_brownout,
+        "crashes": list(plan.crashes),
+        "seed": plan.seed,
+    }
+    corruptions = getattr(plan, "corruptions", ())
+    if corruptions:
+        # appended conditionally so every pre-corruption cache entry
+        # keeps its key; a corruption-free plan describes as before
+        fields["corruptions"] = [str(spec) for spec in corruptions]
+    return describe(fields)
 
 
 class MonitorSummary:
@@ -285,6 +289,7 @@ def serialize_result(result: TransferResult) -> dict:
         "per_flow": result.per_flow or None,
         "fairness": result.fairness,
         "ordered_prefix": result.ordered_prefix,
+        "stabilization": result.stabilization,
     }
 
 
@@ -309,6 +314,7 @@ def deserialize_result(payload: dict) -> TransferResult:
         per_flow=list(payload.get("per_flow") or []),  # pre-multi-flow too
         fairness=payload.get("fairness"),
         ordered_prefix=payload.get("ordered_prefix", payload["in_order"]),
+        stabilization=payload.get("stabilization"),  # pre-corruption: None
     )
 
 

@@ -313,9 +313,61 @@ class BlockAckSender(WindowedSender):
     def _after_link_dead(self) -> None:
         self._parked.clear()
 
+    # ------------------------------------------------------------------
+    # self-stabilization
+    # ------------------------------------------------------------------
+
+    def _stabilize_extra(self) -> list:
+        """Repair block-ack bookkeeping the core does not know about."""
+        repairs = []
+        if self.hi_acked >= self.window.ns:
+            repairs.append(
+                f"hi_acked {self.hi_acked} -> {self.window.ns - 1} "
+                "(beyond send horizon)"
+            )
+            self.hi_acked = self.window.ns - 1
+        outstanding = set(self.window.outstanding())
+        stale_parked = self._parked - outstanding
+        if stale_parked:
+            repairs.append(f"unparked {sorted(stale_parked)} (not outstanding)")
+            self._parked -= stale_parked
+        stale_covered = [s for s in self._covered_at if s not in outstanding]
+        if stale_covered:
+            repairs.append(
+                f"dropped coverage stamps for {sorted(stale_covered)} "
+                "(not outstanding)"
+            )
+            for seq in stale_covered:
+                del self._covered_at[seq]
+        return repairs
+
+    def _timer_seqs(self):
+        # parked messages deliberately hold no timer (they await coverage
+        # or becoming na); messages with a coverage stamp own a drain-wait
+        # timer that the running() check below them already respects
+        return (
+            s for s in self.window.outstanding() if s not in self._parked
+        )
+
+    def _rearm_after_repair(self) -> list:
+        repairs = super()._rearm_after_repair()
+        if (
+            self._poll is not None
+            and not self.link_dead
+            and not self._down
+            and not self.window.all_acknowledged
+            and not self._poll.running
+        ):
+            self._poll.start(self.timeout_period)
+            repairs.append("re-armed oracle poll")
+        return repairs
+
     def _on_single_timeout(self) -> None:
         """Section II action 2: retransmit ``na`` only."""
-        if self.window.all_acknowledged:
+        if self.window.all_acknowledged or self.window.na >= self.window.ns:
+            # the second disjunct only differs under state corruption:
+            # never retransmit from an inconsistent cursor (stabilize
+            # repairs it before the next delivery or watchdog sweep)
             return
         self.stats.timeouts_fired += 1
         self.trace.record(
@@ -589,6 +641,19 @@ class BlockAckReceiver(WindowedReceiver):
     def restore(self) -> None:
         """Resume; nothing to re-arm — the sender drives recovery."""
         self.trace.record(self.actor_name, EventKind.NOTE, detail="restart")
+
+    # ------------------------------------------------------------------
+    # self-stabilization
+    # ------------------------------------------------------------------
+
+    def _rearm_after_repair(self) -> list:
+        """After a state repair, make sure any pending block still flushes."""
+        self.window.advance()
+        pending = self.window.vr - self.window.nr
+        if pending > 0:
+            self.ack_policy.on_update(pending)
+            return [f"kicked ack policy ({pending} pending)"]
+        return []
 
     # ------------------------------------------------------------------
     # oracle accessors (read by BlockAckSender in oracle mode)

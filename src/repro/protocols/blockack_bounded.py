@@ -83,7 +83,13 @@ class BoundedBlockAckSender(WindowedSender):
         self._timer.restart()
 
     def _on_single_timeout(self) -> None:
-        if self.book.all_acknowledged:
+        if (
+            self.book.all_acknowledged
+            or self.book.domain.sub(self.book.ns, self.book.na) > self.book.w
+        ):
+            # the second disjunct only differs under state corruption:
+            # never retransmit from an inconsistent cursor (stabilize
+            # repairs it before the next delivery or watchdog sweep)
             return
         self.stats.timeouts_fired += 1
         self.trace.record(
@@ -105,12 +111,32 @@ class BoundedBlockAckSender(WindowedSender):
         if advanced == 0:
             self.stats.stale_acks += 1
         newly = [self.book.domain.add(na_before, i) for i in range(advanced)]
+        for wire in newly:
+            self._payloads[wire % self.w] = None
+        for cell in self.book.marked_cells():
+            # release buffer cells as soon as their number is acknowledged
+            # (Section V storage discipline), including cells marked ahead
+            # of a stalled na; an occupied cell is then a witness that its
+            # number is still unacknowledged — see BoundedSenderBook.repair
+            self._payloads[cell] = None
         self._delivered_count += advanced
         self._register_ack(newly, self._delivered_count)
         if self.book.all_acknowledged:
             self._timer.stop()
         if advanced:
             self._window_open_event(self.book.na)
+
+    # ------------------------------------------------------------------
+    # self-stabilization
+    # ------------------------------------------------------------------
+
+    def _repair_state(self) -> list:
+        witness = {
+            cell
+            for cell, payload in enumerate(self._payloads)
+            if payload is not None
+        }
+        return self.book.repair(witness_cells=witness)
 
 
 class BoundedBlockAckReceiver(WindowedReceiver):
@@ -164,3 +190,19 @@ class BoundedBlockAckReceiver(WindowedReceiver):
         kind = EventKind.RESEND_ACK if duplicate else EventKind.SEND_ACK
         self.trace.record(self.actor_name, kind, seq=lo, seq_hi=hi)
         self.tx.send(BlockAck(lo=lo, hi=hi, urgent=duplicate))
+
+    # ------------------------------------------------------------------
+    # self-stabilization
+    # ------------------------------------------------------------------
+
+    def _repair_state(self) -> list:
+        return self.book.repair()
+
+    def _rearm_after_repair(self) -> list:
+        """After a state repair, make sure any pending block still flushes."""
+        self.book.advance()
+        pending = self.book.domain.sub(self.book.vr, self.book.nr)
+        if pending > 0:
+            self.ack_policy.on_update(pending)
+            return [f"kicked ack policy ({pending} pending)"]
+        return []

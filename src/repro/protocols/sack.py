@@ -107,7 +107,10 @@ class SackSender(WindowedSender):
 
     def _on_timeout(self) -> None:
         """RTO backstop: resend the oldest hole, reset the episode."""
-        if self.all_acknowledged:
+        if self.all_acknowledged or self.window.na >= self.window.ns:
+            # the second disjunct only differs under state corruption:
+            # never retransmit from an inconsistent cursor (stabilize
+            # repairs it before the next delivery or watchdog sweep)
             return
         self.stats.timeouts_fired += 1
         self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=self.window.na)
@@ -151,6 +154,33 @@ class SackSender(WindowedSender):
         self._fast_retransmit_holes()
         if advanced:
             self._window_open_event(self.window.na)
+
+    # -- self-stabilization --------------------------------------------------
+
+    def _stabilize_extra(self) -> list:
+        """Repair the SACK scoreboard (advisory state, safe to drop)."""
+        repairs = []
+        live = range(self.window.na, self.window.ns)
+        for name, board in (
+            ("sacked", self._sacked),
+            ("fast-retransmitted", self._fast_retransmitted),
+        ):
+            stale = {s for s in board if s not in live}
+            if stale:
+                repairs.append(f"pruned {name} scoreboard {sorted(stale)}")
+                board -= stale
+        if self._dup_acks < 0:
+            repairs.append(f"dup-ack counter reset (was {self._dup_acks})")
+            self._dup_acks = 0
+        return repairs
+
+    def _rearm_after_repair(self) -> list:
+        if self.link_dead or self._down or self.all_acknowledged:
+            return []
+        if not self._rto.running:
+            self._rto.start(self.timeout_period)
+            return ["re-armed RTO backstop"]
+        return []
 
     def _fast_retransmit_holes(self) -> None:
         """Resend holes with enough reordering evidence above them."""

@@ -167,6 +167,36 @@ class StenningSender(SenderEndpoint):
         self.trace.record(self.actor_name, EventKind.TIMEOUT, seq=seq)
         self._transmit(seq, attempt=1)
 
+    # -- self-stabilization --------------------------------------------------
+
+    def stabilize(self) -> list:
+        """Guarded repair (Dolev): restore the window, re-arm dead timers.
+
+        Stenning predates the window-core scaffolding, so it carries its
+        own copy of the guard/repair hook; the repair rules themselves
+        live on :class:`~repro.core.window.SenderWindow` and are shared
+        with every other protocol.
+        """
+        repairs = self.window.repair(witness=self._payloads.keys())
+        outstanding = set() if self.all_acknowledged else set(self.window.outstanding())
+        for seq in sorted(outstanding):
+            if not self._timers.running(seq):
+                self._timers.start(seq, self.timeout_period)
+                repairs.append(f"re-armed timer for seq {seq}")
+        for seq in sorted(self._timers.active_keys()):
+            if seq not in outstanding:
+                self._timers.stop(seq)
+                repairs.append(f"disarmed stale timer for seq {seq}")
+        if repairs:
+            self.trace.record(
+                self.actor_name, EventKind.NOTE,
+                detail="stabilize: " + "; ".join(repairs),
+            )
+            if self.can_accept:
+                self._window_opened()
+            self._arm_reuse_wake()
+        return repairs
+
     # -- acknowledgment handling -------------------------------------------------
 
     def on_message(self, ack: Any) -> None:
@@ -237,3 +267,22 @@ class StenningReceiver(ReceiverEndpoint):
         wire = seq % self.domain
         self.trace.record(self.actor_name, EventKind.SEND_ACK, seq=seq, seq_hi=seq)
         self.tx.send(BlockAck(lo=wire, hi=wire))
+
+    # -- self-stabilization --------------------------------------------------
+
+    def stabilize(self) -> list:
+        """Guarded repair: restore window consistency, flush stalled blocks."""
+        repairs = self.window.repair()
+        if repairs:
+            self.trace.record(
+                self.actor_name, EventKind.NOTE,
+                detail="stabilize: " + "; ".join(repairs),
+            )
+            while self.window.ack_ready:
+                lo, hi, payloads = self.window.take_block()
+                for offset, payload in enumerate(payloads):
+                    self.trace.record(
+                        self.actor_name, EventKind.DELIVER, seq=lo + offset
+                    )
+                    self._deliver(lo + offset, payload)
+        return repairs

@@ -252,9 +252,9 @@ class WindowedSender(SenderEndpoint):
         """
         if self._retx is None:
             return True
-        verdict = self._retx.on_timeout(key)
+        verdict = self._retx.on_timeout(key, now=self.sim.now)
         if verdict is RetryVerdict.LINK_DEAD:
-            self._declare_link_dead()
+            self._declare_link_dead(key)
             return False
         if verdict is RetryVerdict.DEGRADE:
             self._degrade()
@@ -263,10 +263,13 @@ class WindowedSender(SenderEndpoint):
     def _degrade(self) -> None:
         """Graceful degradation hook; default shrinks nothing."""
 
-    def _declare_link_dead(self) -> None:
+    def _declare_link_dead(self, key: Any = None) -> None:
         """Retry budget exhausted: stop retransmitting, surface the verdict."""
         self.link_dead = True
-        self.trace.record(self.actor_name, EventKind.NOTE, detail="link dead")
+        detail = "link dead"
+        if key is not None:
+            detail = f"link dead (seq {key} at t={self.sim.now:g})"
+        self.trace.record(self.actor_name, EventKind.NOTE, detail=detail)
         if self._timer is not None:
             self._timer.stop()
         if self._timers is not None:
@@ -275,6 +278,93 @@ class WindowedSender(SenderEndpoint):
 
     def _after_link_dead(self) -> None:
         """Hook for subclass cleanup once the link is declared dead."""
+
+    # ------------------------------------------------------------------
+    # self-stabilization (guard/repair hooks, Dolev et al.)
+    # ------------------------------------------------------------------
+
+    def stabilize(self) -> list:
+        """Run every local guard/repair rule; return what was repaired.
+
+        Composes the window/book state repair (:meth:`_repair_state`),
+        the adaptive controller's guards, protocol-specific bookkeeping
+        repairs (:meth:`_stabilize_extra`), and timer re-arming for
+        outstanding messages whose timers corruption left dead
+        (:meth:`_rearm_after_repair`).  On consistent state every rule
+        is a pure read and the method returns ``[]`` without touching
+        the trace — clean runs are byte-identical whether or not anyone
+        calls this.
+        """
+        repairs = self._repair_state()
+        if self._retx is not None:
+            repairs += self._retx.repair()
+        repairs += self._stabilize_extra()
+        repairs += self._rearm_after_repair()
+        if repairs:
+            self.trace.record(
+                self.actor_name,
+                EventKind.NOTE,
+                detail="stabilize: " + "; ".join(repairs),
+            )
+            if self.can_accept:
+                # repairs may have reopened the window without an ack
+                self._window_opened()
+        return repairs
+
+    def _repair_state(self) -> list:
+        """Repair the window state, witnessed by the held payloads.
+
+        A held payload proves its number was sent and is not yet
+        acknowledged (acknowledgment releases the payload), which is
+        exactly the evidence :meth:`SenderWindow.repair` needs.
+        """
+        return self.window.repair(witness=self._payloads.keys())
+
+    def _stabilize_extra(self) -> list:
+        """Protocol-specific bookkeeping repairs; default has none."""
+        return []
+
+    def _rearm_after_repair(self) -> list:
+        """Re-arm retransmission timers corruption may have silenced.
+
+        Corrupted cursor state can leave outstanding messages with no
+        running timer (e.g. everything looked acknowledged, so timers
+        were stopped); without this rule the repaired sender would wait
+        forever.  Arms with the *configured* period — never a possibly
+        still-suspect adaptive one, since the controller repair above
+        already ran its guards.  The dual rule disarms timers for
+        numbers a repair promoted to acknowledged: those expiries have
+        nothing to retransmit (the payload is released) and would only
+        escalate the retry budget toward a spurious LINK_DEAD.
+        """
+        if self.link_dead or self._down:
+            return []
+        repairs = []
+        done = self.all_acknowledged
+        if self._timer is not None:
+            if not done and not self._timer.running:
+                self._timer.restart()
+                repairs.append("re-armed retransmission timer")
+            elif done and self._timer.running:
+                self._timer.stop()
+                repairs.append(
+                    "disarmed retransmission timer (nothing outstanding)"
+                )
+        if self._timers is not None:
+            wanted = set() if done else set(self._timer_seqs())
+            for seq in sorted(wanted):
+                if not self._timers.running(seq):
+                    self._timers.start(seq)
+                    repairs.append(f"re-armed timer for seq {seq}")
+            for seq in sorted(self._timers.active_keys()):
+                if seq not in wanted:
+                    self._timers.stop(seq)
+                    repairs.append(f"disarmed stale timer for seq {seq}")
+        return repairs
+
+    def _timer_seqs(self) -> Iterable[int]:
+        """Sequence numbers that should hold a live per-seq timer."""
+        return self.window.outstanding()
 
     # ------------------------------------------------------------------
     # timeout handlers (wired by _build_timers; override per style)
@@ -329,3 +419,36 @@ class WindowedReceiver(ReceiverEndpoint):
         while self.window.ack_ready:
             lo, _hi, payloads = self.window.take_block()
             self._deliver_block(lo, payloads)
+
+    # ------------------------------------------------------------------
+    # self-stabilization (guard/repair hooks, Dolev et al.)
+    # ------------------------------------------------------------------
+
+    def stabilize(self) -> list:
+        """Run every local guard/repair rule; return what was repaired.
+
+        Same contract as :meth:`WindowedSender.stabilize`: pure reads
+        and an empty result on consistent state, so clean runs never
+        notice the guards.  The post-repair kick runs only when a state
+        repair actually happened — a receiver with consistent state and
+        a legitimately pending block (e.g. a delayed-ack flush already
+        scheduled) must not be perturbed.
+        """
+        repairs = self._repair_state()
+        if repairs:
+            repairs += self._rearm_after_repair()
+        if repairs:
+            self.trace.record(
+                self.actor_name,
+                EventKind.NOTE,
+                detail="stabilize: " + "; ".join(repairs),
+            )
+        return repairs
+
+    def _repair_state(self) -> list:
+        """Repair the receiver window state."""
+        return self.window.repair()
+
+    def _rearm_after_repair(self) -> list:
+        """Protocol-specific post-repair kick; default has none."""
+        return []

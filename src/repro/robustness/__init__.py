@@ -22,7 +22,11 @@ package supplies the missing machinery:
   for timer periods and timeout verdicts;
 * :mod:`repro.robustness.faults` — :class:`FaultPlan`, scripted fault
   injection (frame corruption, loss brownouts, endpoint crash/restart)
-  for simulated transfers.
+  for simulated transfers;
+* :mod:`repro.robustness.corruption` — :class:`StateCorruption`, the
+  adversarial state-corruption fault model behind the self-stabilization
+  machinery (PROTOCOL.md §9): seeded mutation of live endpoint state at
+  a named site, applied through a :class:`FaultPlan`.
 
 Adaptive behavior is strictly opt-in: every protocol sender takes an
 ``adaptive`` knob defaulting to ``None``, under which the fixed-timeout
@@ -32,6 +36,7 @@ code paths are bit-identical to the paper's realization.
 from repro.robustness.backoff import BackoffPolicy
 from repro.robustness.budget import RetryBudget, RetryVerdict
 from repro.robustness.controller import AdaptiveConfig, RetransmissionController
+from repro.robustness.corruption import StateCorruption
 from repro.robustness.faults import CrashRestart, FaultPlan
 from repro.robustness.rtt import RttEstimator
 
@@ -44,4 +49,5 @@ __all__ = [
     "RetryBudget",
     "RetryVerdict",
     "RttEstimator",
+    "StateCorruption",
 ]

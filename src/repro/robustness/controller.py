@@ -24,6 +24,7 @@ number.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Set
@@ -105,6 +106,8 @@ class RetransmissionController:
             degrade_after=config.degrade_after, dead_after=config.dead_after
         )
         self.link_dead = False
+        self.dead_key: Optional[Any] = None  # timer key whose expiry killed the link
+        self.dead_at: Optional[float] = None  # virtual time of that expiry
         self.degrades = 0
         self._attempts: Dict[Any, int] = {}  # timer key -> consecutive expiries
         self._sent_at: Dict[Any, float] = {}  # seq -> first-send time
@@ -113,7 +116,8 @@ class RetransmissionController:
 
     def bind_instruments(self, instruments: Optional[Any]) -> None:
         """Attach telemetry hooks (duck-typed ``ControllerInstruments``:
-        ``on_rtt_sample(rtt, rto)``, ``on_timeout(attempts, verdict)``)."""
+        ``on_rtt_sample(rtt, rto)``,
+        ``on_timeout(attempts, verdict, key=, now=)``)."""
         self._instruments = instruments
 
     # ------------------------------------------------------------------
@@ -126,16 +130,21 @@ class RetransmissionController:
             self._attempts.get(key, 0)
         )
 
-    def on_timeout(self, key: Any = None) -> RetryVerdict:
+    def on_timeout(self, key: Any = None, now: Optional[float] = None) -> RetryVerdict:
         """Record one fired timeout on ``key``; escalate via the budget."""
         self._attempts[key] = self._attempts.get(key, 0) + 1
         verdict = self.budget.on_timeout()
         if verdict is RetryVerdict.LINK_DEAD:
             self.link_dead = True
+            if self.dead_at is None:
+                self.dead_key = key
+                self.dead_at = now
         elif verdict is RetryVerdict.DEGRADE:
             self.degrades += 1
         if self._instruments is not None:
-            self._instruments.on_timeout(self._attempts[key], verdict.value)
+            self._instruments.on_timeout(
+                self._attempts[key], verdict.value, key=key, now=now
+            )
         return verdict
 
     # ------------------------------------------------------------------
@@ -181,6 +190,58 @@ class RetransmissionController:
         self._sent_at.clear()
         self._tainted.clear()
 
+    def repair(self) -> list:
+        """Restore local consistency after arbitrary state corruption.
+
+        The estimator's state space is self-describing enough to guard
+        locally: ``srtt``/``rttvar`` must be finite, non-negative, and
+        within a generous drift allowance of the initial RTO (adaptive
+        RTOs grow by observed delay, never by nine orders of magnitude
+        in one virtual tick).  A violated guard resets the estimator to
+        its initial RTO — the cold-start state, which is safe by
+        construction.  Backoff attempt counts and the retry budget's
+        consecutive-timeout run are clamped to the ranges the budget's
+        own escalation logic could have produced: a run that reached
+        ``dead_after`` would already have declared the link dead, so a
+        live controller holding one is corrupt (and one more expiry
+        would spuriously kill the link).  Returns a description of each
+        repair applied.
+        """
+        repairs = []
+        est = self.estimator
+        bound = 1e3 * est.initial_rto
+        for name in ("srtt", "rttvar"):
+            value = getattr(est, name)
+            if value is not None and not (
+                math.isfinite(value) and 0.0 <= value <= bound
+            ):
+                repairs.append(
+                    f"estimator reset ({name}={value} outside [0, {bound:g}])"
+                )
+                est.reset()
+                break
+        dead_after = self.budget.dead_after
+        bogus_keys = [
+            key
+            for key, count in self._attempts.items()
+            if count < 0 or count >= dead_after
+        ]
+        for key in bogus_keys:
+            repairs.append(
+                f"attempt count for key {key!r} cleared "
+                f"(was {self._attempts[key]})"
+            )
+            del self._attempts[key]
+        if not self.link_dead and not (
+            0 <= self.budget.consecutive < dead_after
+        ):
+            repairs.append(
+                f"consecutive-timeout run reset (was {self.budget.consecutive})"
+            )
+            self.budget.consecutive = 0
+            self.budget.exhausted = False
+        return repairs
+
     @property
     def verdict(self) -> str:
         """Current link-health verdict: alive / degraded / dead."""
@@ -197,6 +258,8 @@ class RetransmissionController:
             "degrades": self.degrades,
             "budget_timeouts": self.budget.total_timeouts,
             "verdict": self.verdict,
+            "dead_key": self.dead_key,
+            "dead_at": self.dead_at,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,338 @@
+"""Adversarial in-memory state corruption (self-stabilization fault model).
+
+The faults in :mod:`repro.robustness.faults` attack the *channels* and the
+*availability* of endpoints; this module attacks their **state**: at a
+scheduled virtual time a :class:`StateCorruption` reaches into a live
+endpoint and mutates protocol bookkeeping — window cursors, acknowledgment
+records, the in-flight payload store, RTT/RTO/backoff state — the fault
+model of the self-stabilization literature (Dolev et al., PAPERS.md).
+
+Corruption *sites* pick what is mutated; *severities* pick how:
+
+``bitflip``
+    One low bit of one cursor (or one membership bit) flips — a single
+    upset, the classic soft-error model.
+``random``
+    The targeted state is re-randomized within its domain with the
+    plan's dedicated seeded rng — arbitrary-but-plausible garbage.
+``worst``
+    A handcrafted adversarial preset: cursor inversions (``na > ns``),
+    the forbidden ``ackd[na]`` bit, full volatile wipes, infinite RTT
+    estimates — the states the repair rules were designed against.
+
+Deliberate exclusions keep the model meaningful rather than merely
+cruel: the sender's ``ns`` and the receiver's ``nr`` are never rewound,
+and payload-store *entries* are never deleted (only their values
+mutated).  All three are *authority ledgers* — ``ns`` certifies which
+numbers were ever allocated, ``nr`` certifies which were ever
+acknowledged, and a payload entry's existence certifies
+sent-but-unacknowledged (the store releases an entry exactly at
+acknowledgment, which is what makes it the repair rules' witness).
+Forging a ledger — rewinding a counter, deleting an entry — manufactures
+authority (reusing a live number, un-acknowledging delivered data,
+"acknowledging" data that was never delivered) that **no** local repair
+can detect: the corrupted state is reachable-looking and every
+observable matches it.  This is the same storage/stabilization trade-off
+the bounded book exhibits (see ``PROTOCOL.md`` §9); the paper's own
+crash model makes the identical choice by declaring ``nr`` durable.
+Payload *values* stay fair game — their corruption is honest data
+damage, detectable only by an end-to-end integrity check, and surfaces
+as the ``degraded`` verdict.
+
+Every mutator returns human-readable descriptions of what it changed, so
+the :class:`~repro.verify.runtime.StabilizationMonitor` and the decision
+trace can tell the story of one corruption and its recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List
+
+__all__ = ["StateCorruption", "apply_corruption", "SITES", "SEVERITIES"]
+
+#: what a corruption mutates
+SITES = (
+    "sender.window",  # acknowledgment cursor na (and, via worst, inversion)
+    "sender.acks",  # ackd record / hi_acked bookkeeping
+    "sender.payloads",  # in-flight payload store values
+    "sender.rtt",  # RetransmissionController estimator/backoff/budget
+    "receiver.window",  # vr cursor, reorder buffer, volatile payloads
+)
+
+#: how hard a corruption hits
+SEVERITIES = ("bitflip", "random", "worst")
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """One scheduled adversarial mutation of live endpoint state."""
+
+    at: float
+    site: str = "sender.window"
+    severity: str = "bitflip"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"corruption time must be non-negative, got {self.at}")
+        if self.site not in SITES:
+            raise ValueError(f"site must be one of {SITES}, got {self.site!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def endpoint(self) -> str:
+        """Which endpoint this corruption targets: ``sender``/``receiver``."""
+        return self.site.split(".", 1)[0]
+
+    def __str__(self) -> str:
+        return f"{self.site}/{self.severity}@{self.at:g}"
+
+
+def apply_corruption(
+    target: Any, spec: StateCorruption, rng: random.Random
+) -> List[str]:
+    """Mutate ``target``'s state per ``spec``; describe every mutation.
+
+    ``target`` is the live endpoint object (duck-typed: anything exposing
+    ``window`` or ``book`` state works, which covers all five protocols).
+    Returns the list of mutation descriptions (possibly noting a no-op,
+    e.g. corrupting RTT state on a sender with no adaptive controller).
+    """
+    handler = {
+        "sender.window": _corrupt_sender_window,
+        "sender.acks": _corrupt_sender_acks,
+        "sender.payloads": _corrupt_payload_store,
+        "sender.rtt": _corrupt_rtt_state,
+        "receiver.window": _corrupt_receiver_window,
+    }[spec.site]
+    return handler(target, spec.severity, rng)
+
+
+def _state_of(target: Any) -> Any:
+    state = getattr(target, "window", None)
+    if state is None:
+        state = getattr(target, "book", None)
+    if state is None:
+        raise TypeError(f"{target!r} exposes neither window nor book state")
+    return state
+
+
+def _is_bounded(state: Any) -> bool:
+    return hasattr(state, "domain")
+
+
+# ----------------------------------------------------------------------
+# site: sender.window — the acknowledgment cursor
+# ----------------------------------------------------------------------
+
+def _corrupt_sender_window(target: Any, severity: str, rng: random.Random):
+    state = _state_of(target)
+    before = state.na
+    if _is_bounded(state):
+        n = state.domain.n
+        if severity == "bitflip":
+            state.na ^= 1
+        elif severity == "random":
+            state.na = rng.randrange(n)
+        else:  # worst: maximal illegal span (na "ahead" of ns mod n)
+            state.na = state.domain.add(state.ns, 1)
+    else:
+        if severity == "bitflip":
+            state.na ^= 1
+        elif severity == "random":
+            state.na = rng.randint(0, state.ns)
+        else:  # worst: cursor inversion past the whole window
+            state.na = state.ns + state.w
+    return [f"window cursor na {before} -> {state.na} ({severity})"]
+
+
+# ----------------------------------------------------------------------
+# site: sender.acks — the ackd record
+# ----------------------------------------------------------------------
+
+def _corrupt_sender_acks(target: Any, severity: str, rng: random.Random):
+    state = _state_of(target)
+    mutations: List[str] = []
+    if _is_bounded(state):
+        cells = state._ackd
+        if severity == "bitflip":
+            cell = rng.randrange(state.w)
+            cells[cell] = not cells[cell]
+            mutations.append(f"ackd cell {cell} flipped to {cells[cell]}")
+        elif severity == "random":
+            for cell in range(state.w):
+                if rng.random() < 0.5:
+                    cells[cell] = not cells[cell]
+                    mutations.append(f"ackd cell {cell} flipped to {cells[cell]}")
+        else:  # worst: every cell claims "acknowledged", including na's
+            for cell in range(state.w):
+                cells[cell] = True
+            mutations.append("all ackd cells set (including na's)")
+        return mutations or ["ackd ring untouched by random draw"]
+
+    ackd = state._ackd
+    if severity == "bitflip":
+        if ackd:
+            victim = rng.choice(sorted(ackd))
+            ackd.discard(victim)
+            mutations.append(f"ackd bit for {victim} cleared")
+        else:
+            ackd.add(state.na)
+            mutations.append(f"forbidden ackd[na] bit set (na={state.na})")
+    elif severity == "random":
+        for seq in range(state.na, state.ns):
+            if rng.random() < 0.5:
+                if seq in ackd:
+                    ackd.discard(seq)
+                    mutations.append(f"ackd bit for {seq} cleared")
+                else:
+                    ackd.add(seq)
+                    mutations.append(f"ackd bit for {seq} set")
+    else:  # worst: everything in-window "acknowledged" plus garbage beyond
+        added = set(range(state.na, state.ns)) | {state.ns + state.w}
+        ackd |= added
+        mutations.append(
+            f"ackd record overwritten with {sorted(added)} (includes na "
+            "and a never-sent number)"
+        )
+        if hasattr(target, "hi_acked"):
+            target.hi_acked = state.ns + state.w
+            mutations.append(f"hi_acked jumped to {target.hi_acked}")
+    return mutations or ["ackd record untouched by random draw"]
+
+
+# ----------------------------------------------------------------------
+# site: sender.payloads — the in-flight payload store
+# ----------------------------------------------------------------------
+
+def _corrupt_payload_store(target: Any, severity: str, rng: random.Random):
+    store = target._payloads
+    mutations: List[str] = []
+    if isinstance(store, dict):
+        held = sorted(store)
+        if not held:
+            return ["payload store empty; nothing to corrupt"]
+        if severity == "bitflip":
+            seq = rng.choice(held)
+            old = store[seq]
+            store[seq] = (old ^ 1) if isinstance(old, int) else None
+            mutations.append(f"payload for {seq} corrupted ({old!r} -> {store[seq]!r})")
+        elif severity == "random":
+            seq = rng.choice(held)
+            old = store[seq]
+            store[seq] = rng.getrandbits(32)
+            mutations.append(
+                f"payload for {seq} randomized ({old!r} -> {store[seq]!r})"
+            )
+        else:  # worst: every held payload value destroyed
+            for seq in held:
+                store[seq] = None
+            mutations.append(f"all {len(held)} held payload values wiped to None")
+        return mutations
+    # bounded ring: an empty (None) cell *is* the released-at-ack ledger
+    # entry, so even "worst" writes garbage values rather than emptying
+    # cells — see the ledger exclusion in the module docstring
+    held = [i for i, p in enumerate(store) if p is not None]
+    if not held:
+        return ["payload ring empty; nothing to corrupt"]
+    if severity == "bitflip":
+        cell = rng.choice(held)
+        old = store[cell]
+        store[cell] = (old ^ 1) if isinstance(old, int) else -1
+        mutations.append(f"payload cell {cell} corrupted ({old!r} -> {store[cell]!r})")
+    elif severity == "random":
+        cell = rng.choice(held)
+        old = store[cell]
+        store[cell] = rng.getrandbits(32)
+        mutations.append(
+            f"payload cell {cell} randomized ({old!r} -> {store[cell]!r})"
+        )
+    else:
+        for cell in held:
+            store[cell] = -1
+        mutations.append(f"all {len(held)} payload cell values destroyed (-1)")
+    return mutations
+
+
+# ----------------------------------------------------------------------
+# site: sender.rtt — the adaptive-retransmission controller
+# ----------------------------------------------------------------------
+
+def _corrupt_rtt_state(target: Any, severity: str, rng: random.Random):
+    controller = getattr(target, "_retx", None)
+    if controller is None:
+        return ["no adaptive controller; rtt corruption is a no-op"]
+    est = controller.estimator
+    mutations: List[str] = []
+    if severity == "bitflip":
+        if est.srtt is None:
+            est.srtt, est.rttvar = -1.0, -0.5
+            mutations.append("srtt/rttvar forced negative from cold start")
+        else:
+            est.srtt = -est.srtt
+            mutations.append(f"srtt sign flipped to {est.srtt}")
+    elif severity == "random":
+        est.srtt = rng.uniform(1e3, 1e9)
+        est.rttvar = rng.uniform(1e3, 1e9)
+        mutations.append(f"srtt/rttvar randomized to {est.srtt:.3g}/{est.rttvar:.3g}")
+        key = rng.choice([None, 0])
+        controller._attempts[key] = rng.randint(50, 10**6)
+        mutations.append(
+            f"backoff attempt count for key {key!r} jumped to "
+            f"{controller._attempts[key]}"
+        )
+    else:  # worst
+        est.srtt = float("inf")
+        est.rttvar = -1.0
+        controller._attempts[None] = 10**9
+        controller.budget.consecutive = 10**9
+        mutations.append(
+            "srtt=inf, rttvar=-1, attempts and consecutive-timeout run "
+            "jumped to 1e9 (one more timeout would spuriously kill the link)"
+        )
+    return mutations
+
+
+# ----------------------------------------------------------------------
+# site: receiver.window — vr cursor, reorder buffer, volatile payloads
+# ----------------------------------------------------------------------
+
+def _corrupt_receiver_window(target: Any, severity: str, rng: random.Random):
+    state = _state_of(target)
+    mutations: List[str] = []
+    before = state.vr
+    if _is_bounded(state):
+        n = state.domain.n
+        if severity == "bitflip":
+            state.vr ^= 1
+        elif severity == "random":
+            state.vr = rng.randrange(n)
+            cell = rng.randrange(state.w)
+            state._rcvd[cell] = not state._rcvd[cell]
+            mutations.append(f"rcvd cell {cell} flipped to {state._rcvd[cell]}")
+        else:  # worst: claim a full never-received window, wipe the rings
+            state.vr = state.domain.add(state.nr, state.w)
+            state._rcvd = [False] * state.w
+            state._payloads = [None] * state.w
+            mutations.append("reorder/payload rings wiped")
+        mutations.insert(0, f"window cursor vr {before} -> {state.vr} ({severity})")
+        return mutations
+    if severity == "bitflip":
+        state.vr ^= 1
+    elif severity == "random":
+        state.vr = rng.randint(0, state.vr + state.w)
+        if state._rcvd and rng.random() < 0.5:
+            victim = rng.choice(sorted(state._rcvd))
+            state._rcvd.discard(victim)
+            mutations.append(f"buffered receipt {victim} forgotten")
+    else:  # worst: claim a full never-received window, wipe all volatile state
+        state.vr = state.nr + state.w
+        state._rcvd.clear()
+        state._payloads.clear()
+        mutations.append("reorder buffer and payload buffer wiped")
+    mutations.insert(0, f"window cursor vr {before} -> {state.vr} ({severity})")
+    return mutations

@@ -17,22 +17,43 @@ already carry:
   resumes from its durable snapshot (window counters, payload store);
   messages delivered during the outage are dropped, as they would be at
   a dead host.
+* **state corruption** — scheduled
+  :class:`~repro.robustness.corruption.StateCorruption` events that
+  adversarially mutate live endpoint state (the self-stabilization
+  fault model; see that module).  Once any corruption has fired, the
+  plan turns into a convergence harness: each endpoint's
+  ``stabilize()`` guard/repair hooks run before every subsequent
+  delivery into it (Dolev-style guarded actions), and a periodic
+  watchdog sweeps both endpoints so a transfer silenced by corruption
+  (no messages flowing at all) still recovers.  The watchdog ticks on
+  the sender's *configured* timeout period — never an adaptive one,
+  which may itself be corrupt — and retires after two consecutive
+  clean sweeps with no repairs.
 
 The plan owns a dedicated seeded rng for corruption draws, so injecting
 faults never perturbs the channels' own random streams — the underlying
-loss/delay trace stays identical with and without corruption.
+loss/delay trace stays identical with and without corruption.  State
+corruption draws come from yet another stream, so adding a
+``StateCorruption`` to a plan leaves its frame-corruption draws (and
+therefore the whole wire schedule up to the corruption instant)
+untouched.
 
 ``run_transfer(..., fault_plan=plan)`` installs the plan after wiring;
-experiments read the injection counters back from ``plan.stats``.
+experiments read the injection counters back from ``plan.stats``.  A
+plan instance wires into exactly one transfer: :meth:`FaultPlan.install`
+raises on re-install (re-wrapping the loss models would double-wrap
+them and desynchronize their rng streams) and :meth:`FaultPlan.uninstall`
+restores the channels' original impairments.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.channel.impairments import BrownoutLoss, FrameCorruption
+from repro.robustness.corruption import StateCorruption, apply_corruption
 
 __all__ = ["CrashRestart", "FaultPlan", "FaultStats"]
 
@@ -69,6 +90,8 @@ class FaultStats:
     crashes: int = 0
     restarts: int = 0
     dropped_while_down: int = 0  # deliveries into a crashed endpoint
+    state_corruptions: int = 0  # StateCorruption events applied
+    repairs: int = 0  # individual guard/repair rule firings
 
     def as_dict(self) -> dict:
         return {
@@ -77,6 +100,8 @@ class FaultStats:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "dropped_while_down": self.dropped_while_down,
+            "state_corruptions": self.state_corruptions,
+            "repairs": self.repairs,
         }
 
 
@@ -90,6 +115,7 @@ class FaultPlan:
         forward_brownout: Optional[Sequence] = None,
         reverse_brownout: Optional[Sequence] = None,
         crashes: Sequence[CrashRestart] = (),
+        corruptions: Sequence[StateCorruption] = (),
         seed: int = 0,
     ) -> None:
         self.forward_corruption = forward_corruption
@@ -97,10 +123,24 @@ class FaultPlan:
         self.forward_brownout = forward_brownout
         self.reverse_brownout = reverse_brownout
         self.crashes = tuple(crashes)
+        self.corruptions = tuple(sorted(corruptions, key=lambda c: c.at))
         self.seed = seed
         self.stats = FaultStats()
+        self.monitor: Optional[Any] = None  # StabilizationMonitor, if any
         self._rng = random.Random(seed)
+        # dedicated stream: adding StateCorruptions must not shift the
+        # frame-corruption draws above (Weyl offset keeps it distinct)
+        self._corrupt_rng = random.Random((seed + 1) * 0x9E3779B97F4A7C15)
         self._down = {"sender": False, "receiver": False}
+        self._installed = False
+        self._saved_loss: Optional[tuple] = None
+        self._channels: Optional[tuple] = None
+        self._endpoints: dict = {}
+        self._sim = None
+        self._corrupted = False  # any StateCorruption fired yet?
+        self._watchdog_period: Optional[float] = None
+        self._watchdog_armed = False
+        self._clean_sweeps = 0
 
     # ------------------------------------------------------------------
     # installation
@@ -112,7 +152,24 @@ class FaultPlan:
         Must run *after* the channels are connected to the endpoints:
         the corruption/outage interceptors re-connect each channel
         through a wrapper around the endpoint's delivery callback.
+
+        A plan wires into exactly one transfer.  Re-installing would
+        wrap the channels' loss models a second time — the nested
+        brownouts then consult the channel rng twice per send and every
+        subsequent draw in the run diverges — so it raises instead;
+        call :meth:`uninstall` first to reuse the channels.
         """
+        if self._installed:
+            raise RuntimeError(
+                "FaultPlan is already installed; call uninstall() first "
+                "(re-installing would double-wrap the loss models and "
+                "desynchronize their rng streams)"
+            )
+        self._installed = True
+        self._sim = sim
+        self._channels = (forward, reverse)
+        self._saved_loss = (forward.loss, reverse.loss)
+        self._endpoints = {"sender": sender, "receiver": receiver}
         if self.forward_brownout is not None:
             forward.loss = BrownoutLoss(self.forward_brownout, base=forward.loss)
         if self.reverse_brownout is not None:
@@ -127,6 +184,31 @@ class FaultPlan:
             sim.schedule_at(
                 crash.at + crash.outage, self._restart, crash.endpoint, endpoint
             )
+        if self.corruptions:
+            # the watchdog sweeps on the configured (provably safe)
+            # period, never an adaptive one — the estimate may be the
+            # very state that was corrupted
+            self._watchdog_period = getattr(
+                sender, "timeout_period", None
+            ) or 1.0
+            for spec in self.corruptions:
+                sim.schedule_at(spec.at, self._corrupt, spec)
+
+    def uninstall(self) -> None:
+        """Restore the channels' original impairment state.
+
+        Leaves any interceptors connected (they are harmless pass-
+        throughs once the plan is inert) but puts back the pre-install
+        loss models, so a subsequent ``Channel.reset`` replays the
+        original rng stream deterministically — e.g. a crash/restart
+        cycle scheduled during an in-flight brownout must not leave the
+        wrapped model installed for the next run over the same channel.
+        """
+        if not self._installed:
+            return
+        forward, reverse = self._channels
+        forward.loss, reverse.loss = self._saved_loss
+        self._installed = False
 
     def _intercept(
         self, deliver: Callable[[Any], None], endpoint_name: str, direction: str
@@ -147,6 +229,9 @@ class FaultPlan:
             if self._down[endpoint_name]:
                 self.stats.dropped_while_down += 1
                 return  # nobody home
+            if self._corrupted:
+                # guarded actions: repair local state before acting on it
+                self._stabilize(endpoint_name)
             deliver(message)
 
         return intercepted
@@ -164,6 +249,55 @@ class FaultPlan:
         self._down[name] = False
         self.stats.restarts += 1
         endpoint.restore()
+
+    # ------------------------------------------------------------------
+    # state corruption and the convergence watchdog
+    # ------------------------------------------------------------------
+
+    def _corrupt(self, spec: StateCorruption) -> None:
+        target = self._endpoints[spec.endpoint]
+        mutations = apply_corruption(target, spec, self._corrupt_rng)
+        self.stats.state_corruptions += 1
+        self._corrupted = True
+        self._clean_sweeps = 0
+        if self.monitor is not None:
+            self.monitor.note_corruption(self._sim.now, spec, mutations)
+        if not self._watchdog_armed:
+            self._watchdog_armed = True
+            self._sim.schedule_at(
+                self._sim.now + self._watchdog_period, self._watchdog_tick
+            )
+
+    def _stabilize(self, endpoint_name: str) -> list:
+        endpoint = self._endpoints[endpoint_name]
+        stabilize = getattr(endpoint, "stabilize", None)
+        if stabilize is None:
+            return []
+        repairs = stabilize()
+        if repairs:
+            self.stats.repairs += len(repairs)
+            if self.monitor is not None:
+                self.monitor.note_repairs(
+                    self._sim.now, endpoint_name, repairs
+                )
+        return repairs
+
+    def _watchdog_tick(self) -> None:
+        """Periodic full sweep: repair both endpoints even when no
+        messages flow (a corruption that silences the transfer leaves
+        deliveries — and therefore the guarded actions — never firing).
+        Retires after two consecutive sweeps with nothing to repair."""
+        repaired = False
+        for name in ("sender", "receiver"):
+            if not self._down[name] and self._stabilize(name):
+                repaired = True
+        self._clean_sweeps = 0 if repaired else self._clean_sweeps + 1
+        if self._clean_sweeps >= 2:
+            self._watchdog_armed = False
+            return
+        self._sim.schedule_at(
+            self._sim.now + self._watchdog_period, self._watchdog_tick
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

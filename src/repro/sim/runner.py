@@ -96,6 +96,7 @@ class TransferResult:
     per_flow: List[dict] = field(default_factory=list)  # multi-flow rows
     fairness: Optional[float] = None  # Jain index when flows share the link
     ordered_prefix: bool = True  # delivered payloads form an in-order prefix
+    stabilization: Optional[dict] = None  # corruption-recovery verdict
 
     def latency_percentile(self, q: float) -> float:
         """Submit-to-deliver latency percentile (requires latencies)."""
@@ -211,7 +212,12 @@ def run_transfer(
     crash/restart on top of the links; injection counters come back in
     ``result.fault_stats``.  A sender running with ``adaptive=`` config
     additionally reports its controller under
-    ``result.sender_stats["adaptive"]``.
+    ``result.sender_stats["adaptive"]``.  A plan carrying
+    :class:`~repro.robustness.corruption.StateCorruption` events attaches
+    a :class:`~repro.verify.runtime.StabilizationMonitor` automatically
+    and reports the recovery verdict (``converged`` / ``degraded`` /
+    ``diverged``), repair counts, and time-to-reconvergence under
+    ``result.stabilization``.
 
     ``obs`` turns on the unified telemetry layer (:mod:`repro.obs`):
     pass True for a fresh per-run :class:`~repro.obs.session.Observability`
@@ -336,7 +342,21 @@ def run_transfer(
         return domain
 
     monitor = None
-    if monitor_invariants:
+    stab_monitor = None
+    if fault_plan is not None and getattr(fault_plan, "corruptions", ()):
+        # a corrupting fault plan always gets a StabilizationMonitor (the
+        # convergence watchdog's scorekeeper); it subsumes the plain
+        # invariant monitor, so monitor_invariants shares the instance
+        from repro.verify.runtime import StabilizationMonitor  # cycle guard
+
+        stab_monitor = StabilizationMonitor(
+            sender, receiver, forward_channel, reverse_channel,
+            domain=wire_domain(),
+        )
+        fault_plan.monitor = stab_monitor
+        if monitor_invariants:
+            monitor = stab_monitor
+    elif monitor_invariants:
         from repro.verify.runtime import InvariantMonitor  # cycle guard
 
         monitor = InvariantMonitor(
@@ -397,6 +417,12 @@ def run_transfer(
                 del sender.submit
             except AttributeError:
                 pass
+        if fault_plan is not None:
+            # put the channels' own loss models back: a plan-wrapped
+            # brownout left installed (e.g. one scheduled around a
+            # crash/restart) would survive a later Channel.reset and
+            # replay a different rng stream on a reused channel
+            fault_plan.uninstall()
 
     forward_stats = forward_channel.stats.as_dict()
     reverse_stats = reverse_channel.stats.as_dict()
@@ -440,6 +466,10 @@ def run_transfer(
         fault_stats=fault_plan.stats.as_dict() if fault_plan is not None else {},
         obs=obs_session,
     )
+    if stab_monitor is not None:
+        result.stabilization = stab_monitor.summary(
+            result.completed, result.in_order
+        )
     if obs_session is not None:
         obs_session.finalize(result)
     return result

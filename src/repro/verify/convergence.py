@@ -1,0 +1,417 @@
+"""Corrupted-initial-state convergence checking (self-stabilization, E16's twin).
+
+The runtime half of the self-stabilization story injects
+:class:`~repro.robustness.corruption.StateCorruption` into live endpoints
+and watches the guard/repair hooks recover (see
+:mod:`repro.robustness.corruption` and PROTOCOL.md §9).  This module is
+the exhaustive half: it replays the same corruption model against the
+*abstract* protocol of :mod:`repro.verify.actions` and proves, for small
+windows, that every corrupted state the fault injector can produce is
+driven back to a legitimate final state — Dolev-style convergence, but
+checked by explicit-state search instead of sampled by simulation.
+
+The method mirrors the runtime repair rules exactly:
+
+1. enumerate every state reachable from the paper's initial state (the
+   **origins** — corruption strikes a running system, not an arbitrary
+   bit pattern; the in-flight payload/buffer stores survive);
+2. corrupt each origin at the runtime model's sites — the sender's
+   ``na`` cursor, its ``ackd`` record, the receiver's ``vr`` cursor and
+   buffer — producing states that violate assertions 6 ∧ 7;
+3. apply the **abstract repair rules**: the payload store acts as the
+   witness ledger in both directions (a held payload proves its number
+   unacknowledged, an absent one below the send horizon proves it
+   acknowledged; a buffered payload proves its number received) —
+   exactly :meth:`repro.core.window.SenderWindow.repair` in the small;
+4. explore all executions from each repaired state under the fairness
+   assumption (``allow_loss=False``) and require every terminal state to
+   be the legitimate final state: no deadlock, no divergence.
+
+Transient invariant violations during re-convergence are expected (a
+demoted ``na`` makes ``ns <= na + w`` false until duplicate acks re-
+advance it) and are counted, not flagged.  What must never happen is a
+terminal state that is not final.
+
+Run the checker from the command line (the CI ``verify`` job does)::
+
+    python -m repro.verify.convergence --window 2 --max-send 3
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.verify.actions import TIMEOUT_MODES, AbstractProtocolModel
+from repro.verify.invariants import check_invariant
+from repro.verify.state import SystemState
+
+__all__ = [
+    "CorruptionScenario",
+    "ConvergenceReport",
+    "sender_witness",
+    "receiver_witness",
+    "repair_state",
+    "corrupt_scenarios",
+    "check_convergence",
+    "main",
+]
+
+
+# ----------------------------------------------------------------------
+# witnesses: what the payload stores prove about the truth
+# ----------------------------------------------------------------------
+
+
+def sender_witness(state: SystemState) -> frozenset:
+    """Sequence numbers whose payloads the sender still holds.
+
+    Every concrete sender releases a payload exactly when its number is
+    acknowledged, so the held set *is* the unacknowledged set — the
+    witness the runtime repair rules consult.  Cursor corruption never
+    touches the store, so the witness is computed from the origin truth.
+    """
+    return frozenset(
+        s for s in range(state.na, state.ns) if not state.is_ackd(s)
+    )
+
+
+def receiver_witness(state: SystemState) -> frozenset:
+    """Sequence numbers whose payloads the receiver has buffered.
+
+    The accepted run ``[nr, vr)`` plus the out-of-order ``rcvd`` entries:
+    everything received but not yet taken by a block acknowledgment.
+    """
+    return frozenset(range(state.nr, state.vr)) | frozenset(state.rcvd)
+
+
+# ----------------------------------------------------------------------
+# the abstract repair rules (witness-authoritative, as at runtime)
+# ----------------------------------------------------------------------
+
+
+def repair_state(
+    state: SystemState,
+    window: int,
+    unacked: frozenset,
+    buffered: frozenset,
+) -> Tuple[SystemState, List[str]]:
+    """Apply the runtime guard/repair rules to an abstract state.
+
+    ``unacked``/``buffered`` are the payload-store witnesses captured at
+    the origin (corruption mutates cursors and records, never the
+    stores).  The ledger is authoritative in both directions, exactly
+    as in :meth:`repro.core.window.SenderWindow.repair`: a held payload
+    proves sent-but-unacknowledged (demote — duplicate handling absorbs
+    the spurious retransmissions), an absent payload for a number below
+    the send horizon proves acknowledged (promote — without it a
+    rewound ``na`` leaves "unacknowledged" numbers nothing can
+    retransmit).
+    """
+    repairs: List[str] = []
+    na, ns, ackd = state.na, state.ns, set(state.ackd)
+    nr, vr, rcvd = state.nr, state.vr, set(state.rcvd)
+
+    # -- sender: cursor and record rewritten from the payload ledger ----
+    target = min(unacked) if unacked else ns
+    if na != target:
+        reason = (
+            "held payload unacked" if na > target
+            else "payloads below released at acknowledgment"
+        )
+        repairs.append(f"na {na} -> {target} ({reason})")
+        na = target
+    canonical = {s for s in range(na, ns) if s not in unacked}
+    if ackd != canonical:
+        repairs.append("ackd rebuilt from the payload ledger")
+        ackd = canonical
+
+    # -- receiver: the buffer witness bounds vr from above --------------
+    if vr < nr:
+        repairs.append(f"vr {vr} -> {nr} (cursor inversion)")
+        vr = nr
+    run_end = nr
+    while run_end in buffered:
+        run_end += 1
+    if vr > run_end:
+        repairs.append(f"vr {vr} -> {run_end} (no buffered payload)")
+        vr = run_end
+    true_rcvd = {s for s in buffered if s >= vr}
+    if rcvd != true_rcvd:
+        repairs.append("rcvd rebuilt from buffered payloads")
+        rcvd = true_rcvd
+
+    repaired = state.replace(
+        na=na, ackd=frozenset(ackd), vr=vr, rcvd=frozenset(rcvd)
+    )
+    return repaired, repairs
+
+
+# ----------------------------------------------------------------------
+# the corruption model (mirrors repro.robustness.corruption's sites)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorruptionScenario:
+    """One corrupted-initial-state scenario: origin, mutation, repair."""
+
+    origin: SystemState
+    site: str
+    detail: str
+    corrupted: SystemState
+    repaired: SystemState
+    repairs: tuple
+
+
+def corrupt_scenarios(
+    state: SystemState, window: int, max_send: int
+) -> Iterator[CorruptionScenario]:
+    """All corruptions of ``state`` at the runtime injector's sites."""
+    unacked = sender_witness(state)
+    buffered = receiver_witness(state)
+
+    def scenario(site: str, detail: str, corrupted: SystemState):
+        repaired, repairs = repair_state(
+            corrupted, window, unacked, buffered
+        )
+        return CorruptionScenario(
+            origin=state,
+            site=site,
+            detail=detail,
+            corrupted=corrupted,
+            repaired=repaired,
+            repairs=tuple(repairs),
+        )
+
+    # sender.window: bit-flip, randomized-in-domain extremes, worst-case
+    na_variants = {state.na ^ 1, 0, state.ns, state.ns + window}
+    for bad in sorted(na_variants - {state.na}):
+        if bad < 0:
+            continue
+        yield scenario(
+            "sender.window", f"na={bad}", state.replace(na=bad)
+        )
+
+    # sender.acks: every single-flag flip, all-set, all-clear
+    for seq in range(state.na, state.ns):
+        flipped = set(state.ackd) ^ {seq}
+        yield scenario(
+            "sender.acks",
+            f"flip ackd[{seq}]",
+            state.replace(ackd=frozenset(flipped)),
+        )
+    if state.ns > state.na:
+        yield scenario(
+            "sender.acks",
+            "ackd all set",
+            state.replace(ackd=frozenset(range(state.na, state.ns))),
+        )
+        if state.ackd:
+            yield scenario(
+                "sender.acks", "ackd wiped", state.replace(ackd=frozenset())
+            )
+
+    # receiver.window: vr jumps and a buffer wipe
+    vr_variants = {state.vr ^ 1, state.nr, state.nr + window}
+    for bad in sorted(vr_variants - {state.vr}):
+        if bad < 0:
+            continue
+        yield scenario(
+            "receiver.window", f"vr={bad}", state.replace(vr=bad)
+        )
+    if state.rcvd:
+        yield scenario(
+            "receiver.window",
+            "buffers wiped",
+            state.replace(rcvd=frozenset()),
+        )
+
+
+# ----------------------------------------------------------------------
+# convergence checking
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of one corrupted-initial-state convergence sweep."""
+
+    window: int = 0
+    max_send: int = 0
+    timeout_mode: str = ""
+    origins: int = 0
+    scenarios: int = 0
+    unique_repaired: int = 0
+    states_explored: int = 0
+    transient_violations: int = 0  # expected: re-convergence is not atomic
+    diverged: List[Tuple[CorruptionScenario, SystemState]] = field(
+        default_factory=list
+    )
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverged and not self.truncated
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"{status} [{self.timeout_mode}]: {self.origins} origins, "
+            f"{self.scenarios} corruption scenarios, "
+            f"{self.unique_repaired} unique repaired states, "
+            f"{self.states_explored} states explored, "
+            f"{self.transient_violations} transient violations, "
+            f"{len(self.diverged)} divergences"
+            + (" (truncated)" if self.truncated else "")
+        )
+
+
+def _reachable_states(
+    model: AbstractProtocolModel, max_states: int
+) -> Tuple[List[SystemState], bool]:
+    """BFS enumeration of the clean model's reachable states."""
+    start = model.initial()
+    seen: Set[SystemState] = {start}
+    frontier = deque([start])
+    order: List[SystemState] = []
+    truncated = False
+    while frontier:
+        if len(order) >= max_states:
+            truncated = True
+            break
+        state = frontier.popleft()
+        order.append(state)
+        for transition in model.transitions(state):
+            if transition.target not in seen:
+                seen.add(transition.target)
+                frontier.append(transition.target)
+    return order, truncated
+
+
+def check_convergence(
+    window: int,
+    max_send: int,
+    timeout_mode: str = "per_message",
+    max_states: int = 2_000_000,
+) -> ConvergenceReport:
+    """Prove every injectable corruption re-converges, exhaustively.
+
+    Origins are enumerated under the full fault model (loss allowed);
+    re-convergence runs under the paper's fairness assumption (no loss),
+    matching the runtime watchdog's premise that repairs outpace fresh
+    faults.  A scenario **diverges** when some execution from its
+    repaired state reaches a terminal state that is not the legitimate
+    final state (a deadlock, or a wedged configuration the repair rules
+    missed).
+    """
+    report = ConvergenceReport(
+        window=window, max_send=max_send, timeout_mode=timeout_mode
+    )
+    origin_model = AbstractProtocolModel(
+        window, max_send, timeout_mode=timeout_mode, allow_loss=True
+    )
+    recovery_model = AbstractProtocolModel(
+        window, max_send, timeout_mode=timeout_mode, allow_loss=False
+    )
+
+    origins, truncated = _reachable_states(origin_model, max_states)
+    report.origins = len(origins)
+    report.truncated = truncated
+
+    # dedupe: many corruptions repair to the same state, and every state
+    # visited by a successful convergence run is itself convergent
+    pending: Dict[SystemState, CorruptionScenario] = {}
+    for origin in origins:
+        for scenario in corrupt_scenarios(origin, window, max_send):
+            report.scenarios += 1
+            if scenario.repaired not in pending:
+                pending[scenario.repaired] = scenario
+    report.unique_repaired = len(pending)
+
+    verified: Set[SystemState] = set()
+    violating_seen: Set[SystemState] = set()
+    for repaired, scenario in pending.items():
+        if repaired in verified:
+            continue
+        frontier = deque([repaired])
+        visited: Set[SystemState] = {repaired}
+        failed = False
+        while frontier:
+            if report.states_explored >= max_states:
+                report.truncated = True
+                break
+            state = frontier.popleft()
+            if state in verified:
+                continue
+            report.states_explored += 1
+            if state not in violating_seen and check_invariant(
+                state, window
+            ):
+                violating_seen.add(state)
+                report.transient_violations += 1
+            enabled = recovery_model.protocol_transitions(state)
+            if not enabled:
+                if not recovery_model.is_final(state):
+                    report.diverged.append((scenario, state))
+                    failed = True
+                continue
+            for transition in enabled:
+                if transition.target not in visited:
+                    visited.add(transition.target)
+                    frontier.append(transition.target)
+        if not failed and not report.truncated:
+            verified |= visited
+    return report
+
+
+# ----------------------------------------------------------------------
+# command-line entry point (the CI verify job)
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "exhaustively check convergence from corrupted initial states"
+        )
+    )
+    parser.add_argument("--window", type=int, default=2)
+    parser.add_argument("--max-send", type=int, default=3)
+    parser.add_argument(
+        "--timeout-mode",
+        choices=TIMEOUT_MODES[:2] + ("both",),
+        default="both",
+        help="which timeout guard to check (default: both safe modes)",
+    )
+    parser.add_argument("--max-states", type=int, default=2_000_000)
+    args = parser.parse_args(argv)
+
+    modes = (
+        ("simple", "per_message")
+        if args.timeout_mode == "both"
+        else (args.timeout_mode,)
+    )
+    ok = True
+    for mode in modes:
+        report = check_convergence(
+            args.window,
+            args.max_send,
+            timeout_mode=mode,
+            max_states=args.max_states,
+        )
+        print(report.summary())
+        for scenario, terminal in report.diverged[:5]:
+            print(
+                f"  diverged: {scenario.site}[{scenario.detail}] from "
+                f"{scenario.origin.describe()}"
+            )
+            print(f"    wedged at {terminal.describe()}")
+        ok = ok and report.ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,12 +29,18 @@ be fooled by the decode ambiguity that broken configurations create.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from repro.core.messages import BlockAck, DataMessage
 
-__all__ = ["InvariantMonitor", "MonitorViolation", "span_wires"]
+__all__ = [
+    "InvariantMonitor",
+    "MonitorViolation",
+    "StabilizationMonitor",
+    "span_wires",
+]
 
 
 def span_wires(span, domain: Optional[int]) -> set:
@@ -215,3 +221,146 @@ class InvariantMonitor:
         if len(self.violations) > limit:
             lines.append(f"  ... ({len(self.violations) - limit} more)")
         return "\n".join(lines)
+
+
+class StabilizationMonitor(InvariantMonitor):
+    """An :class:`InvariantMonitor` that judges recovery from corruption.
+
+    The fault plan reports every :class:`StateCorruption` it applies and
+    every guard/repair rule that fires; the inherited channel observers
+    keep flagging invariant violations (counter ordering, wire-level
+    multiplicity) throughout.  From those three series the monitor
+    measures **time-to-reconvergence** — how long after the last
+    corruption the system kept violating or repairing — and renders the
+    three-way verdict of the self-stabilization literature:
+
+    ``converged``
+        The transfer completed, delivered in order, and the final state
+        satisfies every locally checkable invariant.
+    ``degraded``
+        The final state is consistent but the corruption cost user-visible
+        damage (an out-of-order or corrupted delivery — e.g. a mutated
+        payload the protocol cannot distinguish from real data).
+    ``diverged``
+        The transfer never completed, or the final state still violates
+        an invariant: the corruption escaped the repair rules.
+    """
+
+    def __init__(
+        self,
+        sender: Any,
+        receiver: Any,
+        forward: Any,
+        reverse: Any,
+        domain: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(
+            sender, receiver, forward, reverse, domain=domain, strict=strict
+        )
+        self.corruptions: List[dict] = []
+        self.repairs: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # fault-plan callbacks
+    # ------------------------------------------------------------------
+
+    def note_corruption(self, time: float, spec: Any, mutations: List[str]) -> None:
+        self.corruptions.append(
+            {
+                "time": time,
+                "site": spec.site,
+                "severity": spec.severity,
+                "mutations": list(mutations),
+            }
+        )
+
+    def note_repairs(self, time: float, endpoint: str, repairs: List[str]) -> None:
+        self.repairs.append(
+            {"time": time, "endpoint": endpoint, "repairs": list(repairs)}
+        )
+
+    # ------------------------------------------------------------------
+    # final-state sweep and the verdict
+    # ------------------------------------------------------------------
+
+    def final_state_violations(self) -> List[str]:
+        """Locally checkable invariant breaches in the *final* state."""
+        out: List[str] = []
+        for name, endpoint in (
+            ("sender", self.sender),
+            ("receiver", self.receiver),
+        ):
+            state = getattr(endpoint, "window", None) or getattr(
+                endpoint, "book", None
+            )
+            if state is None:
+                continue
+            check = getattr(state, "check_invariant", None)
+            if check is not None:
+                try:
+                    check()
+                except AssertionError as exc:
+                    out.append(f"{name}: {exc}")
+            repair = getattr(state, "repair", None)
+            if repair is not None:
+                # a repair rule that still wants to fire is a violation;
+                # probe a deep copy so the sweep itself never mutates
+                pending = copy.deepcopy(state).repair()
+                if pending:
+                    out.append(f"{name}: unrepaired state ({'; '.join(pending)})")
+        if self.domain is None:
+            sender_state = getattr(self.sender, "window", None)
+            receiver_state = getattr(self.receiver, "window", None)
+            if sender_state is not None and receiver_state is not None:
+                na, nr, vr = (
+                    sender_state.na,
+                    receiver_state.nr,
+                    receiver_state.vr,
+                )
+                if not na <= nr <= vr:
+                    out.append(f"6: counter ordering na={na} nr={nr} vr={vr}")
+        return out
+
+    @property
+    def reconvergence_time(self) -> Optional[float]:
+        """Virtual time from the first corruption to the last disturbance.
+
+        The last disturbance is the final violation flagged or repair
+        applied at-or-after the first corruption; 0.0 when corruption
+        caused no observable disturbance at all.  None before any
+        corruption fired.
+        """
+        if not self.corruptions:
+            return None
+        t0 = self.corruptions[0]["time"]
+        times = [r["time"] for r in self.repairs if r["time"] >= t0]
+        times += [v.time for v in self.violations if v.time >= t0]
+        times += [c["time"] for c in self.corruptions]
+        return max(times) - t0
+
+    def verdict(self, completed: bool, in_order: bool) -> str:
+        final = self.final_state_violations()
+        if final or not completed:
+            return "diverged"
+        if not in_order:
+            return "degraded"
+        return "converged"
+
+    def summary(self, completed: bool, in_order: bool) -> dict:
+        """The ``TransferResult.stabilization`` payload."""
+        t0 = self.corruptions[0]["time"] if self.corruptions else None
+        return {
+            "verdict": self.verdict(completed, in_order),
+            "corruptions": len(self.corruptions),
+            "repairs": sum(len(r["repairs"]) for r in self.repairs),
+            "reconvergence_time": self.reconvergence_time,
+            "violations_after_corruption": sum(
+                1 for v in self.violations if t0 is not None and v.time >= t0
+            ),
+            "final_state_violations": self.final_state_violations(),
+            "events": {
+                "corruptions": self.corruptions,
+                "repairs": self.repairs,
+            },
+        }

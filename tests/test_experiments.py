@@ -18,8 +18,8 @@ from repro.experiments.registry import (
 
 
 class TestRegistryStructure:
-    def test_fifteen_experiments(self):
-        assert experiment_ids() == [f"e{i}" for i in range(1, 16)]
+    def test_sixteen_experiments(self):
+        assert experiment_ids() == [f"e{i}" for i in range(1, 17)]
 
     def test_every_spec_has_claim_and_title(self):
         for spec in EXPERIMENTS.values():
@@ -69,7 +69,7 @@ class TestRunProtocol:
 class TestQuickReproduction:
     """Every experiment must reproduce its claim, even in quick mode."""
 
-    @pytest.mark.parametrize("exp_id", [f"e{i}" for i in range(1, 16)])
+    @pytest.mark.parametrize("exp_id", [f"e{i}" for i in range(1, 17)])
     def test_experiment_reproduces(self, exp_id):
         result = run_experiment(exp_id, quick=True)
         assert result.reproduced, result.render()

@@ -188,3 +188,104 @@ class TestFaultPlan:
         result = run_with_plan(plan, timeout_mode="simple", total=80)
         assert result.completed and result.in_order
         assert result.monitor.violations == []
+
+
+class TestPlanInstallLifecycle:
+    """One plan wires into one transfer; the runner always unwires it."""
+
+    BROWNOUT = [(20.0, 0.0), (30.0, 0.9), (40.0, 0.9), (50.0, 0.0)]
+
+    def _wired(self):
+        from repro.channel.channel import Channel
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        forward = Channel(sim, rng=random.Random(1), name="fwd")
+        reverse = Channel(sim, rng=random.Random(2), name="rev")
+        sender, receiver = make_pair("blockack", window=4)
+        forward.connect(receiver.on_message)
+        reverse.connect(sender.on_message)
+        return sim, forward, reverse, sender, receiver
+
+    def test_reinstall_raises(self):
+        sim, forward, reverse, sender, receiver = self._wired()
+        plan = FaultPlan(forward_brownout=self.BROWNOUT)
+        plan.install(sim, forward, reverse, sender, receiver)
+        with pytest.raises(RuntimeError):
+            plan.install(sim, forward, reverse, sender, receiver)
+
+    def test_uninstall_restores_original_loss_models(self):
+        sim, forward, reverse, sender, receiver = self._wired()
+        original_forward, original_reverse = forward.loss, reverse.loss
+        plan = FaultPlan(forward_brownout=self.BROWNOUT)
+        plan.install(sim, forward, reverse, sender, receiver)
+        assert isinstance(forward.loss, BrownoutLoss)
+        plan.uninstall()
+        assert forward.loss is original_forward
+        assert reverse.loss is original_reverse
+
+    def test_runner_uninstalls_after_the_transfer(self):
+        # crash scheduled inside the brownout ramp: the regression this
+        # pins is the runner leaving the plan's wrapped loss model on the
+        # channel after such a run, so a later Channel.reset would replay
+        # a different rng stream
+        plan = FaultPlan(
+            forward_brownout=self.BROWNOUT,
+            crashes=[CrashRestart(at=32.0, outage=6.0, endpoint="sender")],
+            seed=2,
+        )
+        result = run_with_plan(plan)
+        assert result.completed
+        assert plan.stats.crashes == 1 and plan.stats.restarts == 1
+        assert not plan._installed
+        forward, reverse = plan._channels
+        assert not isinstance(forward.loss, BrownoutLoss)
+        assert not isinstance(reverse.loss, BrownoutLoss)
+
+    def test_crash_during_brownout_restores_deterministic_stream(self):
+        # a crash/restart scheduled inside the brownout ramp, then the
+        # channel is reset and reused: the repeat run must replay the
+        # channel's own (stateful, scripted) loss stream exactly as a
+        # twin channel that never saw the faults — i.e. uninstall+reset
+        # leave no trace of the wrapped model
+        from repro.channel.channel import Channel
+        from repro.channel.impairments import ScriptedLoss
+        from repro.sim.engine import Simulator
+
+        def replay(fault_first):
+            sim = Simulator()
+            channel = Channel(
+                sim,
+                loss=ScriptedLoss([3, 9, 17]),
+                rng=random.Random(7),
+                name="fwd",
+            )
+            channel.connect(lambda message: None)
+            if fault_first:
+                reverse = Channel(sim, rng=random.Random(8), name="rev")
+                sender, receiver = make_pair("blockack", window=4)
+                reverse.connect(sender.on_message)
+                plan = FaultPlan(
+                    forward_brownout=self.BROWNOUT,
+                    crashes=[CrashRestart(at=32.0, outage=6.0)],
+                    seed=2,
+                )
+                plan.install(sim, channel, reverse, sender, receiver)
+                # probes stand in for protocol traffic: bypass the
+                # interceptor (we only exercise the loss-model state)
+                channel.connect(lambda message: None)
+                for t in range(45):
+                    sim.schedule_at(float(t), channel.send, f"probe-{t}")
+                sim.run(until=60.0)
+                assert plan.stats.crashes == 1 and plan.stats.restarts == 1
+                plan.uninstall()
+                channel.reset()
+                channel.sim = Simulator()  # repeat harness: fresh clock
+            delivered = []
+            channel.connect(delivered.append)
+            for i in range(30):  # sends land inside the old ramp times
+                channel.sim.schedule_at(float(i), channel.send, i)
+            channel.sim.run()
+            return delivered, channel.stats.lost
+
+        assert replay(fault_first=True) == replay(fault_first=False)

@@ -196,6 +196,33 @@ class TestRetransmissionController:
         assert retx.link_dead
         assert retx.verdict == "dead"
 
+    def test_link_dead_records_triggering_key_and_time(self):
+        retx = self.make(dead_after=3, degrade_after=3)
+        retx.on_timeout(7, now=10.0)
+        retx.on_timeout(7, now=11.0)
+        assert retx.on_timeout(7, now=12.5) is RetryVerdict.LINK_DEAD
+        assert retx.dead_key == 7 and retx.dead_at == 12.5
+        # later expiries never overwrite the first culprit
+        retx.on_timeout(9, now=20.0)
+        assert retx.dead_key == 7 and retx.dead_at == 12.5
+        stats = retx.stats_dict()
+        assert stats["dead_key"] == 7 and stats["dead_at"] == 12.5
+
+    def test_link_dead_labels_reach_the_metrics_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.session import ControllerInstruments
+
+        registry = MetricsRegistry(name="test")
+        retx = self.make(dead_after=3, degrade_after=3)
+        retx.bind_instruments(ControllerInstruments(registry))
+        for now in (10.0, 11.0, 12.5):
+            retx.on_timeout(7, now=now)
+        snapshot = registry.snapshot()
+        samples = snapshot["link_dead_declared_total"]["samples"]
+        assert samples == [
+            {"labels": {"seq": "7", "at": "12.5"}, "value": 1}
+        ]
+
     def test_reset_volatile(self):
         retx = self.make()
         retx.on_send(1, now=0.0, retransmit=False)
@@ -209,7 +236,7 @@ class TestRetransmissionController:
         stats = self.make().stats_dict()
         assert set(stats) == {
             "rto", "srtt", "rttvar", "rtt_samples", "degrades",
-            "budget_timeouts", "verdict",
+            "budget_timeouts", "verdict", "dead_key", "dead_at",
         }
 
     def test_config_requires_some_rto(self):
@@ -290,6 +317,8 @@ class TestAdaptiveEndToEnd:
         assert sender.link_dead
         assert result.sender_stats["link_dead"] is True
         assert result.sender_stats["adaptive"]["verdict"] == "dead"
+        # the verdict pins down which expiry killed the link and when
+        assert result.sender_stats["adaptive"]["dead_at"] is not None
         # degraded in steps before giving up: w = 8 -> 4 -> 2
         assert sender.window.w < 8
         assert result.sender_stats["adaptive"]["degrades"] == 2
