@@ -15,6 +15,7 @@ from repro.channel.impairments import (
     NoLoss,
     ScriptedLoss,
 )
+from repro.channel.sampling import BlockRandom, maybe_block, numpy_available
 
 __all__ = [
     "Channel",
@@ -29,4 +30,7 @@ __all__ = [
     "BernoulliLoss",
     "GilbertElliottLoss",
     "ScriptedLoss",
+    "BlockRandom",
+    "maybe_block",
+    "numpy_available",
 ]

@@ -34,7 +34,14 @@ __all__ = [
 
 
 class DelayModel(ABC):
-    """Samples a one-way transit delay for each message."""
+    """Samples a one-way transit delay for each message.
+
+    Delay models sit on the per-message hot path, so the concrete models
+    use ``__slots__`` and precompute derived constants (e.g. the
+    exponential rate) at construction time.
+    """
+
+    __slots__ = ()
 
     @abstractmethod
     def sample(self, rng: random.Random) -> float:
@@ -53,6 +60,8 @@ class DelayModel(ABC):
 
 class ConstantDelay(DelayModel):
     """Every message takes exactly ``delay`` time units: a FIFO channel."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, delay: float = 1.0) -> None:
         if delay < 0:
@@ -80,6 +89,8 @@ class UniformDelay(DelayModel):
     The ratio ``(high - low) / mean`` controls how aggressively messages
     overtake each other; see :func:`reorder_probability`.
     """
+
+    __slots__ = ("low", "high")
 
     def __init__(self, low: float, high: float) -> None:
         if not 0 <= low <= high:
@@ -110,6 +121,8 @@ class ExponentialDelay(DelayModel):
     timer-based sender may safely be attached to it.
     """
 
+    __slots__ = ("mean", "offset", "_rate")
+
     def __init__(self, mean: float, offset: float = 0.0) -> None:
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean}")
@@ -117,9 +130,10 @@ class ExponentialDelay(DelayModel):
             raise ValueError(f"offset must be non-negative, got {offset}")
         self.mean = mean
         self.offset = offset
+        self._rate = 1.0 / mean  # same division, hoisted off the hot path
 
     def sample(self, rng: random.Random) -> float:
-        return self.offset + rng.expovariate(1.0 / self.mean)
+        return self.offset + rng.expovariate(self._rate)
 
     @property
     def max_delay(self) -> Optional[float]:

@@ -27,6 +27,8 @@ __all__ = [
 class LossModel(ABC):
     """Decides, per message, whether the channel loses it."""
 
+    __slots__ = ()
+
     @abstractmethod
     def drops(self, rng: random.Random) -> bool:
         """Return True if the next message should be lost."""
@@ -48,6 +50,8 @@ class LossModel(ABC):
 class NoLoss(LossModel):
     """A perfect channel: nothing is ever dropped."""
 
+    __slots__ = ()
+
     def drops(self, rng: random.Random) -> bool:
         return False
 
@@ -57,6 +61,8 @@ class NoLoss(LossModel):
 
 class BernoulliLoss(LossModel):
     """Independent loss with fixed probability ``p`` per message."""
+
+    __slots__ = ("p",)
 
     def __init__(self, p: float) -> None:
         if not 0.0 <= p <= 1.0:
@@ -79,6 +85,8 @@ class GilbertElliottLoss(LossModel):
     experiment (E5): a burst can take out a whole block acknowledgment's
     worth of messages at once.
     """
+
+    __slots__ = ("p_good_to_bad", "p_bad_to_good", "p_good", "p_bad", "state")
 
     GOOD = "good"
     BAD = "bad"
@@ -131,6 +139,8 @@ class ScriptedLoss(LossModel):
     acknowledgment that covers a block, then measures recovery time.
     """
 
+    __slots__ = ("drop_indices", "_index")
+
     def __init__(self, drop_indices: set) -> None:
         self.drop_indices = set(drop_indices)
         self._index = 0
@@ -166,6 +176,8 @@ class BrownoutLoss(LossModel):
     if *either* decides to drop it.  The base model draws first, so the
     rng stream stays deterministic.
     """
+
+    __slots__ = ("breakpoints", "base")
 
     def __init__(self, breakpoints, base: "LossModel" = None) -> None:
         points = [(float(t), float(p)) for t, p in breakpoints]
@@ -220,6 +232,8 @@ class FrameCorruption:
     :class:`~repro.robustness.faults.FaultPlan`, which draws from its
     own seeded stream so corruption never perturbs channel randomness.
     """
+
+    __slots__ = ("p",)
 
     def __init__(self, p: float) -> None:
         if not 0.0 <= p <= 1.0:

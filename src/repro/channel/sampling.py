@@ -1,0 +1,187 @@
+"""Block-refilled random sampling for the fast engine's channel path.
+
+The default engine draws one ``rng.random()`` per loss/duplication
+decision and one ``rng.uniform``/``rng.expovariate`` per delay sample.
+:class:`BlockRandom` amortizes those draws: it pre-fills a block of
+uniforms — with numpy's MT19937 when available, a pure-python refill
+otherwise — and serves every channel draw from the block.
+
+**Stream identity is the load-bearing property.**  The fast engine's
+correctness gate is decision-trace equivalence with the default engine,
+which holds only if every draw returns bit-for-bit the value the wrapped
+:class:`random.Random` would have produced:
+
+* numpy refills transplant the Mersenne-Twister state into a
+  ``numpy.random.RandomState``, draw the block with ``random_sample``
+  (the same ``(a >> 5) * 2**26 + (b >> 6)) / 2**53`` double recipe
+  CPython uses), and transplant the advanced state back — so the wrapped
+  rng stays exactly in sync and the pure-python fallback is
+  indistinguishable.
+* ``uniform`` and ``expovariate`` reproduce CPython's scalar arithmetic
+  (``a + (b - a) * u`` and ``-log(1.0 - u) / lambd`` with ``math.log``);
+  the log is deliberately *not* vectorized, because numpy's SIMD ``log``
+  is not guaranteed ulp-identical to libm's and a single flipped ulp in
+  a delay sample would cascade into a trace divergence.
+
+Set ``REPRO_NO_NUMPY=1`` to force the pure-python refill path (used by
+the CI no-numpy leg); the flag is resolved once per instance, at
+construction.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from math import log as _log
+from typing import Optional
+
+__all__ = ["BlockRandom", "numpy_available"]
+
+DEFAULT_BLOCK_SIZE = 1024
+
+
+def numpy_available() -> bool:
+    """True if numpy-backed refills are usable (and not disabled by env)."""
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return False
+    try:
+        import numpy  # noqa: F401
+        import numpy.random  # noqa: F401
+    except Exception:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+        return False
+    return True
+
+
+class BlockRandom:
+    """Serve ``random``/``uniform``/``expovariate`` from pre-filled blocks.
+
+    Wraps a :class:`random.Random` and returns exactly the values the
+    wrapped instance would produce, in the same order, for the three
+    draw methods the channel models use.  Any other method is
+    intentionally absent: a silent fallthrough to an unwrapped
+    distribution would consume stream positions invisibly and desync
+    the decision traces.
+
+    BlockRandom *owns* the stream from construction onwards: with the
+    numpy backend the Mersenne-Twister state is transplanted into a
+    ``RandomState`` once (per-refill transplants would cost more than
+    the draws), so direct use of the wrapped instance afterwards is not
+    supported — the runner wraps each channel stream exactly once, at
+    build time.  :meth:`getstate` syncs the wrapped rng back first, so
+    snapshots remain exact.
+    """
+
+    __slots__ = ("rng", "block_size", "_block", "_np_state")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.rng = rng
+        self.block_size = block_size
+        self._block: list = []
+        self._np_state = None
+        if numpy_available():
+            self._adopt_stream()
+
+    def _adopt_stream(self) -> None:
+        """Transplant the rng's Mersenne-Twister state into numpy, once."""
+        import numpy as np
+        from numpy.random import RandomState
+
+        version, internal, _gauss = self.rng.getstate()
+        if version != 3:  # pragma: no cover - future-proofing
+            return  # unknown state layout: stay on the python refill path
+        # seeded construction skips the OS-entropy path; set_state
+        # overwrites the seed immediately anyway.  python keeps the 624
+        # key words plus the cursor in one tuple; numpy wants them split
+        state = RandomState(0)
+        state.set_state(
+            ("MT19937", np.asarray(internal[:-1], dtype=np.uint32), internal[-1])
+        )
+        self._np_state = state
+
+    def _sync_back(self) -> None:
+        """Write the numpy stream position back into the wrapped rng."""
+        if self._np_state is None:
+            return
+        version, _internal, gauss_next = self.rng.getstate()
+        _name, key, pos = self._np_state.get_state()[:3]
+        self.rng.setstate((version, tuple(key.tolist()) + (int(pos),), gauss_next))
+
+    def _refill(self) -> None:
+        """Fill the block with the stream's next ``block_size`` draws.
+
+        The block is stored reversed so :meth:`random` is a bare
+        ``list.pop()`` from the tail.
+        """
+        state = self._np_state
+        if state is not None:
+            block = state.random_sample(self.block_size).tolist()
+        else:
+            r = self.rng.random
+            block = [r() for _ in range(self.block_size)]
+        block.reverse()
+        self._block = block
+
+    def random(self) -> float:
+        """Next uniform double in [0, 1) — identical to the wrapped rng's."""
+        block = self._block
+        if not block:
+            self._refill()
+            block = self._block
+        return block.pop()
+
+    def uniform(self, a: float, b: float) -> float:
+        """Uniform in [a, b] — CPython's exact ``a + (b - a) * random()``."""
+        block = self._block
+        if not block:
+            self._refill()
+            block = self._block
+        return a + (b - a) * block.pop()
+
+    def expovariate(self, lambd: float) -> float:
+        """Exponential deviate — CPython's ``-log(1 - random()) / lambd``."""
+        block = self._block
+        if not block:
+            self._refill()
+            block = self._block
+        return -_log(1.0 - block.pop()) / lambd
+
+    def getstate(self):
+        """State of the wrapped rng plus the unconsumed block remainder."""
+        self._sync_back()
+        return (self.rng.getstate(), tuple(self._block))
+
+    def setstate(self, state) -> None:
+        rng_state, block = state
+        self.rng.setstate(rng_state)
+        self._block = list(block)
+        if self._np_state is not None:
+            self._adopt_stream()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backend = "numpy" if self._np_state is not None else "python"
+        return (
+            f"BlockRandom(block_size={self.block_size}, backend={backend}, "
+            f"buffered={len(self._block)})"
+        )
+
+
+def maybe_block(
+    rng: Optional[random.Random],
+    engine: str,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+):
+    """Wrap ``rng`` in a :class:`BlockRandom` when the fast engine is on.
+
+    The default engine keeps the raw stream (byte-identical legacy
+    path); None passes through untouched for channels built without a
+    stream of their own.
+    """
+    if rng is None or engine != "fast":
+        return rng
+    return BlockRandom(rng, block_size)

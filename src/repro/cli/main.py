@@ -36,6 +36,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -82,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin the multi-flow experiments to exactly N concurrent flows "
         "(like REPRO_FLOWS=N; currently honoured by e15)",
     )
+    run_p.add_argument(
+        "--engine", default=None, choices=("default", "fast"),
+        help="event-loop implementation: 'fast' selects the calendar-queue "
+        "engine with batched drain and block-sampled channel randomness "
+        "(like REPRO_ENGINE=fast; decision-trace equivalent)",
+    )
 
     perf_p = sub.add_parser(
         "perf", help="measure hot paths, write a BENCH_<mode>.json baseline"
@@ -105,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument(
         "--no-obs-overhead", action="store_true",
         help="skip the observability off-vs-on overhead measurements",
+    )
+    perf_p.add_argument(
+        "--engine", default=None, choices=("default", "fast"),
+        help="event-loop implementation for the --experiments timings "
+        "(micros always measure both; like REPRO_ENGINE=fast)",
+    )
+    perf_p.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the transfer micro and dump the hottest functions "
+        "to results/profile/ (one .prof + .txt per engine mode)",
     )
 
     obs_p = sub.add_parser(
@@ -174,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. sender.window:worst@40 (repeatable; prints the "
         "stabilization verdict)",
     )
+    tr.add_argument(
+        "--engine", default="default", choices=("default", "fast"),
+        help="event-loop implementation (fast = calendar queue + batched "
+        "drain + block-sampled channel randomness)",
+    )
 
     chk = sub.add_parser("check", help="model-check the abstract protocol")
     chk.add_argument("--window", type=int, default=2)
@@ -222,6 +244,7 @@ def _cmd_run(
     cache: bool = False,
     obs: bool = False,
     flows: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> int:
     import os
 
@@ -237,6 +260,8 @@ def _cmd_run(
         os.environ["REPRO_OBS"] = "1"
     if flows is not None:
         os.environ["REPRO_FLOWS"] = str(flows)
+    if engine is not None:
+        os.environ["REPRO_ENGINE"] = engine
     ids = experiment_ids() if experiment.lower() == "all" else [experiment]
     failures = 0
     for exp_id in ids:
@@ -296,6 +321,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             seed=args.seed,
             trace=args.trace > 0,
             max_time=1_000_000.0,
+            engine=args.engine,
         )
         print(session.summary())
         for flow in session.flows:
@@ -322,6 +348,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         max_time=1_000_000.0,
         fault_plan=fault_plan,
         monitor_invariants=fault_plan is not None,
+        engine=args.engine,
     )
     print(result.summary())
     if result.stabilization is not None:
@@ -343,16 +370,27 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
+    import os
     import time
 
     from repro.perf.bench import (
         run_microbenchmarks,
         run_obs_overhead,
+        run_profile,
         update_bench_json,
     )
 
     mode = "quick" if args.scale <= 1 else "full"
     output = args.output if args.output else f"BENCH_{mode}.json"
+    if args.engine:
+        os.environ["REPRO_ENGINE"] = args.engine
+
+    if args.profile:
+        print(f"profiling transfer micro (scale={args.scale}) ...")
+        written = run_profile(pathlib.Path("results/profile"), scale=args.scale)
+        for path in written:
+            print(f"  wrote {path}")
+        print()
 
     print(f"microbenchmarks (scale={args.scale}, best of {args.repeats}):")
     micro = run_microbenchmarks(scale=args.scale, repeats=args.repeats)
@@ -540,7 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(
             args.experiment, args.quick, args.jobs, args.cache, args.obs,
-            args.flows,
+            args.flows, args.engine,
         )
     if args.command == "perf":
         return _cmd_perf(args)

@@ -28,7 +28,12 @@ from typing import Callable, Dict, List, Optional
 
 from repro.channel.delay import ConstantDelay, ExponentialDelay, UniformDelay
 from repro.channel.impairments import BernoulliLoss, NoLoss
-from repro.perf.sweep import RunConfig, SweepRunner, obs_enabled_by_env
+from repro.perf.sweep import (
+    RunConfig,
+    SweepRunner,
+    engine_from_env,
+    obs_enabled_by_env,
+)
 from repro.sim.runner import LinkSpec, TransferResult, run_transfer
 from repro.workloads.sources import GreedySource
 
@@ -145,11 +150,19 @@ def run_protocol(
     reverse: LinkSpec,
     seed: int,
     max_time: Optional[float] = None,
+    engine: Optional[str] = None,
     **protocol_kwargs,
 ) -> TransferResult:
-    """Build the named protocol pair, drive it greedily, return the result."""
+    """Build the named protocol pair, drive it greedily, return the result.
+
+    ``engine=None`` resolves against ``REPRO_ENGINE`` (the CLI's
+    ``--engine`` flag), so every experiment runs on either event loop
+    without code changes.
+    """
     from repro.protocols.registry import make_pair  # local: avoid cycles
 
+    if engine is None:
+        engine = engine_from_env()
     sender, receiver = make_pair(name, window=window, **protocol_kwargs)
     return run_transfer(
         sender,
@@ -159,6 +172,7 @@ def run_protocol(
         reverse=reverse,
         seed=seed,
         max_time=max_time,
+        engine=engine,
     )
 
 
@@ -179,6 +193,7 @@ def protocol_config(
     fault_plan=None,
     obs: Optional[bool] = None,
     flows: int = 1,
+    engine: Optional[str] = None,
     **protocol_kwargs,
 ) -> RunConfig:
     """The declarative twin of :func:`run_protocol`: one grid cell run.
@@ -193,9 +208,16 @@ def protocol_config(
     one shared link pair (:mod:`repro.sim.host`); ``total`` is then the
     per-flow payload count and the result carries per-flow rows plus a
     Jain fairness index.
+
+    ``engine=None`` resolves against ``REPRO_ENGINE`` (the CLI's
+    ``--engine`` flag); like ``obs``, the resolved value is part of the
+    config and its cache key, so fast-engine results never masquerade
+    as default-engine ones.
     """
     if obs is None:
         obs = obs_enabled_by_env()
+    if engine is None:
+        engine = engine_from_env()
     return RunConfig(
         protocol=name,
         window=window,
@@ -209,6 +231,7 @@ def protocol_config(
         protocol_kwargs=protocol_kwargs,
         obs=obs,
         flows=flows,
+        engine=engine,
     )
 
 

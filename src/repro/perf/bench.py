@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 __all__ = [
     "run_microbenchmarks",
     "run_obs_overhead",
+    "run_profile",
     "update_bench_json",
     "compare_bench",
     "main",
@@ -57,10 +58,10 @@ def _best_rate(work: Callable[[], int], repeats: int) -> float:
     return best
 
 
-def _engine_chain(n: int) -> int:
-    from repro.sim.engine import Simulator
+def _engine_chain(n: int, engine: str = "default") -> int:
+    from repro.sim.engine import make_simulator
 
-    sim = Simulator()
+    sim = make_simulator(engine)
     count = [0]
 
     def tick() -> None:
@@ -73,10 +74,10 @@ def _engine_chain(n: int) -> int:
     return count[0]
 
 
-def _engine_fanout(n: int) -> int:
-    from repro.sim.engine import Simulator
+def _engine_fanout(n: int, engine: str = "default") -> int:
+    from repro.sim.engine import make_simulator
 
-    sim = Simulator()
+    sim = make_simulator(engine)
 
     def noop() -> None:
         pass
@@ -87,20 +88,47 @@ def _engine_fanout(n: int) -> int:
     return n
 
 
-def _channel_transit(n: int) -> int:
+def _fanout_drain_rate(n: int, repeats: int, engine: str = "default") -> float:
+    """Events/sec for the *drain phase only* of the fan-out workload.
+
+    Scheduling happens outside the timed region, so this isolates the
+    pull-fire loop — the part the calendar queue's batch drain speeds up
+    — from enqueue cost (which :func:`_engine_fanout` measures mixed in).
+    """
+    from repro.sim.engine import make_simulator
+
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        sim = make_simulator(engine)
+
+        def noop() -> None:
+            pass
+
+        for index in range(n):
+            sim.schedule((index % 97) * 0.01, noop)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, n / elapsed)
+    return best
+
+
+def _channel_transit(n: int, engine: str = "default") -> int:
     import random
 
     from repro.channel.channel import Channel
     from repro.channel.delay import UniformDelay
     from repro.channel.impairments import BernoulliLoss
-    from repro.sim.engine import Simulator
+    from repro.channel.sampling import maybe_block
+    from repro.sim.engine import make_simulator
 
-    sim = Simulator()
+    sim = make_simulator(engine)
     channel = Channel(
         sim,
         delay=UniformDelay(0.5, 1.5),
         loss=BernoulliLoss(0.05),
-        rng=random.Random(1),
+        rng=maybe_block(random.Random(1), engine),
     )
     channel.connect(lambda message: None)
     for index in range(n):
@@ -128,7 +156,9 @@ def _engine_chain_obs(n: int) -> int:
     return count[0]
 
 
-def _transfer(total: int, obs: bool = False) -> Tuple[int, float]:
+def _transfer(
+    total: int, obs: bool = False, engine: str = "default"
+) -> Tuple[int, float]:
     """One end-to-end block-ack transfer; returns (events, throughput)."""
     from repro.channel.delay import UniformDelay
     from repro.channel.impairments import BernoulliLoss
@@ -147,6 +177,7 @@ def _transfer(total: int, obs: bool = False) -> Tuple[int, float]:
         seed=1,
         max_time=1_000_000.0,
         obs=obs,
+        engine=engine,
     )
     assert result.completed and result.in_order
     return result.delivered, result.throughput
@@ -175,6 +206,13 @@ def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
     """Measure the hot paths; returns ``{metric: rate}`` (higher=better).
 
     ``scale`` multiplies every workload size (1 is the quick/CI size).
+
+    Unsuffixed engine/channel/transfer keys measure the default
+    (binary-heap) engine — their semantics are unchanged from before the
+    fast engine existed, so baselines stay comparable.  ``*_fast_*``
+    twins measure the same workload on the calendar-queue engine; the
+    ``*_drain_*`` pair isolates the fan-out drain phase (scheduling
+    untimed), which is where batch draining pays off.
     """
     n_events = 100_000 * scale
     n_msgs = 20_000 * scale
@@ -184,15 +222,33 @@ def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
         "engine_chain_events_per_sec": _best_rate(
             lambda: _engine_chain(n_events), repeats
         ),
+        "engine_chain_fast_events_per_sec": _best_rate(
+            lambda: _engine_chain(n_events, engine="fast"), repeats
+        ),
         "engine_fanout_events_per_sec": _best_rate(
             lambda: _engine_fanout(n_events), repeats
+        ),
+        "engine_fanout_fast_events_per_sec": _best_rate(
+            lambda: _engine_fanout(n_events, engine="fast"), repeats
+        ),
+        "engine_fanout_drain_events_per_sec": _fanout_drain_rate(
+            n_events, repeats
+        ),
+        "engine_fanout_drain_fast_events_per_sec": _fanout_drain_rate(
+            n_events, repeats, engine="fast"
         ),
         "channel_transit_msgs_per_sec": _best_rate(
             lambda: _channel_transit(n_msgs), repeats
         ),
+        "channel_transit_fast_msgs_per_sec": _best_rate(
+            lambda: _channel_transit(n_msgs, engine="fast"), repeats
+        ),
     }
 
     metrics["transfer_msgs_per_sec"] = _transfer_rate(n_transfer, repeats)
+    metrics["transfer_fast_msgs_per_sec"] = _transfer_rate(
+        n_transfer, repeats, engine="fast"
+    )
     # mux + demux + per-flow accounting on the same payload volume as the
     # single-flow transfer benchmark: the gap between the two rates is
     # the flow-multiplexing tax
@@ -202,11 +258,13 @@ def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
     return metrics
 
 
-def _transfer_rate(total: int, repeats: int, obs: bool = False) -> float:
+def _transfer_rate(
+    total: int, repeats: int, obs: bool = False, engine: str = "default"
+) -> float:
     best = 0.0
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        delivered, _ = _transfer(total, obs=obs)
+        delivered, _ = _transfer(total, obs=obs, engine=engine)
         elapsed = time.perf_counter() - start
         if elapsed > 0:
             best = max(best, delivered / elapsed)
@@ -243,6 +301,55 @@ def run_obs_overhead(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
         "transfer_on_msgs_per_sec": transfer_on,
         "transfer_overhead_pct": overhead(transfer_off, transfer_on),
     }
+
+
+def run_profile(
+    outdir: pathlib.Path,
+    scale: int = 1,
+    engines: Tuple[str, ...] = ("default", "fast"),
+    top: int = 30,
+) -> List[pathlib.Path]:
+    """cProfile the end-to-end transfer micro under each engine.
+
+    Writes, per engine, a raw ``transfer_<engine>.prof`` (loadable with
+    :mod:`pstats` or snakeviz) and a ``transfer_<engine>.txt`` with the
+    ``top`` hottest functions by cumulative and by internal time.
+    Returns the written paths.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    outdir = pathlib.Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    n_transfer = 1_000 * scale
+    written: List[pathlib.Path] = []
+    for engine in engines:
+        _transfer(50, engine=engine)  # warm imports/caches outside the profile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        delivered, _ = _transfer(n_transfer, engine=engine)
+        profiler.disable()
+
+        prof_path = outdir / f"transfer_{engine}.prof"
+        profiler.dump_stats(prof_path)
+
+        buffer = io.StringIO()
+        buffer.write(
+            f"cProfile: blockack transfer micro, engine={engine!r}, "
+            f"{delivered} messages delivered\n\n"
+        )
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative")
+        buffer.write(f"--- top {top} by cumulative time ---\n")
+        stats.print_stats(top)
+        stats.sort_stats("tottime")
+        buffer.write(f"--- top {top} by internal time ---\n")
+        stats.print_stats(top)
+        txt_path = outdir / f"transfer_{engine}.txt"
+        txt_path.write_text(buffer.getvalue())
+        written.extend([prof_path, txt_path])
+    return written
 
 
 def update_bench_json(
@@ -287,13 +394,22 @@ def compare_bench(
     """Regressions in ``current`` vs ``baseline`` beyond ``threshold``.
 
     ``micro`` entries are rates (a drop is a regression); ``experiments``
-    entries are wall-clock seconds (a rise is a regression).  Returns
-    human-readable regression lines; empty means within budget.
+    entries are wall-clock seconds (a rise is a regression).  A metric
+    present in the baseline but absent from the fresh measurements is
+    reported as a ``missing measurement`` line — a micro that silently
+    stops running would otherwise pass every comparison forever.  Returns
+    human-readable problem lines; empty means within budget.
     """
     regressions: List[str] = []
     for name, old in (baseline.get("micro") or {}).items():
+        if old <= 0:
+            continue
         new = (current.get("micro") or {}).get(name)
-        if new is None or old <= 0:
+        if new is None:
+            regressions.append(
+                f"micro.{name}: missing measurement "
+                f"(baseline {old:,.0f}/s, no fresh value)"
+            )
             continue
         if new < old * (1.0 - threshold):
             regressions.append(
@@ -301,8 +417,14 @@ def compare_bench(
                 f"({new / old - 1.0:+.0%})"
             )
     for name, old in (baseline.get("experiments") or {}).items():
+        if old <= 0:
+            continue
         new = (current.get("experiments") or {}).get(name)
-        if new is None or old <= 0:
+        if new is None:
+            regressions.append(
+                f"experiments.{name}: missing measurement "
+                f"(baseline {old:.2f}s, no fresh value)"
+            )
             continue
         if new > old * (1.0 + threshold):
             regressions.append(
@@ -335,7 +457,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     for line in regressions:
-        print(f"::warning title=perf regression::{line}")
+        title = (
+            "missing measurement"
+            if ": missing measurement" in line
+            else "perf regression"
+        )
+        print(f"::warning title={title}::{line}")
     return 1 if args.strict else 0
 
 

@@ -73,6 +73,23 @@ def obs_enabled_by_env() -> bool:
     return os.environ.get("REPRO_OBS", "") not in ("", "0")
 
 
+def engine_from_env() -> str:
+    """Engine mode requested by ``REPRO_ENGINE`` (default: ``"default"``).
+
+    Set by the CLI's ``--engine`` flag so experiments and grid runs pick
+    the event-loop implementation without code changes.  Unknown values
+    raise here, at configuration time, rather than deep inside a worker.
+    """
+    engine = os.environ.get("REPRO_ENGINE", "") or "default"
+    from repro.sim.engine import ENGINES  # local: avoid cycles
+
+    if engine not in ENGINES:
+        raise ValueError(
+            f"REPRO_ENGINE={engine!r} is not one of {ENGINES}"
+        )
+    return engine
+
+
 @dataclass
 class RunConfig:
     """One independent protocol run, described declaratively.
@@ -99,6 +116,7 @@ class RunConfig:
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
     obs: bool = False  # record + export telemetry for this run
     flows: int = 1  # concurrent flows sharing the links; total is per-flow
+    engine: str = "default"  # event-loop implementation (sim.engine.ENGINES)
 
     def description(self) -> str:
         """Canonical config string; equal configs describe identically."""
@@ -120,6 +138,11 @@ class RunConfig:
             # appended conditionally so every pre-multi-flow cache entry
             # keeps its key; flows=1 is byte-identical to the old format
             parts.append(f"flows={self.flows}")
+        if self.engine != "default":
+            # same conditional-append contract: default-engine entries keep
+            # their pre-engine cache keys, and results produced by a
+            # different engine can never satisfy a default-engine lookup
+            parts.append(f"engine={self.engine!r}")
         return "RunConfig(" + ",".join(parts) + ")"
 
     def cache_key(self) -> str:
@@ -129,9 +152,10 @@ class RunConfig:
     def run_id(self) -> str:
         """Deterministic telemetry run id: readable prefix + config digest."""
         flows = f"_f{self.flows}" if self.flows != 1 else ""
+        engine = f"_{self.engine}" if self.engine != "default" else ""
         return (
             f"{self.protocol.replace('-', '_')}_w{self.window}"
-            f"_n{self.total}{flows}_s{self.seed}_{self.cache_key()[:8]}"
+            f"_n{self.total}{flows}{engine}_s{self.seed}_{self.cache_key()[:8]}"
         )
 
 
@@ -227,6 +251,7 @@ def execute_config(config: RunConfig) -> TransferResult:
             obs=config.obs,
             obs_run_id=config.run_id() if config.obs else None,
             obs_labels=obs_labels,
+            engine=config.engine,
         )
         result = session_to_transfer(session)
         if result.obs is not None:
@@ -250,6 +275,7 @@ def execute_config(config: RunConfig) -> TransferResult:
         obs=config.obs,
         obs_run_id=config.run_id() if config.obs else None,
         obs_labels=obs_labels,
+        engine=config.engine,
     )
     if result.obs is not None:
         # exported eagerly, in the worker process, under a deterministic

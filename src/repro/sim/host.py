@@ -38,8 +38,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import jain_fairness
 from repro.channel.mux import FlowMux
+from repro.channel.sampling import maybe_block
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.randomness import RandomStreams
 from repro.sim.runner import (
     LinkSpec,
@@ -307,6 +308,7 @@ class SessionHost:
         obs_run_id: Optional[str] = None,
         obs_labels: Optional[dict] = None,
         obs_sample_invariants_every: int = 0,
+        engine: str = "default",
     ) -> None:
         self.flows = [
             _FlowHarness(index, spec) for index, spec in enumerate(flows)
@@ -326,11 +328,12 @@ class SessionHost:
         self.obs_run_id = obs_run_id
         self.obs_labels = obs_labels
         self.obs_sample_invariants_every = obs_sample_invariants_every
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
     def run(self) -> SessionResult:
-        sim = Simulator()
+        sim = make_simulator(self.engine)
         streams = RandomStreams(self.seed)
 
         obs_session = None
@@ -348,10 +351,10 @@ class SessionHost:
             obs_session.attach_sim(sim)
 
         forward_channel = self.forward_spec.build(
-            sim, streams.get("channel.forward"), "SR"
+            sim, maybe_block(streams.get("channel.forward"), self.engine), "SR"
         )
         reverse_channel = self.reverse_spec.build(
-            sim, streams.get("channel.reverse"), "RS"
+            sim, maybe_block(streams.get("channel.reverse"), self.engine), "RS"
         )
         forward_mux = FlowMux(forward_channel)
         reverse_mux = FlowMux(reverse_channel)
@@ -639,6 +642,7 @@ def run_flows(
     obs_run_id: Optional[str] = None,
     obs_labels: Optional[dict] = None,
     obs_sample_invariants_every: int = 0,
+    engine: str = "default",
 ) -> SessionResult:
     """Run N flows over one shared link pair and measure the session.
 
@@ -672,6 +676,7 @@ def run_flows(
             obs_run_id=obs_run_id,
             obs_labels=obs_labels,
             obs_sample_invariants_every=obs_sample_invariants_every,
+            engine=engine,
         )
         return _session_from_transfer(spec, result)
     host = SessionHost(
@@ -689,6 +694,7 @@ def run_flows(
         obs_run_id=obs_run_id,
         obs_labels=obs_labels,
         obs_sample_invariants_every=obs_sample_invariants_every,
+        engine=engine,
     )
     return host.run()
 

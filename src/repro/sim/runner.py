@@ -18,8 +18,9 @@ from typing import Any, List, Optional
 from repro.channel.channel import Channel
 from repro.channel.delay import ConstantDelay, DelayModel
 from repro.channel.impairments import LossModel, NoLoss
+from repro.channel.sampling import maybe_block
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, make_simulator
 from repro.sim.randomness import RandomStreams
 from repro.trace.recorder import NullRecorder, TraceRecorder
 from repro.workloads.sources import Source
@@ -193,6 +194,7 @@ def run_transfer(
     obs_run_id: Optional[str] = None,
     obs_labels: Optional[dict] = None,
     obs_sample_invariants_every: int = 0,
+    engine: str = "default",
 ) -> TransferResult:
     """Run one complete transfer and measure it.
 
@@ -230,8 +232,16 @@ def run_transfer(
     session is returned as ``result.obs`` for snapshotting/export.  With
     ``obs`` falsy (the default) none of this code runs and no telemetry
     objects are allocated.
+
+    ``engine`` selects the event-loop implementation (see
+    :data:`repro.sim.engine.ENGINES`): ``"default"`` is the binary-heap
+    engine whose golden decision traces are pinned byte-for-byte;
+    ``"fast"`` is the calendar-queue engine with batched same-timestamp
+    drain and block-sampled channel randomness — decision-trace
+    equivalent (the channel streams are bit-identical by construction)
+    but measurably faster on event-dense workloads.
     """
-    sim = Simulator()
+    sim = make_simulator(engine)
     streams = RandomStreams(seed)
 
     obs_session = None
@@ -250,8 +260,12 @@ def run_transfer(
 
     forward_spec = forward if forward is not None else LinkSpec()
     reverse_spec = reverse if reverse is not None else LinkSpec()
-    forward_channel = forward_spec.build(sim, streams.get("channel.forward"), "SR")
-    reverse_channel = reverse_spec.build(sim, streams.get("channel.reverse"), "RS")
+    forward_channel = forward_spec.build(
+        sim, maybe_block(streams.get("channel.forward"), engine), "SR"
+    )
+    reverse_channel = reverse_spec.build(
+        sim, maybe_block(streams.get("channel.reverse"), engine), "RS"
+    )
     if obs_session is not None:
         obs_session.attach_channel(forward_channel, "SR")
         obs_session.attach_channel(reverse_channel, "RS")

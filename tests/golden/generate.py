@@ -89,8 +89,21 @@ def golden_cases():
     return cases
 
 
-def record_case(protocol: str, window: int, total: int, forward, reverse, seed):
-    """One traced transfer; returns the JSON-safe decision trace."""
+def record_case(
+    protocol: str,
+    window: int,
+    total: int,
+    forward,
+    reverse,
+    seed,
+    engine: str = "default",
+):
+    """One traced transfer; returns the JSON-safe decision trace.
+
+    ``engine`` selects the event loop; the recordings are always
+    *generated* on the default engine, and the fast engine is required to
+    reproduce them exactly (see ``test_golden_traces.py``).
+    """
     sender, receiver = make_pair(protocol, window=window)
     result = run_transfer(
         sender,
@@ -101,6 +114,7 @@ def record_case(protocol: str, window: int, total: int, forward, reverse, seed):
         seed=seed,
         trace=True,
         max_time=10_000.0,
+        engine=engine,
     )
     assert result.completed and result.in_order, (
         f"golden run must complete cleanly: {protocol}: {result.summary()}"

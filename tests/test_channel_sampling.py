@@ -1,0 +1,158 @@
+"""Stream identity for :mod:`repro.channel.sampling`.
+
+The fast engine's channel path swaps ``random.Random`` for
+:class:`BlockRandom`; every test here pins the property that makes the
+swap legal: the wrapper returns *bit-for-bit* the draws the wrapped rng
+would have produced, on both the numpy and pure-python refill backends.
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.channel.sampling import (
+    DEFAULT_BLOCK_SIZE,
+    BlockRandom,
+    maybe_block,
+    numpy_available,
+)
+
+
+def _reference_draws(seed, script):
+    """Run ``script`` — a list of (method, args) — on a raw Random."""
+    rng = random.Random(seed)
+    return [getattr(rng, method)(*args) for method, args in script]
+
+
+def _mixed_script(n=5000, seed=99):
+    """A deterministic interleaving of the three channel draw methods."""
+    chooser = random.Random(seed)
+    script = []
+    for _ in range(n):
+        which = chooser.randrange(3)
+        if which == 0:
+            script.append(("random", ()))
+        elif which == 1:
+            script.append(("uniform", (chooser.random(), 2.0 + chooser.random())))
+        else:
+            script.append(("expovariate", (0.1 + chooser.random(),)))
+    return script
+
+
+@pytest.mark.parametrize("block_size", [1, 7, DEFAULT_BLOCK_SIZE])
+def test_bit_identical_mixed_stream(block_size):
+    """Interleaved random/uniform/expovariate, crossing refill
+    boundaries at awkward block sizes, must match the raw rng exactly
+    (``==``, not ``approx``: one flipped ulp desyncs decision traces)."""
+    script = _mixed_script()
+    expected = _reference_draws(4242, script)
+    block = BlockRandom(random.Random(4242), block_size=block_size)
+    actual = [getattr(block, method)(*args) for method, args in script]
+    assert actual == expected
+
+
+def test_getstate_setstate_round_trip():
+    block = BlockRandom(random.Random(7), block_size=13)
+    for _ in range(20):  # leave a partially consumed block
+        block.random()
+    state = block.getstate()
+    tail_a = [block.random() for _ in range(100)]
+    block.setstate(state)
+    tail_b = [block.random() for _ in range(100)]
+    assert tail_a == tail_b
+
+
+def test_getstate_matches_raw_rng_position():
+    """After N draws, getstate()'s rng component equals a raw rng
+    advanced by the same number of underlying draws."""
+    n = 50
+    block = BlockRandom(random.Random(3), block_size=8)
+    drawn = [block.random() for _ in range(n)]
+    reference = random.Random(3)
+    expected = [reference.random() for _ in range(n)]
+    assert drawn == expected
+    rng_state, buffered = block.getstate()
+    # the saved position accounts for the buffered remainder: consuming
+    # the buffer (stored reversed) then fresh draws from the saved state
+    # continues the reference stream without a gap
+    replay = random.Random()
+    replay.setstate(rng_state)
+    continuation = list(buffered)[::-1] + [replay.random() for _ in range(10)]
+    assert continuation == [
+        reference.random() for _ in range(len(buffered) + 10)
+    ]
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError):
+        BlockRandom(random.Random(1), block_size=0)
+
+
+def test_maybe_block_gating():
+    rng = random.Random(5)
+    assert maybe_block(None, "fast") is None
+    assert maybe_block(rng, "default") is rng
+    wrapped = maybe_block(rng, "fast")
+    assert isinstance(wrapped, BlockRandom)
+    assert wrapped.rng is rng
+
+
+def test_no_silent_fallthrough():
+    """Draw methods the channel doesn't use must be absent, not proxied:
+    an invisible stream advance would desync traces."""
+    block = BlockRandom(random.Random(1))
+    for missing in ("randrange", "randint", "gauss", "choice", "shuffle"):
+        assert not hasattr(block, missing)
+
+
+_BACKEND_SNIPPET = """
+import json, random
+from repro.channel.sampling import BlockRandom, numpy_available
+
+block = BlockRandom(random.Random(1234), block_size=7)
+draws = []
+for i in range(500):
+    draws.append(block.random())
+    draws.append(block.uniform(-1.5, 3.5))
+    draws.append(block.expovariate(0.75))
+state = block.getstate()
+draws.append(block.random())
+block.setstate(state)
+draws.append(block.random())
+print(json.dumps({"numpy": numpy_available(), "draws": draws}))
+"""
+
+
+def _run_backend(no_numpy):
+    env = {"PYTHONPATH": "src"}
+    if no_numpy:
+        env["REPRO_NO_NUMPY"] = "1"
+    result = subprocess.run(
+        [sys.executable, "-c", _BACKEND_SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    import json
+
+    return json.loads(result.stdout)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not importable")
+def test_numpy_and_python_backends_identical():
+    """REPRO_NO_NUMPY=1 must flip the backend without changing a single
+    bit of the stream (json round-trips doubles exactly)."""
+    with_numpy = _run_backend(no_numpy=False)
+    without_numpy = _run_backend(no_numpy=True)
+    assert with_numpy["numpy"] is True
+    assert without_numpy["numpy"] is False
+    assert with_numpy["draws"] == without_numpy["draws"]
+
+
+def test_repr_names_backend():
+    block = BlockRandom(random.Random(1))
+    expected = "numpy" if numpy_available() else "python"
+    assert expected in repr(block)

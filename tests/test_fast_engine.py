@@ -1,0 +1,366 @@
+"""Edge cases specific to the calendar-queue engine (``FastSimulator``).
+
+The shared engine contract is enforced by ``test_sim_engine.py`` (whose
+``sim`` fixture is parametrized over both engines).  These tests target
+the machinery the heap engine doesn't have: year-bucket scanning across
+cancelled heads, the noop-substitution cancel in the batched drain,
+bucket resizing mid-run, instrument swaps between the lean and
+instrumented drain loops, and cross-process determinism.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim.engine import (
+    ENGINES,
+    FastSimulator,
+    Simulator,
+    make_simulator,
+)
+
+
+def test_make_simulator_engines():
+    assert isinstance(make_simulator("default"), Simulator)
+    assert isinstance(make_simulator("fast"), FastSimulator)
+    with pytest.raises(ValueError):
+        make_simulator("warp")
+    assert set(ENGINES) == {"default", "fast"}
+
+
+class TestPeekAcrossCancelledHeads:
+    def test_peek_skips_cancelled_head(self):
+        sim = FastSimulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_skips_run_of_cancelled_heads_across_buckets(self):
+        # Cancel heads spread over many year-buckets so the scan has to
+        # walk buckets (and wrap years) before finding a live event.
+        sim = FastSimulator()
+        doomed = [sim.schedule(float(i), lambda: None) for i in range(50)]
+        survivor = sim.schedule(50.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert sim.peek_time() == 50.0
+        assert survivor.pending
+        sim.run()
+        assert sim.now == 50.0
+        # cancelled events are discarded, not fired
+        assert sim.events_processed == 1
+
+    def test_peek_empty_after_all_cancelled(self):
+        sim = FastSimulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.peek_time() is None
+        sim.run()
+        assert sim.events_processed == 0
+
+
+class TestIntraBatchCancel:
+    """A callback cancelling a same-timestamp, not-yet-fired event.
+
+    Both engines must skip the cancelled event even though it was
+    already pulled into the current batch (fast engine) or sits at the
+    heap top (default engine).  The noop-substitution cancel makes this
+    work without a per-event branch in the lean drain loop.
+    """
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cancel_later_event_in_same_batch(self, engine):
+        sim = make_simulator(engine)
+        seen = []
+        victim_box = []
+
+        def assassin():
+            seen.append("assassin")
+            victim_box[0].cancel()
+
+        # assassin has the earlier seq, so it fires first within the
+        # same-timestamp batch and cancels the already-pulled victim
+        sim.schedule(1.0, assassin)
+        victim_box.append(sim.schedule(1.0, seen.append, "victim"))
+        sim.run()
+        assert seen == ["assassin"]
+        assert not victim_box[0].pending
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cancelled_batch_member_not_counted_as_processed(self, engine):
+        sim = make_simulator(engine)
+        victim_box = []
+
+        def assassin():
+            victim_box[0].cancel()
+
+        sim.schedule(1.0, assassin)
+        victim_box.append(sim.schedule(1.0, lambda: None))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        # assassin + trailing noop fire; the victim must not be counted
+        assert sim.events_processed == 2
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_double_cancel_is_idempotent(self, engine):
+        sim = make_simulator(engine)
+        victim_box = []
+
+        def assassin():
+            victim_box[0].cancel()
+            victim_box[0].cancel()  # must not un-swap the noop
+
+        sim.schedule(1.0, assassin)
+        victim_box.append(sim.schedule(1.0, lambda: None))
+        sim.run()
+        assert sim.events_processed == 1
+        assert not victim_box[0].pending
+
+
+class TestZeroDelayTies:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_zero_delay_self_reschedule_preserves_fifo(self, engine):
+        """Zero-delay rescheduling at the current timestamp: new events
+        join the *end* of the current batch (seq order), exactly like
+        the heap engine's tie-break."""
+        sim = make_simulator(engine)
+        order = []
+
+        def ping(tag, remaining):
+            order.append(tag)
+            if remaining:
+                sim.schedule(0.0, ping, tag, remaining - 1)
+
+        sim.schedule(1.0, ping, "a", 2)
+        sim.schedule(1.0, ping, "b", 2)
+        sim.run()
+        assert order == ["a", "b", "a", "b", "a", "b"]
+        assert sim.now == 1.0
+
+    def test_schedule_at_into_current_bucket(self):
+        """schedule_at targeting the bucket currently being drained."""
+        sim = FastSimulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            # same year-bucket as the executing batch, later time
+            sim.schedule_at(1.0 + 1e-9, lambda: seen.append(("second", sim.now)))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert [tag for tag, _ in seen] == ["first", "second"]
+        times = [t for _, t in seen]
+        assert times[0] == 1.0 and times[1] > 1.0
+
+    def test_same_time_schedule_at_from_callback_joins_batch(self):
+        sim = FastSimulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_at(sim.now, lambda: seen.append("tail"))
+
+        sim.schedule_at(1.0, first)
+        sim.schedule_at(1.0, lambda: seen.append("middle"))
+        sim.run()
+        assert seen == ["first", "middle", "tail"]
+
+
+class TestResizeMidRun:
+    def test_growth_through_many_resizes_keeps_order(self):
+        """Push enough events through to force several quadrupling
+        resizes while the drain is running; order must stay exact."""
+        sim = FastSimulator()
+        fired = []
+
+        def burst(base):
+            fired.append(base)
+            if base < 5:
+                # fan a fresh wave out from inside a callback so the
+                # resize happens while _running is True (deferred path)
+                for offset in range(400):
+                    sim.schedule(
+                        0.5 + (offset % 7) * 0.125,
+                        fired.append,
+                        (base, offset),
+                    )
+                sim.schedule(10.0, burst, base + 1)
+
+        sim.schedule(0.0, burst, 0)
+        sim.run()
+        assert sim.pending_count == 0
+        assert len(fired) == 6 + 5 * 400
+        # cross-check the exact sequence against the heap engine
+        ref_sim = Simulator()
+        ref_fired = []
+
+        def ref_burst(base):
+            ref_fired.append(base)
+            if base < 5:
+                for offset in range(400):
+                    ref_sim.schedule(
+                        0.5 + (offset % 7) * 0.125,
+                        ref_fired.append,
+                        (base, offset),
+                    )
+                ref_sim.schedule(10.0, ref_burst, base + 1)
+
+        ref_sim.schedule(0.0, ref_burst, 0)
+        ref_sim.run()
+        assert fired == ref_fired
+        assert sim.now == ref_sim.now
+        assert sim.events_processed == ref_sim.events_processed
+
+
+class TestInstrumentSwap:
+    class _Instruments:
+        def __init__(self):
+            self.schedules = []
+            self.fires = []
+            self.discards = 0
+
+        def on_schedule(self, queue_len):
+            self.schedules.append(queue_len)
+
+        def on_fire(self, queue_len):
+            self.fires.append(queue_len)
+
+        def on_cancel_discard(self):
+            self.discards += 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_mid_run_attach_defers_drain_hooks_to_next_run(self, engine):
+        """Both engines bind the drain body once per ``run()`` call: a
+        mid-run attach leaves the current (lean) drain untouched, but
+        the *schedule* hook — swapped as an instance attribute — is
+        live immediately, and the next drain call is instrumented."""
+        sim = make_simulator(engine)
+        instruments = self._Instruments()
+        seen = []
+
+        def attach():
+            seen.append("attach")
+            sim.set_instruments(instruments)
+            # schedule() is already the instrumented twin here
+            sim.schedule(1.0, seen.append, "post-attach")
+
+        sim.schedule(1.0, attach)
+        sim.schedule(2.0, seen.append, "observed-a")
+        sim.run()
+        assert seen == ["attach", "observed-a", "post-attach"]
+        assert sim.events_processed == 3
+        assert len(instruments.schedules) == 1  # the post-attach schedule
+        assert instruments.fires == []  # this drain stayed lean
+
+        sim.schedule(1.0, seen.append, "next-run")
+        sim.run()
+        assert seen[-1] == "next-run"
+        assert len(instruments.fires) == 1  # fresh drain is instrumented
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_mid_run_detach_keeps_current_drain_instrumented(self, engine):
+        sim = make_simulator(engine)
+        instruments = self._Instruments()
+        sim.set_instruments(instruments)
+        seen = []
+
+        def detach():
+            seen.append("detach")
+            sim.set_instruments(None)
+
+        sim.schedule(1.0, detach)
+        sim.schedule(2.0, seen.append, "after")
+        sim.run()
+        assert seen == ["detach", "after"]
+        assert sim.events_processed == 2
+        # the in-flight drain captured the instruments at entry...
+        assert len(instruments.fires) == 2
+        assert len(instruments.schedules) == 2
+        # ...but the next drain (and schedule) runs lean again
+        sim.schedule(1.0, seen.append, "lean")
+        sim.run()
+        assert len(instruments.fires) == 2
+        assert len(instruments.schedules) == 2
+
+
+class TestExceptionPropagation:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exception_preserves_pending_events(self, engine):
+        """A raising callback leaves the rest of the queue intact and
+        resumable, and counts the raising event as processed."""
+        sim = make_simulator(engine)
+        seen = []
+
+        def boom():
+            seen.append("boom")
+            raise RuntimeError("bang")
+
+        sim.schedule(1.0, seen.append, "before")
+        sim.schedule(2.0, boom)
+        sim.schedule(2.0, seen.append, "same-time-later")
+        sim.schedule(3.0, seen.append, "after")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert seen == ["before", "boom"]
+        assert sim.events_processed == 2
+        assert sim.pending_count == 2
+        sim.run()  # resumable: the put-back events still fire in order
+        assert seen == ["before", "boom", "same-time-later", "after"]
+        assert sim.events_processed == 4
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exception_with_cancelled_batch_member(self, engine):
+        sim = make_simulator(engine)
+        victim_box = []
+
+        def boom():
+            victim_box[0].cancel()
+            raise RuntimeError("bang")
+
+        sim.schedule(1.0, boom)
+        victim_box.append(sim.schedule(1.0, lambda: None))
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # boom fired (and is counted); victim was cancelled, not fired
+        assert sim.events_processed == 1
+        assert sim.pending_count == 1
+
+
+_DETERMINISM_SNIPPET = """
+import json
+from repro.sim.engine import make_simulator
+
+sim = make_simulator("fast")
+log = []
+
+def tick(tag, n):
+    log.append((sim.now, tag))
+    if n:
+        sim.schedule(0.25 + (n % 5) * 0.125, tick, tag, n - 1)
+
+for tag in ("a", "b", "c"):
+    sim.schedule(1.0, tick, tag, 40)
+sim.run()
+print(json.dumps([sim.events_processed, sim.now, log]))
+"""
+
+
+def test_fast_engine_deterministic_across_hash_seeds():
+    """The calendar queue must not depend on hash ordering: identical
+    runs under different PYTHONHASHSEED values produce identical logs."""
+    outputs = set()
+    for hash_seed in ("0", "1", "424242"):
+        result = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SNIPPET],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": hash_seed},
+            check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1

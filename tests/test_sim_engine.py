@@ -207,16 +207,22 @@ class TestRunWhile:
         sim.schedule(1.0, lambda: None)
         assert sim.run_while(lambda: True) == 1
 
-    def test_max_time_stops_after_crossing_event(self, sim):
-        # historic runner-loop semantics: max_time is checked against the
-        # clock before each pop, so the event that crosses the horizon
-        # still executes and the drain stops on the next iteration
+    def test_max_time_head_peek_boundary(self, sim):
+        # head-peek semantics (aligned with run(until=)): an event
+        # strictly past max_time stays queued, one exactly at the bound
+        # fires, and the clock settles at max_time when the bound is
+        # what stopped the drain
         seen = []
         sim.schedule(1.0, seen.append, "a")
-        sim.schedule(5.0, seen.append, "b")
-        sim.schedule(6.0, seen.append, "c")
-        sim.run_while(lambda: True, max_time=3.0)
+        sim.schedule(3.0, seen.append, "b")
+        sim.schedule(5.0, seen.append, "c")
+        processed = sim.run_while(lambda: True, max_time=3.0)
         assert seen == ["a", "b"]
+        assert processed == 2
+        assert sim.now == 3.0
+        # the crossing event is still queued and fires on the next drain
+        sim.run_while(lambda: True)
+        assert seen == ["a", "b", "c"]
         assert sim.now == 5.0
 
     def test_max_events_bound(self, sim):
