@@ -31,6 +31,13 @@ Subcommands
     metric snapshot, optional live invariant probe); ``summarize``
     renders one export; ``diff`` compares the metric snapshots of two
     exports (e.g. two seeds, or the same cell before/after a change).
+
+``blockack analyze results/obs/flight/<run_id>.jsonl [--perfetto OUT]``
+    Root-cause analysis (:mod:`repro.obs.analyze`) of a causal flight
+    dump (written when an anomaly trigger fires under ``--causal``) or
+    any telemetry export: stall timeline, per-seq cause lines ("seq 41:
+    3 losses -> Karn backoff x8 -> window stall 2.1tu"), and optional
+    Chrome/Perfetto trace-event JSON.
 """
 
 from __future__ import annotations
@@ -77,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs", action="store_true",
         help="record telemetry for every grid cell and export it to "
         "results/obs/<run_id>.jsonl (like REPRO_OBS=1)",
+    )
+    run_p.add_argument(
+        "--causal", action="store_true",
+        help="keep the causal flight recorder on for every grid cell; "
+        "anomalous cells dump results/obs/flight/<run_id>.jsonl "
+        "(like REPRO_CAUSAL=1)",
     )
     run_p.add_argument(
         "--flows", type=int, default=None, metavar="N",
@@ -196,6 +209,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-loop implementation (fast = calendar queue + batched "
         "drain + block-sampled channel randomness)",
     )
+    tr.add_argument(
+        "--causal", action="store_true",
+        help="record the causal event graph and flight-recorder ring; "
+        "an anomalous run dumps results/obs/flight/transfer.jsonl",
+    )
+
+    an = sub.add_parser(
+        "analyze",
+        help="root-cause analysis of a causal flight dump or telemetry "
+        "export",
+    )
+    an.add_argument("path", help="a repro.obs/v2 .jsonl file")
+    an.add_argument(
+        "--perfetto", default=None, metavar="OUT",
+        help="also write Chrome/Perfetto trace-event JSON to OUT",
+    )
+    an.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="stalls / cause lines to print (default: 10)",
+    )
 
     chk = sub.add_parser("check", help="model-check the abstract protocol")
     chk.add_argument("--window", type=int, default=2)
@@ -245,6 +278,7 @@ def _cmd_run(
     obs: bool = False,
     flows: Optional[int] = None,
     engine: Optional[str] = None,
+    causal: bool = False,
 ) -> int:
     import os
 
@@ -262,6 +296,8 @@ def _cmd_run(
         os.environ["REPRO_FLOWS"] = str(flows)
     if engine is not None:
         os.environ["REPRO_ENGINE"] = engine
+    if causal:
+        os.environ["REPRO_CAUSAL"] = "1"
     ids = experiment_ids() if experiment.lower() == "all" else [experiment]
     failures = 0
     for exp_id in ids:
@@ -321,9 +357,11 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             seed=args.seed,
             trace=args.trace > 0,
             max_time=1_000_000.0,
+            causal=args.causal,
             engine=args.engine,
         )
         print(session.summary())
+        _print_causal(session)
         for flow in session.flows:
             retx = flow.sender_stats.get("retransmissions", 0)
             print(
@@ -348,9 +386,11 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         max_time=1_000_000.0,
         fault_plan=fault_plan,
         monitor_invariants=fault_plan is not None,
+        causal=args.causal,
         engine=args.engine,
     )
     print(result.summary())
+    _print_causal(result)
     if result.stabilization is not None:
         stab = result.stabilization
         reconv = stab["reconvergence_time"]
@@ -367,6 +407,34 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         ok = result.completed and result.stabilization["verdict"] != "diverged"
         return 0 if ok else 1
     return 0 if result.completed and result.in_order else 1
+
+
+def _print_causal(result) -> None:
+    """Summarize the causal layer of a transfer/session result, if on."""
+    causal = getattr(result, "causal", None)
+    if causal is None:
+        return
+    print(
+        f"causal: {causal.events_recorded} event(s) recorded, "
+        f"{len(causal.attributions)} attribution(s), "
+        f"{len(causal.triggers)} trigger(s)"
+    )
+    for time, reason, detail in causal.triggers:
+        suffix = f" ({detail})" if detail else ""
+        print(f"  trigger @ {time:.2f}tu: {reason}{suffix}")
+    if result.flight_path is not None:
+        print(f"  flight dump: {result.flight_path}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import load_analysis, render_report, write_perfetto
+
+    analysis = load_analysis(args.path)
+    print(render_report(analysis, limit=args.limit))
+    if args.perfetto:
+        path = write_perfetto(analysis, args.perfetto)
+        print(f"wrote {path}")
+    return 0
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -578,12 +646,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(
             args.experiment, args.quick, args.jobs, args.cache, args.obs,
-            args.flows, args.engine,
+            args.flows, args.engine, args.causal,
         )
     if args.command == "perf":
         return _cmd_perf(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "transfer":
         return _cmd_transfer(args)
     if args.command == "check":

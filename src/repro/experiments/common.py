@@ -31,6 +31,7 @@ from repro.channel.impairments import BernoulliLoss, NoLoss
 from repro.perf.sweep import (
     RunConfig,
     SweepRunner,
+    causal_enabled_by_env,
     engine_from_env,
     obs_enabled_by_env,
 )
@@ -194,6 +195,7 @@ def protocol_config(
     obs: Optional[bool] = None,
     flows: int = 1,
     engine: Optional[str] = None,
+    causal: Optional[bool] = None,
     **protocol_kwargs,
 ) -> RunConfig:
     """The declarative twin of :func:`run_protocol`: one grid cell run.
@@ -213,11 +215,18 @@ def protocol_config(
     ``--engine`` flag); like ``obs``, the resolved value is part of the
     config and its cache key, so fast-engine results never masquerade
     as default-engine ones.
+
+    ``causal=None`` resolves against ``REPRO_CAUSAL`` (the CLI's
+    ``--causal`` flag): the causal flight recorder rides every cell of
+    the grid, and anomalous cells leave ``results/obs/flight/`` dumps.
+    The resolved value joins the cache key like ``obs``/``engine``.
     """
     if obs is None:
         obs = obs_enabled_by_env()
     if engine is None:
         engine = engine_from_env()
+    if causal is None:
+        causal = causal_enabled_by_env()
     return RunConfig(
         protocol=name,
         window=window,
@@ -232,6 +241,7 @@ def protocol_config(
         obs=obs,
         flows=flows,
         engine=engine,
+        causal=causal,
     )
 
 

@@ -1,0 +1,761 @@
+"""Causal event graph, flight recorder, and exact latency attribution.
+
+Counters say *that* a run went wrong; this module records *why*.  A
+:class:`CausalRecorder` turns every protocol-relevant event — submit,
+send/resend, channel transit outcomes (deliver/lose/age/duplicate),
+acks, timer arm/fire/cancel, RTO verdicts, state-corruption injection,
+guard/repair firings, endpoint crash/restart, invariant-probe findings —
+into a node of a per-seq causal graph with parent edges (timer-fire →
+retransmit → delivery).  Nodes come from the existing instrument seams
+only (the trace-recorder tee, channel observers, the controller
+instruments duck-type, the fault-plan observer, and the timers' sim-level
+observer), so the stream is identical under the heap and calendar-queue
+engines: both produce bit-identical decision traces, and every hook here
+fires synchronously inside the same callbacks.
+
+Three products sit on the graph:
+
+* **flight recorder** — an always-on bounded ring
+  (:data:`FLIGHT_RING_CAPACITY` nodes).  When an anomaly trigger fires
+  (link-dead verdict, stabilization ``degraded``/``diverged`` grade, RTO
+  backoff ladder >= :data:`BACKOFF_TRIGGER_ATTEMPTS`, invariant-probe
+  violation, Jain fairness below :data:`FAIRNESS_TRIGGER_THRESHOLD`) the
+  ring is frozen, endpoint-state snapshots are taken, and a dump streams
+  to ``results/obs/flight/<run_id>.jsonl`` under ``repro.obs/v2`` — the
+  file keeps growing with post-trigger events and is flushed at every
+  fault boundary, so even a run killed mid-flight leaves a parseable
+  record.  Clean runs write nothing.
+
+* **latency attribution** — each delivered seq's latency decomposed into
+  ``queue_wait`` (submit → first send), ``timer_wait`` (last send →
+  timeout, per retransmission round), ``retx_wait`` (timeout → resend;
+  the whole inter-send gap when no timeout was observed for the seq),
+  and ``propagation`` (last send before delivery → delivery).  The four
+  components telescope: they sum *exactly* to ``delivered - submitted``
+  up to float addition error.
+
+* **root-cause analysis** — :mod:`repro.obs.analyze` reconstructs stall
+  timelines and Perfetto traces from the dump (``blockack analyze``).
+
+Hot-path design
+---------------
+
+The recorder rides *every* causal-enabled run, so the per-event cost is
+engineered down to one tuple build plus one deque append: raw nodes are
+``(time, actor, kind, seq, seq_hi, flow, detail)`` with **no** ids and
+**no** parent edges.  Node ids and the per-(flow, seq) parent chain are
+deterministic functions of stream order, so they are materialized
+lazily — at trigger time for the frozen ring, incrementally for
+post-trigger streamed nodes, and on demand in :meth:`nodes`.  Latency
+attribution likewise keeps only a tiny per-seq fold (:class:`_SeqState`)
+inline and builds the record dicts as a lazy pass in
+:attr:`CausalRecorder.attributions`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.messages import (
+    BlockAck,
+    CumulativeAck,
+    DataMessage,
+    FlowEnvelope,
+)
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.recorder import NullRecorder
+
+__all__ = [
+    "FLIGHT_RING_CAPACITY",
+    "BACKOFF_TRIGGER_ATTEMPTS",
+    "FAIRNESS_TRIGGER_THRESHOLD",
+    "CausalRecorder",
+    "CausalTee",
+    "CausalControllerHook",
+    "node_record",
+]
+
+#: Ring capacity of the always-on flight recorder (causal nodes kept).
+FLIGHT_RING_CAPACITY = 1024
+
+#: Backoff-ladder position (consecutive expiries of one timer key) at
+#: which the flight recorder considers the run anomalous.  The default
+#: sits above anything a few-percent-loss run produces and below the
+#: ladder a brownout or dead link climbs (dead_after defaults to 12).
+BACKOFF_TRIGGER_ATTEMPTS = 6
+
+#: Jain fairness index below which a multi-flow session is anomalous.
+FAIRNESS_TRIGGER_THRESHOLD = 0.5
+
+#: EventKind -> wire string, precomputed because ``kind.value`` goes
+#: through enum's DynamicClassAttribute descriptor on every access.
+_KIND_STR = {kind: kind.value for kind in EventKind}
+
+_TIMER_KIND = {"arm": "timer.arm", "fire": "timer.fire", "cancel": "timer.cancel"}
+
+
+def node_record(node: tuple) -> dict:
+    """JSON-safe ``{"type": "causal", ...}`` record for one graph node."""
+    eid, time, actor, kind, seq, seq_hi, parent, flow, detail = node
+    record = {
+        "type": "causal",
+        "id": eid,
+        "time": time,
+        "actor": actor,
+        "kind": kind,
+        "seq": seq,
+        "seq_hi": seq_hi,
+        "parent": parent,
+    }
+    if flow is not None:
+        record["flow"] = flow
+    if detail is not None:
+        record["detail"] = detail
+    return record
+
+
+class _SeqState:
+    """Per-(flow, seq) fold state for the attribution pass."""
+
+    __slots__ = (
+        "flow",
+        "seq",
+        "submitted",
+        "first_sent",
+        "prev_send",
+        "pending_timeout",
+        "delivered",
+        "queue_wait",
+        "timer_wait",
+        "retx_wait",
+    )
+
+    def __init__(self, flow: Optional[int], seq: int) -> None:
+        self.flow = flow
+        self.seq = seq
+        self.submitted: Optional[float] = None
+        self.first_sent: Optional[float] = None
+        self.prev_send: Optional[float] = None
+        self.pending_timeout: Optional[float] = None
+        self.delivered: Optional[float] = None
+        self.queue_wait = 0.0
+        self.timer_wait = 0.0
+        self.retx_wait = 0.0
+
+
+class CausalRecorder:
+    """Per-run causal graph + flight ring + latency attribution.
+
+    One instance per run (like :class:`~repro.obs.session.Observability`),
+    built by ``run_transfer(..., causal=True)`` or the session host.  The
+    hot path appends one raw tuple per event to a bounded deque — no ids,
+    no parent lookups, no metric objects — everything derivable from
+    stream order is reconstructed lazily (see the module docstring).
+
+    Materialized graph nodes are ``(id, time, actor, kind, seq, seq_hi,
+    parent, flow, detail)`` tuples; ``parent`` is the id of the previous
+    node touching the same ``(flow, seq)`` (or the previous fault on the
+    same endpoint for fault nodes), which chains submit → send →
+    channel.send → timer.fire → timeout → resend → channel.deliver →
+    deliver per seq.
+    """
+
+    def __init__(
+        self,
+        sim,
+        run_id: str = "transfer",
+        labels: Optional[Dict[str, str]] = None,
+        ring_capacity: int = FLIGHT_RING_CAPACITY,
+        backoff_trigger: int = BACKOFF_TRIGGER_ATTEMPTS,
+        fairness_threshold: float = FAIRNESS_TRIGGER_THRESHOLD,
+        flight_dir=None,
+    ) -> None:
+        self._sim = sim
+        self.run_id = run_id
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.ring_capacity = ring_capacity
+        self.backoff_trigger = backoff_trigger
+        self.fairness_threshold = fairness_threshold
+        self._flight_dir = flight_dir
+        self.ring: deque = deque(maxlen=ring_capacity)  # raw 7-tuples
+        self._ring_append = self.ring.append
+        self.frozen: Optional[List[tuple]] = None  # materialized @ 1st trigger
+        self.triggers: List[tuple] = []  # (time, reason, detail)
+        self.snapshots: List[dict] = []  # endpoint states at 1st trigger
+        self.events_recorded = 0
+        self.flight_path: Optional[pathlib.Path] = None
+        self._sink = None  # open JsonlSink while a flight dump streams
+        self._stream = None  # [next_id, last_map] materializer continuation
+        self._state: Dict[Any, _SeqState] = {}  # seq | (flow, seq) -> fold
+        self._endpoints: List[tuple] = []  # (name, endpoint)
+
+    # ------------------------------------------------------------------
+    # lazy id / parent materialization (cold path)
+    # ------------------------------------------------------------------
+
+    def _materialize(
+        self, raw, start_id: int = 0, last: Optional[dict] = None
+    ) -> Tuple[List[tuple], int, dict]:
+        """Assign ids and parent edges to a raw-node stream.
+
+        ``last`` maps ``(flow, seq)`` — or the ``fault:<endpoint>`` actor
+        for fault nodes — to the id of the previous node on that chain;
+        passing it back in continues a materialization across calls.
+        """
+        if last is None:
+            last = {}
+        nodes: List[tuple] = []
+        eid = start_id
+        for time, actor, kind, seq, seq_hi, flow, detail in raw:
+            if seq is not None:
+                key = (flow, seq)
+                parent = last.get(key)
+                last[key] = eid
+            elif kind.startswith("fault."):
+                parent = last.get(actor)
+                last[actor] = eid
+            else:
+                parent = None
+            nodes.append(
+                (eid, time, actor, kind, seq, seq_hi, parent, flow, detail)
+            )
+            eid += 1
+        return nodes, eid, last
+
+    def _stream_node(self, raw: tuple) -> None:
+        """Materialize and write one post-trigger node to the open sink."""
+        cont = self._stream
+        eid, last = cont
+        time, actor, kind, seq, seq_hi, flow, detail = raw
+        if seq is not None:
+            key = (flow, seq)
+            parent = last.get(key)
+            last[key] = eid
+        elif kind.startswith("fault."):
+            parent = last.get(actor)
+            last[actor] = eid
+        else:
+            parent = None
+        cont[0] = eid + 1
+        self._sink.write(
+            node_record(
+                (eid, time, actor, kind, seq, seq_hi, parent, flow, detail)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # seam hooks (the hot paths: one tuple + one append each)
+    # ------------------------------------------------------------------
+
+    def on_submit(
+        self, seq: int, now: float, flow: Optional[int] = None
+    ) -> None:
+        """The application handed ``seq`` to the sender (runner hook)."""
+        node = (now, "source", "submit", seq, None, flow, None)
+        self._ring_append(node)
+        self.events_recorded += 1
+        if self._sink is not None:
+            self._stream_node(node)
+        states = self._state
+        key = seq if flow is None else (flow, seq)
+        state = states.get(key)
+        if state is None:
+            state = states[key] = _SeqState(flow, seq)
+        state.submitted = now
+
+    def on_deliver(
+        self,
+        seq: int,
+        now: float,
+        flow: Optional[int] = None,
+        actor: str = "receiver",
+    ) -> None:
+        """``seq`` released in order; closes the attribution (idempotent)."""
+        states = self._state
+        key = seq if flow is None else (flow, seq)
+        state = states.get(key)
+        if state is None:
+            state = states[key] = _SeqState(flow, seq)
+        elif state.delivered is not None:
+            return
+        state.delivered = now
+        node = (now, actor, "deliver", seq, None, flow, None)
+        self._ring_append(node)
+        self.events_recorded += 1
+        if self._sink is not None:
+            self._stream_node(node)
+
+    def on_trace(
+        self,
+        now: float,
+        actor: str,
+        kind: EventKind,
+        seq: Optional[int],
+        seq_hi: Optional[int],
+        detail: Any,
+        flow: Optional[int] = None,
+    ) -> None:
+        """One endpoint trace record (via :class:`CausalTee`)."""
+        if kind is EventKind.DELIVER:
+            if seq is not None:
+                self.on_deliver(seq, now, flow=flow, actor=actor)
+            return
+        node = (now, actor, _KIND_STR[kind], seq, seq_hi, flow, None)
+        self._ring_append(node)
+        self.events_recorded += 1
+        if self._sink is not None:
+            self._stream_node(node)
+        if seq is None:
+            if kind is EventKind.NOTE and actor == "probe":
+                self.trigger("invariant_violation", detail)
+            return
+        if kind is EventKind.SEND_DATA:
+            states = self._state
+            key = seq if flow is None else (flow, seq)
+            state = states.get(key)
+            if state is None:
+                state = states[key] = _SeqState(flow, seq)
+            elif state.delivered is not None:
+                return  # attribution closed; lost-ack resends don't reopen it
+            if state.first_sent is None:
+                state.first_sent = now
+                if state.submitted is not None:
+                    state.queue_wait = now - state.submitted
+            state.prev_send = now
+        elif kind is EventKind.RESEND_DATA:
+            states = self._state
+            key = seq if flow is None else (flow, seq)
+            state = states.get(key)
+            if state is None:
+                state = states[key] = _SeqState(flow, seq)
+            elif state.delivered is not None:
+                return
+            prev = state.prev_send
+            if prev is not None:
+                pending = state.pending_timeout
+                if pending is not None and pending >= prev:
+                    # split the inter-send gap at the observed timeout:
+                    # armed-and-waiting before it, retransmission wait after
+                    state.timer_wait += pending - prev
+                    state.retx_wait += now - pending
+                else:
+                    # no per-seq timeout observed (single-timer modes put
+                    # the seq on the TIMEOUT record of the window base, or
+                    # none at all): the whole gap is retransmission wait
+                    state.retx_wait += now - prev
+            state.pending_timeout = None
+            state.prev_send = now
+        elif kind is EventKind.TIMEOUT:
+            states = self._state
+            key = seq if flow is None else (flow, seq)
+            state = states.get(key)
+            if state is None:
+                state = states[key] = _SeqState(flow, seq)
+            elif state.delivered is not None:
+                return
+            state.pending_timeout = now
+        elif kind is EventKind.NOTE and actor == "probe":
+            self.trigger("invariant_violation", detail)
+
+    def channel_observer(self, link: str):
+        """An ``add_observer`` callback recording transit outcomes."""
+        actor = f"channel:{link}"
+        sim = self._sim
+        ring_append = self._ring_append
+        kind_cache: Dict[str, str] = {}
+
+        def observe(kind: str, message: Any) -> None:
+            kindstr = kind_cache.get(kind)
+            if kindstr is None:
+                kindstr = kind_cache[kind] = "channel." + kind
+            flow = None
+            if isinstance(message, FlowEnvelope):
+                flow = message.flow
+                message = message.message
+            if isinstance(message, DataMessage):
+                seq, seq_hi = message.seq, None
+            elif isinstance(message, BlockAck):
+                seq, seq_hi = message.lo, message.hi
+            elif isinstance(message, CumulativeAck):
+                seq, seq_hi = message.seq, None
+            else:
+                seq = seq_hi = None
+            node = (sim.now, actor, kindstr, seq, seq_hi, flow, None)
+            ring_append(node)
+            self.events_recorded += 1
+            if self._sink is not None:
+                self._stream_node(node)
+
+        return observe
+
+    def timer_observer(self):
+        """The sim-level timer hook (``sim.timer_observer``).
+
+        Both engines expose the attribute; :class:`repro.sim.timers.Timer`
+        invokes it synchronously from ``start``/``stop``/``_fire``, so
+        the arm/cancel/fire stream is identical across engines.
+        """
+        sim = self._sim
+        ring_append = self._ring_append
+        timer_kind = _TIMER_KIND
+
+        def observe(op: str, timer: Any) -> None:
+            key = timer.key
+            kindstr = timer_kind.get(op)
+            if kindstr is None:
+                kindstr = "timer." + op
+            node = (
+                sim.now,
+                timer.name,
+                kindstr,
+                key if type(key) is int else None,
+                None,
+                None,
+                timer.expires_at if op == "arm" else None,
+            )
+            ring_append(node)
+            self.events_recorded += 1
+            if self._sink is not None:
+                self._stream_node(node)
+
+        return observe
+
+    def attach_controller(self, controller, flow: Optional[int] = None) -> None:
+        """Hook RTO verdicts, preserving any obs instruments already bound."""
+        inner = getattr(controller, "_instruments", None)
+        controller.bind_instruments(
+            CausalControllerHook(self, inner=inner, flow=flow)
+        )
+
+    def on_retry_verdict(
+        self,
+        attempts: int,
+        verdict: str,
+        key: Any = None,
+        now: Any = None,
+        flow: Optional[int] = None,
+    ) -> None:
+        time = now if now is not None else self._sim.now
+        node = (
+            time,
+            "controller",
+            "rto.verdict",
+            key if type(key) is int else None,
+            None,
+            flow,
+            f"{verdict} attempts={attempts}",
+        )
+        self._ring_append(node)
+        self.events_recorded += 1
+        if self._sink is not None:
+            self._stream_node(node)
+        if verdict == "link_dead":
+            self.trigger("link_dead", f"key={key} attempts={attempts}")
+        elif attempts >= self.backoff_trigger:
+            self.trigger("rto_backoff", f"key={key} attempts={attempts}")
+
+    def fault_observer(self):
+        """The :class:`~repro.robustness.faults.FaultPlan` observer hook.
+
+        Fault nodes chain per endpoint (crash → restart, corrupt →
+        repair) through the materializer's actor-keyed chain.  Every
+        fault boundary flushes a streaming flight dump, so a run that
+        dies inside an outage still leaves complete lines.
+        """
+
+        def observe(kind: str, endpoint: str, detail: Any = None) -> None:
+            node = (
+                self._sim.now,
+                "fault:" + endpoint,
+                "fault." + kind,
+                None,
+                None,
+                None,
+                detail,
+            )
+            self._ring_append(node)
+            self.events_recorded += 1
+            if self._sink is not None:
+                self._stream_node(node)
+                self._sink.flush()
+
+        return observe
+
+    def watch_endpoints(self, *named: Tuple[str, Any]) -> None:
+        """Register endpoints whose state is snapshotted at trigger time."""
+        self._endpoints.extend(named)
+
+    # ------------------------------------------------------------------
+    # the attribution pass (lazy: built from the per-seq fold state)
+    # ------------------------------------------------------------------
+
+    @property
+    def attributions(self) -> Dict[tuple, dict]:
+        """``(flow, seq) -> attribution record`` for every delivered seq.
+
+        Computed on access from the inline fold state; the hot path never
+        builds these dicts.
+        """
+        out: Dict[tuple, dict] = {}
+        for state in self._state.values():
+            now = state.delivered
+            if now is None or state.submitted is None:
+                continue
+            # the interval [prev_send, delivered] was not yet accounted;
+            # it is pure propagation, so the four components telescope to
+            # delivered - submitted
+            prev = state.prev_send
+            record = {
+                "type": "attribution",
+                "seq": state.seq,
+                "total": now - state.submitted,
+                "queue_wait": state.queue_wait,
+                "timer_wait": state.timer_wait,
+                "retx_wait": state.retx_wait,
+                "propagation": now - prev if prev is not None else 0.0,
+            }
+            if state.flow is not None:
+                record["flow"] = state.flow
+            out[(state.flow, state.seq)] = record
+        return out
+
+    # ------------------------------------------------------------------
+    # triggers and the flight dump
+    # ------------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.triggers)
+
+    def on_stabilization(self, verdict: str) -> None:
+        """Finalize hook: degraded/diverged recovery grades are anomalies."""
+        if verdict in ("degraded", "diverged"):
+            self.trigger(f"stabilization_{verdict}")
+
+    def on_fairness(self, fairness: float) -> None:
+        """Finalize hook (sessions): a collapsed Jain index is an anomaly."""
+        if fairness < self.fairness_threshold:
+            self.trigger("fairness", f"jain={fairness:.3f}")
+
+    def trigger(self, reason: str, detail: Any = None) -> None:
+        """An anomaly fired; freeze the ring and start the flight dump."""
+        now = self._sim.now
+        self.triggers.append((now, reason, detail))
+        first = self.frozen is None
+        if first:
+            nodes, next_id, last = self._materialize(self.ring)
+            self.frozen = nodes
+            self._stream = [next_id, last]
+            self.snapshots = [
+                self._endpoint_state(name, endpoint)
+                for name, endpoint in self._endpoints
+            ]
+            self._open_flight()
+        if self._sink is not None and not first:
+            self._sink.write(self._trigger_record(self.triggers[-1]))
+            self._sink.flush()
+
+    @staticmethod
+    def _trigger_record(trigger: tuple) -> dict:
+        time, reason, detail = trigger
+        record = {"type": "trigger", "time": time, "reason": reason}
+        if detail is not None:
+            record["detail"] = detail
+        return record
+
+    @staticmethod
+    def _endpoint_state(name: str, endpoint: Any) -> dict:
+        """Best-effort JSON-safe snapshot of one endpoint's visible state."""
+        state: Dict[str, Any] = {}
+        stats = getattr(endpoint, "stats", None)
+        if stats is not None and hasattr(stats, "as_dict"):
+            state["stats"] = stats.as_dict()
+        for attr in ("link_dead", "timeout_period"):
+            value = getattr(endpoint, attr, None)
+            if isinstance(value, (bool, int, float)):
+                state[attr] = value
+        controller = getattr(endpoint, "_retx", None)
+        if controller is not None:
+            state["adaptive"] = controller.stats_dict()
+        window = getattr(endpoint, "window", None) or getattr(
+            endpoint, "book", None
+        )
+        if window is not None:
+            try:
+                attrs = vars(window)
+            except TypeError:  # slotted window books
+                attrs = {
+                    slot: getattr(window, slot, None)
+                    for slot in getattr(type(window), "__slots__", ())
+                }
+            state["window"] = {
+                key.lstrip("_"): value
+                for key, value in attrs.items()
+                if isinstance(value, (bool, int, float))
+            }
+        return {"type": "state", "endpoint": name, "state": state}
+
+    def flight_dir(self) -> pathlib.Path:
+        if self._flight_dir is not None:
+            return pathlib.Path(self._flight_dir)
+        from repro.obs.session import default_obs_dir  # cycle guard
+
+        return default_obs_dir() / "flight"
+
+    def _open_flight(self) -> None:
+        from repro.obs.sink import SCHEMA_VERSION, JsonlSink  # cycle guard
+
+        path = self.flight_dir() / f"{self.run_id}.jsonl"
+        sink = JsonlSink(path)
+        trigger = self.triggers[0]
+        labels = dict(self.labels)
+        labels["flight"] = trigger[1]
+        sink.write({
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "labels": labels,
+        })
+        sink.write(self._trigger_record(trigger))
+        for snapshot in self.snapshots:
+            sink.write(snapshot)
+        for node in self.frozen:
+            sink.write(node_record(node))
+        sink.flush()
+        self._sink = sink
+        self.flight_path = pathlib.Path(path)
+
+    def close_flight(self) -> Optional[str]:
+        """Finish a streaming flight dump (attributions + final snapshot).
+
+        Returns the written path as a string, or None when no trigger
+        fired (clean runs leave no flight file at all).
+        """
+        if self._sink is None:
+            return None
+        sink, self._sink = self._sink, None
+        try:
+            attributions = self.attributions
+            for key in sorted(
+                attributions, key=lambda k: (k[0] is not None, k)
+            ):
+                sink.write(attributions[key])
+            for name, endpoint in self._endpoints:
+                sink.write(self._endpoint_state(name, endpoint))
+            sink.write({"type": "snapshot", "metrics": {}})
+        finally:
+            sink.close()
+        return str(self.flight_path)
+
+    # ------------------------------------------------------------------
+    # reading the graph back (tests, analyze)
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> List[tuple]:
+        """Current ring contents, materialized, as a list (newest last)."""
+        return self._materialize(self.ring)[0]
+
+    def as_records(self) -> List[dict]:
+        """Attribution records in seq order (single-flow first)."""
+        attributions = self.attributions
+        return [
+            attributions[key]
+            for key in sorted(
+                attributions, key=lambda k: (k[0] is not None, k)
+            )
+        ]
+
+
+class CausalTee:
+    """Recorder tee: causal graph first, then the wrapped recorder.
+
+    Duck-typed against :class:`~repro.trace.recorder.TraceRecorder`
+    exactly like :class:`~repro.obs.spans.ObsRecorder`, and chainable
+    with it (the obs tee wraps this tee when both layers are on).  The
+    host builds one per flow, stamping every record with the flow id.
+
+    When the wrapped recorder is a :class:`NullRecorder` the forward call
+    is skipped entirely — its ``record`` is a no-op, and this tee sits on
+    the per-event hot path.
+    """
+
+    __slots__ = ("_sim", "_causal", "_inner", "_flow", "_on_trace", "_fwd")
+
+    def __init__(
+        self, sim, causal: CausalRecorder, inner, flow: Optional[int] = None
+    ) -> None:
+        self._sim = sim
+        self._causal = causal
+        self._inner = inner
+        self._flow = flow
+        self._on_trace = causal.on_trace
+        self._fwd = None if isinstance(inner, NullRecorder) else inner.record
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(self, actor, kind, seq=None, seq_hi=None, detail=None) -> None:
+        self._on_trace(
+            self._sim.now, actor, kind, seq, seq_hi, detail, self._flow
+        )
+        fwd = self._fwd
+        if fwd is not None:
+            fwd(actor, kind, seq=seq, seq_hi=seq_hi, detail=detail)
+
+    # -- read side: delegate to the wrapped recorder -----------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._inner.events
+
+    @property
+    def dropped_events(self) -> int:
+        return getattr(self._inner, "dropped_events", 0)
+
+    def filter(self, kind=None, actor=None, predicate=None):
+        return self._inner.filter(kind=kind, actor=actor, predicate=predicate)
+
+    def count(self, kind: EventKind) -> int:
+        return self._inner.count(kind)
+
+    def format(self, limit=None) -> str:
+        return self._inner.format(limit=limit)
+
+    def decision_trace(self) -> List[tuple]:
+        return self._inner.decision_trace()
+
+
+class CausalControllerHook:
+    """Controller-instruments fan-out: causal verdicts + inner telemetry.
+
+    :meth:`RetransmissionController.bind_instruments` holds a single
+    slot; this hook takes the slot and forwards every call to whatever
+    was bound before it (the obs
+    :class:`~repro.obs.session.ControllerInstruments`, or nothing).
+    """
+
+    __slots__ = ("_causal", "_inner", "_flow")
+
+    def __init__(
+        self,
+        causal: CausalRecorder,
+        inner: Any = None,
+        flow: Optional[int] = None,
+    ) -> None:
+        self._causal = causal
+        self._inner = inner
+        self._flow = flow
+
+    def on_rtt_sample(self, rtt: float, rto: float) -> None:
+        if self._inner is not None:
+            self._inner.on_rtt_sample(rtt, rto)
+
+    def on_timeout(
+        self, attempts: int, verdict: str, key: Any = None, now: Any = None
+    ) -> None:
+        self._causal.on_retry_verdict(attempts, verdict, key, now, self._flow)
+        if self._inner is not None:
+            self._inner.on_timeout(attempts, verdict, key=key, now=now)

@@ -3,7 +3,9 @@
 The ``.jsonl`` export of :mod:`repro.obs.sink` is a contract: CI
 archives the files as artifacts, ``blockack obs diff`` compares runs
 across commits, and external tooling may parse them.  This module pins
-that contract down (``repro.obs/v1``) and enforces it::
+that contract down (``repro.obs/v2``; v1 files stay valid — v2 only
+*adds* the causal/trigger/state/attribution record types the flight
+recorder writes) and enforces it::
 
     python -m repro.obs.schema --check results/obs/*.jsonl
 
@@ -28,6 +30,18 @@ __all__ = ["validate_record", "validate_records", "validate_file", "main"]
 _NUMBER = (int, float)
 _EVENT_KINDS = {kind.value for kind in EventKind}
 _SPAN_STATES = {"submitted", "sent", "resent", "acked", "delivered"}
+
+#: every schema version this validator accepts (additive evolution)
+_SCHEMA_VERSIONS = {"repro.obs/v1", SCHEMA_VERSION}
+
+#: causal-node kinds beyond the trace EventKind values
+_CAUSAL_EXTRA_KINDS = (
+    {"submit", "deliver", "rto.verdict"}
+    | {f"channel.{k}" for k in ("send", "deliver", "lose", "age", "duplicate")}
+    | {f"timer.{op}" for op in ("arm", "cancel", "fire")}
+    | {f"fault.{k}" for k in ("crash", "restart", "corrupt", "repair")}
+)
+_CAUSAL_KINDS = _EVENT_KINDS | _CAUSAL_EXTRA_KINDS
 
 #: required fields per record type: name -> (types, nullable)
 _FIELDS = {
@@ -54,6 +68,32 @@ _FIELDS = {
     },
     "snapshot": {
         "metrics": (dict, False),
+    },
+    # --- v2 additions (repro.obs.causal flight dumps) -----------------
+    "causal": {
+        "id": (int, False),
+        "time": (_NUMBER, False),
+        "actor": (str, False),
+        "kind": (str, False),
+        "seq": (int, True),
+        "seq_hi": (int, True),
+        "parent": (int, True),
+    },
+    "trigger": {
+        "time": (_NUMBER, False),
+        "reason": (str, False),
+    },
+    "state": {
+        "endpoint": (str, False),
+        "state": (dict, False),
+    },
+    "attribution": {
+        "seq": (int, False),
+        "total": (_NUMBER, False),
+        "queue_wait": (_NUMBER, False),
+        "timer_wait": (_NUMBER, False),
+        "retx_wait": (_NUMBER, False),
+        "propagation": (_NUMBER, False),
     },
 }
 
@@ -83,14 +123,19 @@ def validate_record(record: object, lineno: int = 0) -> List[str]:
             errors.append(
                 f"{where}: {kind}.{field} has type {type(value).__name__}"
             )
-    if kind == "meta" and record.get("schema") not in (None, SCHEMA_VERSION):
-        if isinstance(record.get("schema"), str):
+    if kind == "meta" and record.get("schema") is not None:
+        if (
+            isinstance(record.get("schema"), str)
+            and record["schema"] not in _SCHEMA_VERSIONS
+        ):
             errors.append(
                 f"{where}: unsupported schema {record['schema']!r} "
-                f"(expected {SCHEMA_VERSION!r})"
+                f"(expected one of {sorted(_SCHEMA_VERSIONS)})"
             )
     if kind == "event" and record.get("kind") not in _EVENT_KINDS:
         errors.append(f"{where}: unknown event kind {record.get('kind')!r}")
+    if kind == "causal" and record.get("kind") not in _CAUSAL_KINDS:
+        errors.append(f"{where}: unknown causal kind {record.get('kind')!r}")
     if kind == "span" and record.get("state") not in _SPAN_STATES:
         errors.append(f"{where}: unknown span state {record.get('state')!r}")
     if kind == "snapshot" and isinstance(record.get("metrics"), dict):

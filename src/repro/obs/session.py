@@ -173,7 +173,9 @@ class Observability:
         self.span_tracker = SpanTracker(self.registry)
         self.probe = None  # set by install_probe
         self.recorder: Optional[ObsRecorder] = None
+        self.causal = None  # CausalRecorder, when the causal layer is on
         self._channel_stats: List[tuple] = []  # (link, channel)
+        self._extra_trackers: List[SpanTracker] = []  # per-flow trackers
 
     # ------------------------------------------------------------------
     # wiring (called by run_transfer, or by hand for custom harnesses)
@@ -183,6 +185,16 @@ class Observability:
         """The recorder tee endpoints should be attached with."""
         self.recorder = ObsRecorder(sim, self.span_tracker, inner)
         return self.recorder
+
+    def add_span_tracker(self, tracker: SpanTracker) -> None:
+        """Register an additional tracker whose spans export with the run.
+
+        The session host keeps one flow-tagged tracker per flow (the
+        session-level ``span_tracker`` goes unused there); registering
+        them here makes their spans part of the ``.jsonl`` export so
+        per-flow summaries survive the process.
+        """
+        self._extra_trackers.append(tracker)
 
     def attach_sim(self, sim) -> None:
         sim.set_instruments(SimInstruments(self.registry))
@@ -318,5 +330,9 @@ class Observability:
             for event in events:
                 sink.write(event.as_record())
             sink.write_all(self.span_tracker.as_records())
+            for tracker in self._extra_trackers:
+                sink.write_all(tracker.as_records())
+            if self.causal is not None:
+                sink.write_all(self.causal.as_records())
             sink.write({"type": "snapshot", "metrics": self.registry.snapshot()})
         return pathlib.Path(path)

@@ -3,7 +3,7 @@
 One run produces one ``results/obs/<run_id>.jsonl`` file.  Line shapes
 (the stable schema, validated by :mod:`repro.obs.schema`):
 
-* ``{"type": "meta", "schema": "repro.obs/v1", "run_id": ..., "labels": {...}}``
+* ``{"type": "meta", "schema": "repro.obs/v2", "run_id": ..., "labels": {...}}``
   — exactly one, first line;
 * ``{"type": "event", "time": ..., "actor": ..., "kind": ..., ...}``
   — zero or more trace events (present when the run kept a trace);
@@ -12,10 +12,25 @@ One run produces one ``results/obs/<run_id>.jsonl`` file.  Line shapes
 * ``{"type": "snapshot", "metrics": {...}}``
   — exactly one, last line: the final metrics-registry snapshot.
 
+Schema v2 (this PR) adds four shapes used by the causal layer
+(:mod:`repro.obs.causal`) and its flight dumps under
+``results/obs/flight/``; v1 files remain valid:
+
+* ``{"type": "causal", "id": ..., "time": ..., "actor": ..., "kind":
+  ..., "parent": ...}`` — one causal-graph node;
+* ``{"type": "trigger", "time": ..., "reason": ...}`` — one anomaly
+  trigger firing;
+* ``{"type": "state", "endpoint": ..., "state": {...}}`` — an
+  endpoint-state snapshot taken at trigger time;
+* ``{"type": "attribution", "seq": ..., "total": ..., "queue_wait":
+  ..., "timer_wait": ..., "retx_wait": ..., "propagation": ...}`` —
+  the latency decomposition of one delivered seq (components sum to
+  ``total``).
+
 Everything downstream — ``blockack obs summarize``, ``blockack obs
-diff``, the CI schema gate — works from these files, so two runs (two
-seeds, two protocol variants, two commits) can be compared long after
-the processes that produced them are gone.
+diff``, ``blockack analyze``, the CI schema gate — works from these
+files, so two runs (two seeds, two protocol variants, two commits) can
+be compared long after the processes that produced them are gone.
 """
 
 from __future__ import annotations
@@ -34,7 +49,7 @@ __all__ = [
     "summarize_run",
 ]
 
-SCHEMA_VERSION = "repro.obs/v1"
+SCHEMA_VERSION = "repro.obs/v2"
 
 
 def _json_safe(value: Any) -> Any:
@@ -50,7 +65,17 @@ def _json_safe(value: Any) -> Any:
 
 class JsonlSink:
     """Append-only JSONL writer with directory creation and fsync-free
-    buffering (one run, one file, closed at export time)."""
+    buffering (one run, one file, closed at export time).
+
+    Each record is serialized and written as *one* string, so a line can
+    never be half a JSON document followed by a line from someone else —
+    the failure a ``CrashRestart`` fault used to expose when it ended a
+    run between the old separate json/newline writes.  :meth:`flush`
+    pushes buffered lines to the OS at fault boundaries (the causal
+    flight recorder calls it from its fault observer) and :meth:`close`
+    flushes before closing, so an exported file is complete even when
+    the interpreter dies right after the last fault.
+    """
 
     def __init__(self, path) -> None:
         self.path = pathlib.Path(path)
@@ -61,18 +86,25 @@ class JsonlSink:
     def write(self, record: Dict[str, Any]) -> None:
         if "type" not in record:
             raise ValueError(f"record missing 'type': {record!r}")
-        self._handle.write(
+        line = (
             json.dumps(_json_safe(record), separators=(",", ":"), sort_keys=True)
+            + "\n"
         )
-        self._handle.write("\n")
+        self._handle.write(line)
         self.records_written += 1
 
     def write_all(self, records: Iterable[Dict[str, Any]]) -> None:
         for record in records:
             self.write(record)
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS (fault-boundary durability)."""
+        if not self._handle.closed:
+            self._handle.flush()
+
     def close(self) -> None:
         if not self._handle.closed:
+            self._handle.flush()
             self._handle.close()
 
     def __enter__(self) -> "JsonlSink":
@@ -216,11 +248,16 @@ def summarize_run(dump: RunDump, limit: int = 12) -> str:
         states: Dict[str, int] = {}
         resends = 0
         latencies = []
+        per_flow: Dict[Any, List[float]] = {}
         for span in dump.spans:
             states[span["state"]] = states.get(span["state"], 0) + 1
             resends += span.get("resends", 0)
             if span.get("delivered") is not None and span.get("submitted") is not None:
-                latencies.append(span["delivered"] - span["submitted"])
+                latency = span["delivered"] - span["submitted"]
+                latencies.append(latency)
+                flow = span.get("flow")
+                if flow is not None:
+                    per_flow.setdefault(flow, []).append(latency)
         state_text = ", ".join(
             f"{state}={count}" for state, count in sorted(states.items())
         )
@@ -233,6 +270,18 @@ def summarize_run(dump: RunDump, limit: int = 12) -> str:
                 f"  latency (virtual tu): min={latencies[0]:.3f} "
                 f"p50={mid:.3f} max={latencies[-1]:.3f}"
             )
+        if per_flow:
+            from repro.analysis.stats import percentile
+
+            lines.append("  per-flow latency (virtual tu):")
+            for flow in sorted(per_flow):
+                samples = per_flow[flow]
+                lines.append(
+                    f"    flow {flow}: n={len(samples)} "
+                    f"p50={percentile(samples, 50):.3f} "
+                    f"p95={percentile(samples, 95):.3f} "
+                    f"p99={percentile(samples, 99):.3f}"
+                )
 
     if dump.snapshot:
         lines.append("  key metrics:")

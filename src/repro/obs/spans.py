@@ -118,10 +118,19 @@ class SeqSpan:
 
 
 class SpanTracker:
-    """Fold trace records into per-seq spans and derived metrics."""
+    """Fold trace records into per-seq spans and derived metrics.
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    ``flow`` tags every exported span record with a flow id, so the
+    per-flow trackers a :class:`~repro.sim.host.SessionHost` keeps
+    remain distinguishable after export — ``blockack obs summarize``
+    groups its latency percentiles by this tag.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, flow: Optional[int] = None
+    ) -> None:
         self.registry = registry
+        self.flow = flow
         self.spans: Dict[int, SeqSpan] = {}
         self._events = registry.counter(
             "protocol_events_total",
@@ -261,7 +270,11 @@ class SpanTracker:
 
     def as_records(self) -> List[dict]:
         """Every span as a JSON-safe export record, in sequence order."""
-        return [self.spans[seq].as_record() for seq in sorted(self.spans)]
+        records = [self.spans[seq].as_record() for seq in sorted(self.spans)]
+        if self.flow is not None:
+            for record in records:
+                record["flow"] = self.flow
+        return records
 
     def state_counts(self) -> Dict[str, int]:
         """How many spans sit in each lifecycle state right now."""

@@ -157,7 +157,10 @@ def _engine_chain_obs(n: int) -> int:
 
 
 def _transfer(
-    total: int, obs: bool = False, engine: str = "default"
+    total: int,
+    obs: bool = False,
+    causal: bool = False,
+    engine: str = "default",
 ) -> Tuple[int, float]:
     """One end-to-end block-ack transfer; returns (events, throughput)."""
     from repro.channel.delay import UniformDelay
@@ -177,6 +180,7 @@ def _transfer(
         seed=1,
         max_time=1_000_000.0,
         obs=obs,
+        causal=causal,
         engine=engine,
     )
     assert result.completed and result.in_order
@@ -259,12 +263,16 @@ def run_microbenchmarks(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
 
 
 def _transfer_rate(
-    total: int, repeats: int, obs: bool = False, engine: str = "default"
+    total: int,
+    repeats: int,
+    obs: bool = False,
+    causal: bool = False,
+    engine: str = "default",
 ) -> float:
     best = 0.0
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        delivered, _ = _transfer(total, obs=obs, engine=engine)
+        delivered, _ = _transfer(total, obs=obs, causal=causal, engine=engine)
         elapsed = time.perf_counter() - start
         if elapsed > 0:
             best = max(best, delivered / elapsed)
@@ -281,6 +289,18 @@ def run_obs_overhead(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
     tracking, channel observers).  ``*_overhead_pct`` is how much slower
     "on" is than "off" — informational, not budgeted: observed runs are
     expected to pay for their telemetry.
+
+    ``transfer_causal_*`` entries measure the causal flight recorder
+    (:mod:`repro.obs.causal`) alone — no obs session — under both
+    engines.  The <3% always-on budget attaches to what every run pays
+    whether or not the recorder is enabled: the instrument seams (the
+    timer-observer None check is the only one on a hot path), tracked by
+    ``transfer_off_msgs_per_sec`` against the committed baseline.  The
+    ``transfer_causal_*_overhead_pct`` of a causal-*enabled* run is
+    informational, exactly like the obs ``*_on_*`` numbers above: full
+    per-event graph recording (~11 nodes per delivered message) costs a
+    real fraction of a ~30µs/msg transfer loop, and pretending otherwise
+    would just mean recording less.
     """
     n_events = 100_000 * scale
     n_transfer = 1_000 * scale
@@ -289,6 +309,11 @@ def run_obs_overhead(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
     chain_on = _best_rate(lambda: _engine_chain_obs(n_events), repeats)
     transfer_off = _transfer_rate(n_transfer, repeats)
     transfer_on = _transfer_rate(n_transfer, repeats, obs=True)
+    causal_on = _transfer_rate(n_transfer, repeats, causal=True)
+    transfer_fast_off = _transfer_rate(n_transfer, repeats, engine="fast")
+    causal_fast_on = _transfer_rate(
+        n_transfer, repeats, causal=True, engine="fast"
+    )
 
     def overhead(off: float, on: float) -> float:
         return (off / on - 1.0) * 100.0 if on > 0 else 0.0
@@ -300,6 +325,13 @@ def run_obs_overhead(scale: int = 1, repeats: int = 3) -> Dict[str, float]:
         "transfer_off_msgs_per_sec": transfer_off,
         "transfer_on_msgs_per_sec": transfer_on,
         "transfer_overhead_pct": overhead(transfer_off, transfer_on),
+        "transfer_causal_on_msgs_per_sec": causal_on,
+        "transfer_causal_overhead_pct": overhead(transfer_off, causal_on),
+        "transfer_fast_off_msgs_per_sec": transfer_fast_off,
+        "transfer_causal_fast_on_msgs_per_sec": causal_fast_on,
+        "transfer_causal_fast_overhead_pct": overhead(
+            transfer_fast_off, causal_fast_on
+        ),
     }
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "run_protocol_grid",
     "default_jobs",
     "obs_enabled_by_env",
+    "causal_enabled_by_env",
     "execute_config",
     "serialize_result",
     "deserialize_result",
@@ -71,6 +72,17 @@ def obs_enabled_by_env() -> bool:
     each observed grid cell exports one ``results/obs/<run_id>.jsonl``.
     """
     return os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+def causal_enabled_by_env() -> bool:
+    """True when ``REPRO_CAUSAL`` asks runs to keep the causal layer on.
+
+    Set by the CLI's ``--causal`` flag.  Every run then carries the
+    always-on flight-recorder ring; anomalous cells (link-dead verdicts,
+    diverged recovery, deep backoff, invariant violations, collapsed
+    fairness) dump ``results/obs/flight/<run_id>.jsonl``.
+    """
+    return os.environ.get("REPRO_CAUSAL", "") not in ("", "0")
 
 
 def engine_from_env() -> str:
@@ -117,6 +129,7 @@ class RunConfig:
     obs: bool = False  # record + export telemetry for this run
     flows: int = 1  # concurrent flows sharing the links; total is per-flow
     engine: str = "default"  # event-loop implementation (sim.engine.ENGINES)
+    causal: bool = False  # causal graph + flight recorder (repro.obs.causal)
 
     def description(self) -> str:
         """Canonical config string; equal configs describe identically."""
@@ -143,6 +156,11 @@ class RunConfig:
             # their pre-engine cache keys, and results produced by a
             # different engine can never satisfy a default-engine lookup
             parts.append(f"engine={self.engine!r}")
+        if self.causal:
+            # conditional-append again: causal-off configs keep their
+            # pre-causal cache keys, and a causal run (which may have
+            # written a flight dump) never satisfies a causal-off lookup
+            parts.append(f"causal={self.causal}")
         return "RunConfig(" + ",".join(parts) + ")"
 
     def cache_key(self) -> str:
@@ -211,7 +229,7 @@ def execute_config(config: RunConfig) -> TransferResult:
     from repro.protocols.registry import make_pair  # local: avoid cycles
 
     obs_labels = None
-    if config.obs:
+    if config.obs or config.causal:
         obs_labels = {
             "protocol": config.protocol,
             "window": str(config.window),
@@ -249,8 +267,11 @@ def execute_config(config: RunConfig) -> TransferResult:
             max_events=config.max_events,
             monitor_invariants=config.monitor_invariants,
             obs=config.obs,
-            obs_run_id=config.run_id() if config.obs else None,
+            obs_run_id=(
+                config.run_id() if (config.obs or config.causal) else None
+            ),
             obs_labels=obs_labels,
+            causal=config.causal,
             engine=config.engine,
         )
         result = session_to_transfer(session)
@@ -273,8 +294,11 @@ def execute_config(config: RunConfig) -> TransferResult:
         monitor_invariants=config.monitor_invariants,
         fault_plan=plan,
         obs=config.obs,
-        obs_run_id=config.run_id() if config.obs else None,
+        obs_run_id=(
+            config.run_id() if (config.obs or config.causal) else None
+        ),
         obs_labels=obs_labels,
+        causal=config.causal,
         engine=config.engine,
     )
     if result.obs is not None:
@@ -312,6 +336,7 @@ def serialize_result(result: TransferResult) -> dict:
             else None
         ),
         "obs_path": result.obs_path,
+        "flight_path": result.flight_path,
         "per_flow": result.per_flow or None,
         "fairness": result.fairness,
         "ordered_prefix": result.ordered_prefix,
@@ -337,6 +362,7 @@ def deserialize_result(payload: dict) -> TransferResult:
         fault_stats=payload["fault_stats"],
         monitor=MonitorSummary(violations) if violations is not None else None,
         obs_path=payload.get("obs_path"),  # .get: pre-obs cache entries
+        flight_path=payload.get("flight_path"),  # pre-causal entries too
         per_flow=list(payload.get("per_flow") or []),  # pre-multi-flow too
         fairness=payload.get("fairness"),
         ordered_prefix=payload.get("ordered_prefix", payload["in_order"]),

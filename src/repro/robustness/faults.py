@@ -127,6 +127,12 @@ class FaultPlan:
         self.seed = seed
         self.stats = FaultStats()
         self.monitor: Optional[Any] = None  # StabilizationMonitor, if any
+        # optional ``observer(kind, endpoint, detail)`` called at each
+        # fault boundary with kind in "crash"/"restart"/"corrupt"/"repair"
+        # (the causal flight recorder hooks in here; it also uses the
+        # callback to flush a streaming dump so a run killed mid-outage
+        # still leaves complete JSONL lines on disk)
+        self.observer: Optional[Callable[[str, str, Any], None]] = None
         self._rng = random.Random(seed)
         # dedicated stream: adding StateCorruptions must not shift the
         # frame-corruption draws above (Weyl offset keeps it distinct)
@@ -244,11 +250,15 @@ class FaultPlan:
         self._down[name] = True
         self.stats.crashes += 1
         endpoint.crash()
+        if self.observer is not None:
+            self.observer("crash", name, None)
 
     def _restart(self, name: str, endpoint: Any) -> None:
         self._down[name] = False
         self.stats.restarts += 1
         endpoint.restore()
+        if self.observer is not None:
+            self.observer("restart", name, None)
 
     # ------------------------------------------------------------------
     # state corruption and the convergence watchdog
@@ -262,6 +272,10 @@ class FaultPlan:
         self._clean_sweeps = 0
         if self.monitor is not None:
             self.monitor.note_corruption(self._sim.now, spec, mutations)
+        if self.observer is not None:
+            self.observer(
+                "corrupt", spec.endpoint, f"site={spec.site} n={len(mutations)}"
+            )
         if not self._watchdog_armed:
             self._watchdog_armed = True
             self._sim.schedule_at(
@@ -280,6 +294,8 @@ class FaultPlan:
                 self.monitor.note_repairs(
                     self._sim.now, endpoint_name, repairs
                 )
+            if self.observer is not None:
+                self.observer("repair", endpoint_name, "; ".join(repairs))
         return repairs
 
     def _watchdog_tick(self) -> None:

@@ -109,6 +109,12 @@ class Simulator:
     operation.
     """
 
+    # Optional seam: when set to a callable, every Timer built on this
+    # simulator reports arms/cancels/fires as ``timer_observer(op, timer)``
+    # (see repro.sim.timers).  A class attribute so the off-path cost is
+    # one attribute read; the event loop itself never consults it.
+    timer_observer = None
+
     def __init__(self) -> None:
         # entries are (time, seq, Event); see the module design notes
         self._queue: list[tuple[float, int, Event]] = []
@@ -504,6 +510,9 @@ class FastSimulator:
     """
 
     MAX_BUCKETS = 32768  # growth cap: 2^15 buckets ≈ 256 KiB of list heads
+
+    # Same timer seam as Simulator; instances override via __dict__.
+    timer_observer = None
 
     __slots__ = (
         "_now",

@@ -140,6 +140,8 @@ class SessionResult:
     trace: Any = None
     obs: Any = None
     obs_path: Optional[str] = None
+    causal: Any = None  # CausalRecorder when the causal layer was on
+    flight_path: Optional[str] = None  # flight dump, when a trigger fired
     transfer: Optional[TransferResult] = None  # set on the N=1 path
 
     @property
@@ -239,6 +241,8 @@ def _session_from_transfer(
         trace=result.trace,
         obs=result.obs,
         obs_path=result.obs_path,
+        causal=result.causal,
+        flight_path=result.flight_path,
         transfer=result,
     )
 
@@ -308,6 +312,7 @@ class SessionHost:
         obs_run_id: Optional[str] = None,
         obs_labels: Optional[dict] = None,
         obs_sample_invariants_every: int = 0,
+        causal: bool = False,
         engine: str = "default",
     ) -> None:
         self.flows = [
@@ -328,6 +333,7 @@ class SessionHost:
         self.obs_run_id = obs_run_id
         self.obs_labels = obs_labels
         self.obs_sample_invariants_every = obs_sample_invariants_every
+        self.causal = causal
         self.engine = engine
 
     # ------------------------------------------------------------------
@@ -335,6 +341,17 @@ class SessionHost:
     def run(self) -> SessionResult:
         sim = make_simulator(self.engine)
         streams = RandomStreams(self.seed)
+
+        causal_rec = None
+        if self.causal:
+            from repro.obs.causal import CausalRecorder  # cycle guard
+
+            causal_rec = CausalRecorder(
+                sim,
+                run_id=self.obs_run_id or "session",
+                labels=self.obs_labels,
+            )
+            sim.timer_observer = causal_rec.timer_observer()
 
         obs_session = None
         if self.obs:
@@ -361,6 +378,16 @@ class SessionHost:
         if obs_session is not None:
             obs_session.attach_channel(forward_channel, forward_channel.name)
             obs_session.attach_channel(reverse_channel, reverse_channel.name)
+        if causal_rec is not None:
+            # observe the *shared* channels, where the FlowEnvelope is
+            # still intact — the causal observer unwraps it, so transit
+            # nodes carry the flow id of the message they touched
+            forward_channel.add_observer(
+                causal_rec.channel_observer(forward_channel.name)
+            )
+            reverse_channel.add_observer(
+                causal_rec.channel_observer(reverse_channel.name)
+            )
 
         recorder = (
             TraceRecorder(sim, capacity=self.trace_capacity)
@@ -370,7 +397,7 @@ class SessionHost:
 
         for flow in self.flows:
             self._wire_flow(flow, sim, forward_mux, reverse_mux, recorder,
-                            obs_session)
+                            obs_session, causal_rec)
 
         def unfinished() -> bool:
             return not all(flow.finished for flow in self.flows)
@@ -386,7 +413,8 @@ class SessionHost:
                 self._restore_submit(flow)
 
         return self._collect(
-            sim, forward_channel, reverse_channel, recorder, obs_session
+            sim, forward_channel, reverse_channel, recorder, obs_session,
+            causal_rec,
         )
 
     # ------------------------------------------------------------------
@@ -394,7 +422,8 @@ class SessionHost:
     # ------------------------------------------------------------------
 
     def _wire_flow(
-        self, flow, sim, forward_mux, reverse_mux, recorder, obs_session
+        self, flow, sim, forward_mux, reverse_mux, recorder, obs_session,
+        causal_rec=None,
     ) -> None:
         sender, receiver = flow.spec.sender, flow.spec.receiver
         fid = flow.index
@@ -411,14 +440,25 @@ class SessionHost:
             receiver.flow_id = fid
 
         flow_recorder = recorder
+        if causal_rec is not None:
+            # the causal tee sits beneath the obs tee so probe NOTE
+            # records (recorded through the obs recorder) reach the
+            # causal layer; every record is stamped with this flow id
+            from repro.obs.causal import CausalTee  # cycle guard
+
+            flow_recorder = CausalTee(sim, causal_rec, flow_recorder, flow=fid)
+            causal_rec.watch_endpoints(
+                (f"sender.f{fid}", sender), (f"receiver.f{fid}", receiver)
+            )
         if obs_session is not None:
             # per-flow span tracker on the shared registry: instruments
             # (histograms/counters) merge into session aggregates while
             # each flow keeps its own span table and latency list
             from repro.obs.spans import ObsRecorder, SpanTracker
 
-            flow.tracker = SpanTracker(obs_session.registry)
-            flow_recorder = ObsRecorder(sim, flow.tracker, recorder)
+            flow.tracker = SpanTracker(obs_session.registry, flow=fid)
+            obs_session.add_span_tracker(flow.tracker)
+            flow_recorder = ObsRecorder(sim, flow.tracker, flow_recorder)
             obs_session.attach_channel(
                 flow.forward_port, flow.forward_port.name
             )
@@ -441,6 +481,18 @@ class SessionHost:
                 submitted_at = flow.submit_times.pop(seq, None)
                 if submitted_at is not None:
                     flow.latencies.append(sim.now - submitted_at)
+
+        if causal_rec is not None:
+            plain_deliver = on_deliver
+
+            def on_deliver(
+                seq, payload, flow=flow, sim=sim, fid=fid,
+                causal_rec=causal_rec, plain_deliver=plain_deliver,
+            ):
+                plain_deliver(seq, payload)
+                causal_rec.on_deliver(
+                    seq, sim.now, flow=fid, actor=f"receiver.f{fid}"
+                )
 
         receiver.on_deliver = on_deliver
 
@@ -473,6 +525,11 @@ class SessionHost:
             controller = getattr(sender, "_retx", None)  # built during attach
             if controller is not None:
                 obs_session.attach_controller(controller)
+        if causal_rec is not None:
+            controller = getattr(sender, "_retx", None)
+            if controller is not None:
+                # chained after any obs instruments bound just above
+                causal_rec.attach_controller(controller, flow=fid)
         flow.forward_port.connect(receiver.on_message)
         flow.reverse_port.connect(sender.on_message)
         if (
@@ -499,6 +556,17 @@ class SessionHost:
             def timed_submit(payload, flow=flow, sim=sim):
                 seq = flow.original_submit(payload)
                 flow.submit_times[seq] = sim.now
+                return seq
+
+        if causal_rec is not None:
+            plain_submit = timed_submit
+
+            def timed_submit(
+                payload, sim=sim, fid=fid, causal_rec=causal_rec,
+                plain_submit=plain_submit,
+            ):
+                seq = plain_submit(payload)
+                causal_rec.on_submit(seq, sim.now, flow=fid)
                 return seq
 
         sender.submit = timed_submit
@@ -529,7 +597,8 @@ class SessionHost:
         return stats
 
     def _collect(
-        self, sim, forward_channel, reverse_channel, recorder, obs_session
+        self, sim, forward_channel, reverse_channel, recorder, obs_session,
+        causal_rec=None,
     ) -> SessionResult:
         flow_results: List[FlowResult] = []
         for flow in self.flows:
@@ -596,6 +665,20 @@ class SessionHost:
             trace=recorder if self.trace else None,
             obs=obs_session,
         )
+        if causal_rec is not None:
+            causal_rec.on_fairness(result.fairness)
+            for flow in flow_results:
+                if flow.sender_stats.get("link_dead") and not any(
+                    reason == "link_dead"
+                    for _, reason, _ in causal_rec.triggers
+                ):
+                    causal_rec.trigger(
+                        "link_dead", f"flow {flow.flow} reports link_dead"
+                    )
+            result.causal = causal_rec
+            result.flight_path = causal_rec.close_flight()
+            if obs_session is not None:
+                obs_session.causal = causal_rec
         if obs_session is not None:
             self._finalize_obs(obs_session, result)
         return result
@@ -642,6 +725,7 @@ def run_flows(
     obs_run_id: Optional[str] = None,
     obs_labels: Optional[dict] = None,
     obs_sample_invariants_every: int = 0,
+    causal: bool = False,
     engine: str = "default",
 ) -> SessionResult:
     """Run N flows over one shared link pair and measure the session.
@@ -676,6 +760,7 @@ def run_flows(
             obs_run_id=obs_run_id,
             obs_labels=obs_labels,
             obs_sample_invariants_every=obs_sample_invariants_every,
+            causal=causal,
             engine=engine,
         )
         return _session_from_transfer(spec, result)
@@ -694,6 +779,7 @@ def run_flows(
         obs_run_id=obs_run_id,
         obs_labels=obs_labels,
         obs_sample_invariants_every=obs_sample_invariants_every,
+        causal=causal,
         engine=engine,
     )
     return host.run()
@@ -764,6 +850,8 @@ def session_to_transfer(session: SessionResult) -> TransferResult:
         latencies=latencies,
         obs=session.obs,
         obs_path=session.obs_path,
+        causal=session.causal,
+        flight_path=session.flight_path,
         per_flow=[flow.as_dict() for flow in session.flows],
         fairness=session.fairness,
     )

@@ -98,6 +98,8 @@ class TransferResult:
     fairness: Optional[float] = None  # Jain index when flows share the link
     ordered_prefix: bool = True  # delivered payloads form an in-order prefix
     stabilization: Optional[dict] = None  # corruption-recovery verdict
+    causal: Any = None  # CausalRecorder when causal= was requested
+    flight_path: Optional[str] = None  # flight dump, when a trigger fired
 
     def latency_percentile(self, q: float) -> float:
         """Submit-to-deliver latency percentile (requires latencies)."""
@@ -194,6 +196,7 @@ def run_transfer(
     obs_run_id: Optional[str] = None,
     obs_labels: Optional[dict] = None,
     obs_sample_invariants_every: int = 0,
+    causal: bool = False,
     engine: str = "default",
 ) -> TransferResult:
     """Run one complete transfer and measure it.
@@ -233,6 +236,18 @@ def run_transfer(
     ``obs`` falsy (the default) none of this code runs and no telemetry
     objects are allocated.
 
+    ``causal`` turns on the causal diagnosis layer
+    (:mod:`repro.obs.causal`): every protocol-relevant event becomes a
+    node of a per-seq causal graph held in a bounded flight-recorder
+    ring, delivery latencies are decomposed into exact
+    queue/timer/retransmission/propagation components
+    (``result.causal.attributions``), and an anomaly trigger (link-dead,
+    degraded/diverged stabilization, deep RTO backoff, invariant-probe
+    violation) dumps the ring to ``results/obs/flight/<run_id>.jsonl``
+    (``result.flight_path``).  Independent of ``obs`` and composable
+    with it; the graph never perturbs rng or scheduling, so decision
+    traces are bit-identical with the layer on or off.
+
     ``engine`` selects the event-loop implementation (see
     :data:`repro.sim.engine.ENGINES`): ``"default"`` is the binary-heap
     engine whose golden decision traces are pinned byte-for-byte;
@@ -243,6 +258,15 @@ def run_transfer(
     """
     sim = make_simulator(engine)
     streams = RandomStreams(seed)
+
+    causal_rec = None
+    if causal:
+        from repro.obs.causal import CausalRecorder, CausalTee  # cycle guard
+
+        causal_rec = CausalRecorder(
+            sim, run_id=obs_run_id or "transfer", labels=obs_labels
+        )
+        sim.timer_observer = causal_rec.timer_observer()
 
     obs_session = None
     if obs:
@@ -269,10 +293,18 @@ def run_transfer(
     if obs_session is not None:
         obs_session.attach_channel(forward_channel, "SR")
         obs_session.attach_channel(reverse_channel, "RS")
+    if causal_rec is not None:
+        forward_channel.add_observer(causal_rec.channel_observer("SR"))
+        reverse_channel.add_observer(causal_rec.channel_observer("RS"))
+        causal_rec.watch_endpoints(("sender", sender), ("receiver", receiver))
 
     recorder = (
         TraceRecorder(sim, capacity=trace_capacity) if trace else NullRecorder()
     )
+    if causal_rec is not None:
+        # causal tee first, obs tee (below) on top: records the probe
+        # emits through the obs recorder still reach the causal graph
+        recorder = CausalTee(sim, causal_rec, recorder)
     if obs_session is not None:
         # the tee feeds every endpoint trace record into the span tracker
         # before forwarding; endpoints need no changes to be instrumented
@@ -345,6 +377,19 @@ def run_transfer(
             if submitted_at is not None:
                 latencies.append(sim.now - submitted_at)
 
+    if causal_rec is not None:
+        plain_submit, plain_deliver = timed_submit, on_deliver
+
+        def timed_submit(payload: Any) -> int:
+            seq = plain_submit(payload)
+            causal_rec.on_submit(seq, sim.now)
+            return seq
+
+        def on_deliver(seq: int, payload: Any) -> None:
+            plain_deliver(seq, payload)
+            # idempotent with the DELIVER trace record (attribution keyed)
+            causal_rec.on_deliver(seq, sim.now)
+
     receiver.on_deliver = on_deliver
     _derive_timeout(sender, receiver, forward_channel, reverse_channel)
 
@@ -389,6 +434,11 @@ def run_transfer(
         controller = getattr(sender, "_retx", None)  # built during attach
         if controller is not None:
             obs_session.attach_controller(controller)
+    if causal_rec is not None:
+        controller = getattr(sender, "_retx", None)
+        if controller is not None:
+            # chains on top of any obs instruments bound just above
+            causal_rec.attach_controller(controller)
     forward_channel.connect(receiver.on_message)
     reverse_channel.connect(sender.on_message)
     if (
@@ -397,6 +447,9 @@ def run_transfer(
     ):
         sender.enable_oracle(forward_channel, reverse_channel, receiver)
     if fault_plan is not None:
+        if causal_rec is not None:
+            # fault nodes + flush-on-fault-boundary for a streaming dump
+            fault_plan.observer = causal_rec.fault_observer()
         # must come after the connects above: the plan re-connects each
         # channel through its corruption/outage interceptor
         fault_plan.install(
@@ -484,6 +537,19 @@ def run_transfer(
         result.stabilization = stab_monitor.summary(
             result.completed, result.in_order
         )
+    if causal_rec is not None:
+        if result.stabilization is not None:
+            causal_rec.on_stabilization(result.stabilization["verdict"])
+        if sender_stats.get("link_dead") and not any(
+            reason == "link_dead" for _, reason, _ in causal_rec.triggers
+        ):
+            # backstop: a sender can go link-dead without routing the
+            # verdict through controller instruments (custom endpoints)
+            causal_rec.trigger("link_dead", "sender reports link_dead")
+        result.causal = causal_rec
+        result.flight_path = causal_rec.close_flight()
+        if obs_session is not None:
+            obs_session.causal = causal_rec  # attributions ride the export
     if obs_session is not None:
         obs_session.finalize(result)
     return result

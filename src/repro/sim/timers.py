@@ -22,6 +22,14 @@ class Timer:
     The callback fires once, ``period`` after the most recent
     :meth:`start`/:meth:`restart`.  Stopping or restarting cancels the
     in-flight event, so the callback can never fire for a superseded arming.
+
+    When the owning simulator carries a ``timer_observer`` attribute
+    (see :class:`~repro.sim.engine.Simulator`), every arm, cancel, and
+    fire is reported as ``observer(op, timer)`` with ``op`` in
+    ``"arm"``/``"cancel"``/``"fire"`` — the seam the causal recorder
+    uses to chain timer-fire → retransmit edges.  The cost when no
+    observer is set is one attribute read per operation; the engines'
+    event loops are untouched, so schedules are identical either way.
     """
 
     def __init__(
@@ -37,6 +45,7 @@ class Timer:
         self._event: Optional[Event] = None
         self._expires_at: Optional[float] = None
         self.name = name
+        self.key: Any = None  # TimerBank stamps its key here
 
     @property
     def running(self) -> bool:
@@ -53,6 +62,9 @@ class Timer:
         self.stop()
         self._expires_at = self._sim.now + period
         self._event = self._sim.schedule(period, self._fire)
+        observer = getattr(self._sim, "timer_observer", None)
+        if observer is not None:
+            observer("arm", self)
 
     def restart(self, period: float) -> None:
         """Alias of :meth:`start`; reads better at call sites that re-arm."""
@@ -63,11 +75,17 @@ class Timer:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+            observer = getattr(self._sim, "timer_observer", None)
+            if observer is not None:
+                observer("cancel", self)
         self._expires_at = None
 
     def _fire(self) -> None:
         self._event = None
         self._expires_at = None
+        observer = getattr(self._sim, "timer_observer", None)
+        if observer is not None:
+            observer("fire", self)
         self._callback(*self._args)
 
 
@@ -97,6 +115,7 @@ class TimerBank:
             timer = Timer(
                 self._sim, self._callback, key, name=f"{self.name}[{key!r}]"
             )
+            timer.key = key
             self._timers[key] = timer
         timer.start(period)
 
