@@ -54,7 +54,7 @@ def ascii_plot(
     x_lo, x_hi, y_lo, y_hi = _bounds(series)
     grid: List[List[str]] = [[" "] * width for _ in range(height)]
 
-    for index, (name, points) in enumerate(series.items()):
+    for index, (_name, points) in enumerate(series.items()):
         marker = _MARKERS[index % len(_MARKERS)]
         for x, y in points:
             column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))

@@ -254,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--jitter", type=float, default=1.0)
     cmp_p.add_argument("--seed", type=int, default=0)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism & contract static analysis (D/P/S rules)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
     return parser
 
 
@@ -321,7 +329,7 @@ def _parse_corruption(text: str):
         raise SystemExit(
             f"bad --corrupt spec {text!r} (want site:severity@time, "
             f"e.g. sender.window:worst@40): {exc}"
-        )
+        ) from None
 
 
 def _cmd_transfer(args: argparse.Namespace) -> int:
@@ -482,9 +490,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         experiments = {}
         print("\nexperiment wall-clock (quick mode):")
         for exp_id in experiment_ids():
-            start = time.perf_counter()
+            start = time.perf_counter()  # lint: ignore[D101] — wall-clock measurement
             result = run_experiment(exp_id, quick=True)
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # lint: ignore[D101] — wall-clock measurement
+
             experiments[exp_id] = elapsed
             verdict = "ok" if result.reproduced else "NOT REPRODUCED"
             print(f"  {exp_id:4s} {elapsed:8.2f}s  {verdict}")
@@ -619,7 +628,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         cells = [loss]
         for name in protocols:
             sender, receiver = make_pair(name, window=args.window)
-            link = lambda: LinkSpec(
+            link = lambda loss=loss: LinkSpec(
                 delay=UniformDelay(max(0.0, 1 - spread / 2), 1 + spread / 2),
                 loss=BernoulliLoss(loss) if loss > 0 else NoLoss(),
             )
@@ -660,6 +669,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_command
+
+        return run_lint_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

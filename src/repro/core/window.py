@@ -418,7 +418,7 @@ class ReceiverWindow:
         }
         if orphans:
             repairs.append(f"dropped orphan payloads {sorted(orphans)}")
-            for s in orphans:
+            for s in sorted(orphans):
                 del self._payloads[s]
         if self.advance():
             repairs.append(f"vr advanced to {self.vr} over re-buffered run")

@@ -87,7 +87,7 @@ def run(quick: bool = False) -> ExperimentResult:
             failures = 0
             redundant = 0
             efficiency = 0.0
-            for seed in seeds:
+            for _seed in seeds:
                 result = next(results)
                 if not (result.completed and result.in_order):
                     failures += 1

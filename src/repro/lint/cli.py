@@ -1,0 +1,125 @@
+"""``blockack lint`` / ``python -m repro.lint`` — the analyzer CLI.
+
+Exit codes: 0 clean, 1 findings or unparseable input, 2 usage errors
+(argparse's convention).  ``--format json`` emits one machine-readable
+document (stable ordering) which CI uploads as an artifact; ``--output``
+tees it to a file while keeping the human summary on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.lint.analyzer import LintReport, lint_paths
+from repro.lint.registry import all_rules
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint flags (shared by ``blockack lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings as human text (default) or one JSON document",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all), e.g. D101,S303",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _render_rule_list() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.scope:>7}]  {rule.summary}")
+        for chunk in _wrap(rule.rationale, 72):
+            lines.append(f"       {chunk}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _wrap(text: str, width: int) -> List[str]:
+    words = text.split()
+    lines: List[str] = []
+    current = ""
+    for word in words:
+        if current and len(current) + 1 + len(word) > width:
+            lines.append(current)
+            current = word
+        else:
+            current = f"{current} {word}".strip()
+    if current:
+        lines.append(current)
+    return lines
+
+
+def _render_text(report: LintReport) -> str:
+    lines = []
+    for path, message in report.parse_errors:
+        lines.append(f"{path}: {message}")
+    for finding in report.findings:
+        lines.append(finding.render())
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.findings or report.parse_errors:
+        lines.append(
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.parse_errors)} parse error(s) "
+            f"in {report.files_checked} {noun}"
+        )
+    else:
+        lines.append(f"clean: {report.files_checked} {noun} checked")
+    return "\n".join(lines)
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(_render_rule_list())
+        return 0
+    only = (args.rules or "").split(",") if args.rules else ()
+    try:
+        report = lint_paths(args.paths, only=only)
+    except KeyError as err:  # unknown rule id
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 2
+    if args.output:
+        out_path = pathlib.Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            json.dumps(report.as_record(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+    if args.format == "json":
+        print(json.dumps(report.as_record(), indent=2, sort_keys=False))
+    else:
+        print(_render_text(report))
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="determinism & contract static analyzer",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` is one violation at one source location.  Findings
+are plain frozen dataclasses so rules can yield them freely and the
+driver can sort, deduplicate, filter (suppressions) and serialize them
+without ceremony.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a finding gates the build.
+
+    ``ERROR`` findings fail ``blockack lint`` (exit 1).  ``WARNING``
+    findings print but do not gate — reserved for rules still being
+    tuned against the codebase (none of the shipped rules use it; the
+    tier exists so a new rule can soak before it starts failing CI).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def as_record(self) -> Dict[str, Any]:
+        """JSON-safe form for ``blockack lint --format json``."""
+        record: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.extra:
+            record["extra"] = dict(self.extra)
+        return record
+
+    def render(self) -> str:
+        """One-line human form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)

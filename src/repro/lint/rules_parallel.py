@@ -1,0 +1,269 @@
+"""P-series rules: process-pool boundary safety.
+
+The parallel sweep runner (:mod:`repro.perf.sweep`) promises that
+``--jobs N`` produces byte-identical results to a serial run.  That
+only holds if everything crossing the worker boundary pickles by
+importable name and the workers share no mutable module state:
+
+* :class:`PoolTargetRule` (P201) — callables handed to
+  ``pool.submit``/``pool.map`` must be module-top-level functions
+  (no lambdas, no nested closures, no bound methods).
+* :class:`WorkerGlobalMutationRule` (P202) — a pool-target function
+  must not mutate module-level state: each worker process has its own
+  copy, so the mutation silently diverges from the serial path.
+
+Both rules resolve dispatch sites by name heuristics (the receiver is
+called ``*pool*`` or ``*executor*``), which matches how this codebase
+names its ``ProcessPoolExecutor`` handles, and stay silent on anything
+they cannot resolve — a linter should miss quietly, not cry wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.analyzer import FileContext
+from repro.lint.astutil import (
+    dotted_name,
+    imported_module_names,
+    module_level_names,
+    nested_function_names,
+    terminal_name,
+    top_level_functions,
+    walk_scope,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["PoolTargetRule", "WorkerGlobalMutationRule", "pool_dispatch_sites"]
+
+#: executor methods whose first argument is the callable shipped to workers
+_DISPATCH_METHODS = {
+    "submit", "map", "starmap", "apply", "apply_async",
+    "imap", "imap_unordered",
+}
+
+
+def _is_pool_receiver(node: ast.expr) -> bool:
+    name = terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "pool" in lowered or "executor" in lowered
+
+
+def pool_dispatch_sites(tree: ast.Module) -> List[ast.Call]:
+    """Every ``<pool>.submit/map/...`` call site in the module."""
+    sites = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DISPATCH_METHODS
+            and node.args
+            and _is_pool_receiver(node.func.value)
+        ):
+            sites.append(node)
+    return sites
+
+
+def _lambda_bound_names(tree: ast.Module) -> Set[str]:
+    """Names assigned a lambda anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@register
+class PoolTargetRule(Rule):
+    id = "P201"
+    summary = "pool-dispatched callables must be top-level functions (picklable by name)"
+    rationale = (
+        "ProcessPoolExecutor pickles the callable by qualified name and "
+        "re-imports it in the worker. Lambdas and nested closures do "
+        "not pickle at all; bound methods drag their whole instance "
+        "across the boundary. Either breaks --jobs N, or worse, ships "
+        "stale captured state that the serial path never sees."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        sites = pool_dispatch_sites(tree)
+        if not sites:
+            return
+        nested = nested_function_names(tree)
+        lambda_names = _lambda_bound_names(tree)
+        imports = imported_module_names(tree)
+        for site in sites:
+            target = site.args[0]
+            problem = self._describe_problem(
+                target, nested, lambda_names, imports
+            )
+            if problem:
+                yield self.finding(
+                    ctx.path, target.lineno, target.col_offset, problem
+                )
+
+    def _describe_problem(
+        self,
+        target: ast.expr,
+        nested: Set[str],
+        lambda_names: Set[str],
+        imports: Set[str],
+    ) -> Optional[str]:
+        if isinstance(target, ast.Lambda):
+            return (
+                "lambda dispatched to a process pool: lambdas do not "
+                "pickle; hoist it to a top-level def"
+            )
+        if isinstance(target, ast.Name):
+            if target.id in nested:
+                return (
+                    f"nested function `{target.id}` dispatched to a process "
+                    "pool: closures do not pickle; hoist it to module level"
+                )
+            if target.id in lambda_names:
+                return (
+                    f"`{target.id}` is bound to a lambda and dispatched to a "
+                    "process pool; make it a top-level def"
+                )
+            return None  # top-level def, import, or unresolvable: allowed
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                return (
+                    f"bound method `self.{target.attr}` dispatched to a "
+                    "process pool: it pickles the whole instance; use a "
+                    "top-level function taking explicit arguments"
+                )
+            # functools.partial(fn, ...) and module.function are fine when
+            # the base resolves to an import; anything else is unresolvable
+            return None
+        if isinstance(target, ast.Call):
+            # partial(fn, ...): vet the wrapped callable recursively
+            name = dotted_name(target.func)
+            if name in ("functools.partial", "partial") and target.args:
+                return self._describe_problem(
+                    target.args[0], nested, lambda_names, imports
+                )
+            return None
+        return None
+
+
+@register
+class WorkerGlobalMutationRule(Rule):
+    id = "P202"
+    summary = "pool-target functions must not mutate module-level state"
+    rationale = (
+        "Each worker process owns a private copy of every module "
+        "global: a pool-target that writes one (global statement, or "
+        "a mutation of a module-level dict/list/set) computes different "
+        "state under --jobs N than serially, which breaks the "
+        "byte-identical sweep guarantee and poisons the result cache."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        sites = pool_dispatch_sites(tree)
+        if not sites:
+            return
+        top_defs: Dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        target_names: Set[str] = set()
+        for site in sites:
+            target = site.args[0]
+            if isinstance(target, ast.Call):  # partial(fn, ...)
+                name = dotted_name(target.func)
+                if name in ("functools.partial", "partial") and target.args:
+                    target = target.args[0]
+            if isinstance(target, ast.Name) and target.id in top_defs:
+                target_names.add(target.id)
+        module_names = module_level_names(tree)
+        for name in sorted(target_names):
+            yield from self._check_worker(ctx, top_defs[name], module_names)
+
+    def _check_worker(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef,
+        module_names: Set[str],
+    ) -> Iterator[Finding]:
+        declared_global: Set[str] = set()
+        local_names: Set[str] = {
+            arg.arg
+            for arg in (
+                *fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs
+            )
+        }
+        if fn.args.vararg:
+            local_names.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            local_names.add(fn.args.kwarg.arg)
+        for node in walk_scope(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name) and isinstance(
+                            name_node.ctx, ast.Store
+                        ):
+                            local_names.add(name_node.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        local_names.add(name_node.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for name_node in ast.walk(item.optional_vars):
+                            if isinstance(name_node, ast.Name):
+                                local_names.add(name_node.id)
+        for node in walk_scope(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+                yield self.finding(
+                    ctx.path, node.lineno, node.col_offset,
+                    f"pool-target `{fn.name}` declares "
+                    f"`global {', '.join(node.names)}`: worker-side writes "
+                    "never reach the parent process",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    root = self._subscript_root(target)
+                    if root is not None and (
+                        root in declared_global
+                        or (root in module_names and root not in local_names)
+                    ):
+                        yield self.finding(
+                            ctx.path, target.lineno, target.col_offset,
+                            f"pool-target `{fn.name}` mutates module-level "
+                            f"`{root}`: each worker mutates a private copy, "
+                            "diverging from the serial path",
+                        )
+
+    @staticmethod
+    def _subscript_root(target: ast.expr) -> Optional[str]:
+        """Root name of ``NAME[...] = ..`` / ``NAME.attr = ..`` writes."""
+        node = target
+        seen_deref = False
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            seen_deref = True
+            node = node.value
+        if seen_deref and isinstance(node, ast.Name):
+            return node.id
+        return None

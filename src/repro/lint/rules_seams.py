@@ -1,0 +1,316 @@
+"""S-series rules: cross-artifact seam contracts.
+
+The determinism story spans files: the two engines must stay
+swappable, the observability seams must stay duck-safe (so the
+uninstrumented hot loops never pay for them), and everything exported
+to ``.jsonl`` must match the pinned schema that CI, ``obs diff`` and
+external tooling parse.  These rules correlate artifacts that no
+per-file linter can see together:
+
+* :class:`EngineSurfaceParityRule` (S301) — ``Simulator`` and
+  ``FastSimulator`` expose identical public surfaces (names and
+  signatures), so ``engine=fast`` is always a drop-in.
+* :class:`TimerSeamRule` (S302) — the ``timer_observer`` seam is only
+  ever invoked via ``getattr(sim, "timer_observer", None)`` + a None
+  check, never as a direct attribute call.
+* :class:`ObsSchemaConformanceRule` (S303) — every field name emitted
+  into a typed obs record exists in the pinned
+  :mod:`repro.obs.schema` field tables (required or optional).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.analyzer import FileContext, ProjectContext
+from repro.lint.astutil import str_keys, walk_scope
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = [
+    "EngineSurfaceParityRule",
+    "TimerSeamRule",
+    "ObsSchemaConformanceRule",
+]
+
+_ENGINE_MODULE = "repro.sim.engine"
+_ENGINE_CLASSES = ("Simulator", "FastSimulator")
+_SCHEMA_MODULE = "repro.obs.schema"
+
+
+# ---------------------------------------------------------------------------
+# S301: engine public-surface parity
+# ---------------------------------------------------------------------------
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _public_surface(cls: ast.ClassDef) -> Dict[str, Optional[Tuple[str, ...]]]:
+    """Public attribute name -> positional-arg names (None for data attrs).
+
+    Methods map to their argument names (minus ``self``), properties to
+    an empty tuple, and class-level data attributes (the
+    ``timer_observer`` seam default) to ``None``.
+    """
+    surface: Dict[str, Optional[Tuple[str, ...]]] = {}
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue
+            is_property = any(
+                isinstance(dec, ast.Name) and dec.id == "property"
+                for dec in node.decorator_list
+            )
+            if is_property:
+                surface[node.name] = ()
+            else:
+                args = tuple(
+                    arg.arg
+                    for arg in (*node.args.posonlyargs, *node.args.args)
+                )
+                surface[node.name] = args[1:] if args[:1] == ("self",) else args
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    surface[target.id] = None
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and not node.target.id.startswith("_"):
+                surface[node.target.id] = None
+    return surface
+
+
+@register
+class EngineSurfaceParityRule(Rule):
+    id = "S301"
+    scope = "project"
+    summary = "Simulator and FastSimulator must expose identical public surfaces"
+    rationale = (
+        "engine=fast is documented as a drop-in: runner, host, timers "
+        "and instruments talk to whichever engine the config selects "
+        "through one duck-typed surface. A public method, property or "
+        "seam attribute present on one engine and not the other (or "
+        "with different argument names) is silent drift that only "
+        "explodes when a caller flips engines."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        ctx = project.get_module(_ENGINE_MODULE)
+        if ctx is None:
+            return
+        classes = {}
+        for name in _ENGINE_CLASSES:
+            cls = _find_class(ctx.tree, name)
+            if cls is None:
+                yield self.finding(
+                    ctx.path, 1, 0,
+                    f"engine module no longer defines `{name}`; the "
+                    "engine-parity contract cannot be checked",
+                )
+                return
+            classes[name] = cls
+        base_name, fast_name = _ENGINE_CLASSES
+        base = _public_surface(classes[base_name])
+        fast = _public_surface(classes[fast_name])
+        for missing in sorted(set(base) - set(fast)):
+            yield self.finding(
+                ctx.path, classes[fast_name].lineno, classes[fast_name].col_offset,
+                f"`{fast_name}` is missing public attribute `{missing}` "
+                f"present on `{base_name}`",
+            )
+        for extra in sorted(set(fast) - set(base)):
+            yield self.finding(
+                ctx.path, classes[base_name].lineno, classes[base_name].col_offset,
+                f"`{base_name}` is missing public attribute `{extra}` "
+                f"present on `{fast_name}`",
+            )
+        for name in sorted(set(base) & set(fast)):
+            sig_a, sig_b = base[name], fast[name]
+            if sig_a is not None and sig_b is not None and sig_a != sig_b:
+                yield self.finding(
+                    ctx.path, classes[fast_name].lineno,
+                    classes[fast_name].col_offset,
+                    f"`{name}` signatures diverge between engines: "
+                    f"{base_name}({', '.join(sig_a)}) vs "
+                    f"{fast_name}({', '.join(sig_b)})",
+                )
+
+
+# ---------------------------------------------------------------------------
+# S302: timer_observer seam duck-safety
+# ---------------------------------------------------------------------------
+
+
+@register
+class TimerSeamRule(Rule):
+    id = "S302"
+    summary = "invoke the timer_observer seam only via getattr(sim, 'timer_observer', None)"
+    rationale = (
+        "The seam defaults to None on both engines and is swapped in "
+        "per run; FastSimulator is __slots__-bound. Direct attribute "
+        "invocation (`sim.timer_observer(op, t)`) crashes on every "
+        "unobserved run and couples callers to one engine's layout. "
+        "The contract is fetch-with-default then None-check, which "
+        "keeps the uninstrumented hot path allocation- and branch-free."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "timer_observer"
+                and node.args
+            ):
+                # zero-arg calls are observer *factories* (e.g.
+                # CausalRecorder.timer_observer() building the hook);
+                # the seam itself is always invoked with (op, timer)
+                yield self.finding(
+                    ctx.path, node.lineno, node.col_offset,
+                    "direct `<obj>.timer_observer(...)` invocation; fetch "
+                    "via getattr(sim, 'timer_observer', None) and None-check",
+                )
+
+
+# ---------------------------------------------------------------------------
+# S303: obs record fields must exist in the pinned schema
+# ---------------------------------------------------------------------------
+
+
+def _schema_tables(tree: ast.Module) -> Optional[Dict[str, Set[str]]]:
+    """record type -> allowed field names, from _FIELDS ∪ _OPTIONAL_FIELDS."""
+    allowed: Dict[str, Set[str]] = {}
+    found_required = False
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not names or names[0] not in ("_FIELDS", "_OPTIONAL_FIELDS"):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        if names[0] == "_FIELDS":
+            found_required = True
+        for rec_type, fields_node in str_keys(node.value).items():
+            if isinstance(fields_node, ast.Dict):
+                allowed.setdefault(rec_type, set()).update(
+                    str_keys(fields_node)
+                )
+    return allowed if found_required else None
+
+
+@register
+class ObsSchemaConformanceRule(Rule):
+    id = "S303"
+    scope = "project"
+    summary = "every obs record field emitted in code exists in the pinned repro.obs schema"
+    rationale = (
+        "The .jsonl export is a parsed contract: CI artifacts, obs "
+        "diff, and external tooling key on field names. A field emitted "
+        "in code but absent from repro.obs.schema is schema drift — it "
+        "ships unvalidated and breaks consumers silently. Emit only "
+        "pinned fields; pin new ones in _FIELDS (required) or "
+        "_OPTIONAL_FIELDS (additive) first."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        schema_ctx = project.get_module(_SCHEMA_MODULE)
+        if schema_ctx is None:
+            return
+        allowed = _schema_tables(schema_ctx.tree)
+        if allowed is None:
+            yield self.finding(
+                schema_ctx.path, 1, 0,
+                "could not locate the `_FIELDS` literal in the schema "
+                "module; the emission contract cannot be checked",
+            )
+            return
+        for ctx in project.files:
+            if ctx.module == _SCHEMA_MODULE:
+                continue
+            yield from self._check_file(ctx, allowed)
+
+    def _check_file(
+        self, ctx: FileContext, allowed: Dict[str, Set[str]]
+    ) -> Iterator[Finding]:
+        for scope in self._scopes(ctx.tree):
+            # typed-record dict literals assigned to a local name may
+            # grow fields via `name["field"] = ...` later in the scope
+            tracked: Dict[str, str] = {}
+            for node in walk_scope(scope):
+                if isinstance(node, ast.Dict):
+                    rec_type = self._record_type(node, allowed)
+                    if rec_type is None:
+                        continue
+                    yield from self._check_literal(ctx, node, rec_type, allowed)
+                elif isinstance(node, ast.Assign):
+                    if isinstance(node.value, ast.Dict):
+                        rec_type = self._record_type(node.value, allowed)
+                        if rec_type is not None:
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    tracked[target.id] = rec_type
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in tracked
+                        ):
+                            key = target.slice
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                rec_type = tracked[target.value.id]
+                                if key.value not in allowed[rec_type] and key.value != "type":
+                                    yield self._drift(
+                                        ctx, target, key.value, rec_type
+                                    )
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> List[ast.AST]:
+        scopes: List[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        return scopes
+
+    @staticmethod
+    def _record_type(
+        node: ast.Dict, allowed: Dict[str, Set[str]]
+    ) -> Optional[str]:
+        type_node = str_keys(node).get("type")
+        if (
+            type_node is not None
+            and isinstance(type_node, ast.Constant)
+            and isinstance(type_node.value, str)
+            and type_node.value in allowed
+        ):
+            return type_node.value
+        return None
+
+    def _check_literal(
+        self,
+        ctx: FileContext,
+        node: ast.Dict,
+        rec_type: str,
+        allowed: Dict[str, Set[str]],
+    ) -> Iterator[Finding]:
+        for field in str_keys(node):
+            if field != "type" and field not in allowed[rec_type]:
+                yield self._drift(ctx, node, field, rec_type)
+
+    def _drift(
+        self, ctx: FileContext, node: ast.AST, field: str, rec_type: str
+    ) -> Finding:
+        return self.finding(
+            ctx.path, node.lineno, node.col_offset,
+            f"field `{field}` emitted for record type `{rec_type}` is not "
+            "pinned in repro.obs.schema (_FIELDS/_OPTIONAL_FIELDS)",
+        )

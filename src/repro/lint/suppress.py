@@ -1,0 +1,78 @@
+"""Inline suppressions: ``# lint: ignore[RULE]``.
+
+Suppression policy (DESIGN §15): a finding may be silenced only on the
+exact line it fires on, only by naming the rule, and the comment is the
+audit trail — ``# lint: ignore[D101]`` says "yes, this really is
+wall-clock, on purpose".  Forms::
+
+    start = time.perf_counter()   # lint: ignore[D101]
+    ...                           # lint: ignore[D101,P201]
+    ...                           # lint: ignore
+
+The bare form (no bracket) silences every rule on that line; prefer the
+named form so the next reader knows *which* contract is being waived.
+Rule ids are case-sensitive.  Suppressions are extracted from the raw
+source text (not the AST) so they survive inside any statement, and a
+multi-line statement can carry the comment on whichever physical line
+the finding points at.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+#: matches the suppression comment anywhere in a physical line
+_PATTERN = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+#: sentinel rule-set meaning "every rule"
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+class SuppressionIndex:
+    """Per-file map of physical line number -> suppressed rule ids."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]):
+        self._by_line = by_line
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return rules is ALL_RULES or "*" in rules or rule_id in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    def lines(self) -> Dict[int, FrozenSet[str]]:
+        """The raw mapping (used by tests and ``--list-suppressions``)."""
+        return dict(self._by_line)
+
+
+def _parse_comment(text: str) -> Optional[FrozenSet[str]]:
+    match = _PATTERN.search(text)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return ALL_RULES
+    names = frozenset(name.strip() for name in rules.split(",") if name.strip())
+    # an empty bracket (``ignore[]``) suppresses nothing — treat as a
+    # malformed comment rather than a blanket waiver
+    return names or None
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan raw source text for suppression comments, line by line."""
+    by_line: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        rules = _parse_comment(text)
+        if rules is not None:
+            by_line[lineno] = rules
+    return SuppressionIndex(by_line)

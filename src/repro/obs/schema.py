@@ -97,6 +97,37 @@ _FIELDS = {
     },
 }
 
+#: optional fields per record type: present-if-emitted, typed when present.
+#: The static analyzer (``blockack lint``, rule S303) enforces that every
+#: field name emitted anywhere in the codebase appears either here or in
+#: ``_FIELDS`` — emitting an unpinned field is schema drift and fails CI.
+#: ``detail`` is any JSON scalar, so it is typed as the scalar union.
+_SCALAR = (bool, int, float, str)
+_OPTIONAL_FIELDS = {
+    "meta": {},
+    "event": {
+        "seq": (int, True),
+        "seq_hi": (int, True),
+        "detail": (_SCALAR, True),
+    },
+    "span": {
+        "timeouts": (int, False),
+        "flow": (int, False),
+    },
+    "snapshot": {},
+    "causal": {
+        "flow": (int, False),
+        "detail": (_SCALAR, True),
+    },
+    "trigger": {
+        "detail": (_SCALAR, True),
+    },
+    "state": {},
+    "attribution": {
+        "flow": (int, False),
+    },
+}
+
 _METRIC_TYPES = {"counter", "gauge", "histogram"}
 
 
@@ -120,6 +151,21 @@ def validate_record(record: object, lineno: int = 0) -> List[str]:
             continue
         if not isinstance(value, types) or isinstance(value, bool):
             # bool is an int subclass; it is never a valid field value here
+            errors.append(
+                f"{where}: {kind}.{field} has type {type(value).__name__}"
+            )
+    for field, (types, nullable) in _OPTIONAL_FIELDS[kind].items():
+        if field not in record:
+            continue  # optional: absence is fine, only presence is typed
+        value = record[field]
+        if value is None:
+            if not nullable:
+                errors.append(f"{where}: {kind}.{field} must not be null")
+            continue
+        allowed = types if isinstance(types, tuple) else (types,)
+        if not isinstance(value, allowed) or (
+            isinstance(value, bool) and bool not in allowed
+        ):
             errors.append(
                 f"{where}: {kind}.{field} has type {type(value).__name__}"
             )

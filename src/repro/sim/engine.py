@@ -509,7 +509,7 @@ class FastSimulator:
     never invalidated mid-batch.
     """
 
-    MAX_BUCKETS = 32768  # growth cap: 2^15 buckets ≈ 256 KiB of list heads
+    _MAX_BUCKETS = 32768  # growth cap: 2^15 buckets ≈ 256 KiB of list heads
 
     # Same timer seam as Simulator; instances override via __dict__.
     timer_observer = None
@@ -741,10 +741,10 @@ class FastSimulator:
             events.extend(e for e in bucket if not e[4])
         self._count = count = len(events)
         old_nbuckets = nbuckets = self._mask + 1
-        while count >= (nbuckets << 1) and nbuckets < self.MAX_BUCKETS:
+        while count >= (nbuckets << 1) and nbuckets < self._MAX_BUCKETS:
             nbuckets <<= 2
-        if nbuckets >= self.MAX_BUCKETS:
-            nbuckets = self.MAX_BUCKETS
+        if nbuckets >= self._MAX_BUCKETS:
+            nbuckets = self._MAX_BUCKETS
             # stop re-triggering: from here on only width could adapt,
             # and a fixed-width cap keeps schedule() at two compares
             self._resize_at = _NO_BUDGET

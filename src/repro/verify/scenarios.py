@@ -83,7 +83,7 @@ def run_intro_scenario_gbn(window: int = 6, domain: int = 7) -> ScenarioResult:
         + ")"
     )
     acks: List[int] = []
-    for index, (true_seq, wire_seq) in enumerate(first_batch):
+    for index, (_true_seq, wire_seq) in enumerate(first_batch):
         ack = receiver.on_data(wire_seq)
         # the receiver acknowledges after 0..4 as one cumulative ack and
         # after 5 as another (matching the paper's narration)

@@ -14,8 +14,9 @@ exactly-once in-order delivery end to end.
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
-from typing import Any, List, Optional
+from typing import Any, Iterable, List, Optional
 
 from repro.protocols.base import SenderEndpoint
 from repro.sim.engine import Simulator
@@ -52,13 +53,25 @@ class Source(ABC):
         """True once every payload has been handed to the sender."""
         return len(self.submitted) >= self.total
 
+    @property
+    def _bound_sim(self) -> Simulator:
+        if self.sim is None:
+            raise RuntimeError("source used before attach()")
+        return self.sim
+
+    @property
+    def _bound_sender(self) -> SenderEndpoint:
+        if self.sender is None:
+            raise RuntimeError("source used before attach()")
+        return self.sender
+
     def _make_payload(self) -> Any:
         return ("msg", len(self.submitted))
 
     def _submit_one(self) -> None:
         payload = self._make_payload()
         self.submitted.append(payload)
-        self.sender.submit(payload)
+        self._bound_sender.submit(payload)
 
     @abstractmethod
     def _start(self) -> None:
@@ -84,7 +97,7 @@ class GreedySource(Source):
         self._fill()
 
     def _fill(self) -> None:
-        while not self.exhausted and self.sender.can_accept:
+        while not self.exhausted and self._bound_sender.can_accept:
             self._submit_one()
 
 
@@ -95,7 +108,7 @@ class PoissonSource(Source):
     the offered load is preserved even through loss-recovery stalls.
     """
 
-    def __init__(self, total: int, rate: float, rng) -> None:
+    def __init__(self, total: int, rate: float, rng: random.Random) -> None:
         super().__init__(total)
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -112,7 +125,7 @@ class PoissonSource(Source):
             return
         self._arrivals_scheduled += 1
         gap = self.rng.expovariate(self.rate)
-        self.sim.schedule(gap, self._on_arrival)
+        self._bound_sim.schedule(gap, self._on_arrival)
 
     def _on_arrival(self) -> None:
         self._queued += 1
@@ -123,7 +136,7 @@ class PoissonSource(Source):
         self._drain()
 
     def _drain(self) -> None:
-        while self._queued > 0 and not self.exhausted and self.sender.can_accept:
+        while self._queued > 0 and not self.exhausted and self._bound_sender.can_accept:
             self._queued -= 1
             self._submit_one()
 
@@ -137,7 +150,7 @@ class ReplaySource(Source):
     can be replayed bit-identically across protocol variants.
     """
 
-    def __init__(self, arrivals) -> None:
+    def __init__(self, arrivals: Iterable[float]) -> None:
         times = [float(t) for t in arrivals]
         if any(b < a for a, b in zip(times, times[1:])):
             raise ValueError("arrival times must be non-decreasing")
@@ -149,7 +162,7 @@ class ReplaySource(Source):
 
     def _start(self) -> None:
         for when in self.arrivals:
-            self.sim.schedule(when, self._on_arrival)
+            self._bound_sim.schedule(when, self._on_arrival)
 
     def _on_arrival(self) -> None:
         self._queued += 1
@@ -159,7 +172,7 @@ class ReplaySource(Source):
         self._drain()
 
     def _drain(self) -> None:
-        while self._queued > 0 and not self.exhausted and self.sender.can_accept:
+        while self._queued > 0 and not self.exhausted and self._bound_sender.can_accept:
             self._queued -= 1
             self._submit_one()
 
@@ -193,12 +206,12 @@ class BurstySource(Source):
         self._queued += take
         self._drain()
         if self._generated < self.total:
-            self.sim.schedule(self.gap, self._burst)
+            self._bound_sim.schedule(self.gap, self._burst)
 
     def _on_window_open(self) -> None:
         self._drain()
 
     def _drain(self) -> None:
-        while self._queued > 0 and not self.exhausted and self.sender.can_accept:
+        while self._queued > 0 and not self.exhausted and self._bound_sender.can_accept:
             self._queued -= 1
             self._submit_one()

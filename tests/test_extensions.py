@@ -83,11 +83,13 @@ class TestVariableWindowEndpoint:
 
         def attach_with_toggler():
             original_attach()
+            step = 0
 
-            def toggle(step=[0]):
-                step[0] += 1
-                sender.resize_window(2 if step[0] % 2 else 8)
-                if step[0] < 20:
+            def toggle():
+                nonlocal step
+                step += 1
+                sender.resize_window(2 if step % 2 else 8)
+                if step < 20:
                     sender.sim.schedule(5.0, toggle)
 
             sender.sim.schedule(5.0, toggle)
