@@ -1,0 +1,7 @@
+"""Benchmark E17: heterogeneous flows on a capacity-limited link."""
+
+from conftest import run_and_record
+
+
+def test_e17_hetero_arbiter(benchmark, results_dir):
+    run_and_record(benchmark, "e17", results_dir)

@@ -23,12 +23,20 @@ The shared link may be a raw :class:`~repro.channel.channel.Channel`
 .FramedChannel` (envelopes serialize as ``0x03`` frames carrying the
 inner frame; a bit flip anywhere discards the envelope whole, so a
 damaged frame is never misdelivered to the wrong flow).
+
+When the mux is built with an *active*
+:class:`~repro.channel.arbiter.ArbiterConfig`, sends additionally pass
+through a :class:`~repro.channel.arbiter.LinkArbiter` — a token-bucket
+capacity model with pluggable per-flow scheduling — before reaching the
+link.  With no arbiter (or ``rate=None``) the send path is exactly the
+historical direct call, byte-identical to the pre-arbiter stack.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.channel.arbiter import ArbiterConfig, LinkArbiter
 from repro.channel.channel import ChannelStats
 from repro.channel.surface import ChannelSurface
 from repro.core.messages import FlowEnvelope
@@ -45,11 +53,22 @@ class FlowMux:
     :meth:`port`.  Messages arriving without a flow envelope, or for a
     flow with no connected receiver, raise — silent cross-flow delivery
     would invalidate every per-flow invariant.
+
+    ``arbiter`` takes an :class:`~repro.channel.arbiter.ArbiterConfig`;
+    when it is active (finite ``rate``) every port's sends are queued
+    and paced by a shared :class:`~repro.channel.arbiter.LinkArbiter`.
     """
 
-    def __init__(self, link: Any) -> None:
+    def __init__(
+        self, link: Any, arbiter: Optional[ArbiterConfig] = None
+    ) -> None:
         self.link = link
         self._ports: Dict[int, FlowPort] = {}
+        self.arbiter: Optional[LinkArbiter] = None
+        if arbiter is not None and arbiter.active:
+            self.arbiter = LinkArbiter(
+                link.sim, link.send, arbiter, name=link.name
+            )
         link.connect(self._demux)
         link.add_observer(self._observe)
 
@@ -61,8 +80,13 @@ class FlowMux:
     def name(self) -> str:
         return self.link.name
 
-    def port(self, flow: int) -> "FlowPort":
-        """The (created-on-first-use) port for ``flow``."""
+    def port(self, flow: int, weight: float = 1.0) -> "FlowPort":
+        """The (created-on-first-use) port for ``flow``.
+
+        ``weight`` is the flow's scheduling weight at the arbiter
+        (ignored without one, and on repeat lookups of an existing
+        port — weights are fixed at registration).
+        """
         if not 0 <= flow <= MAX_FLOW_ID:
             raise ValueError(
                 f"flow id {flow} outside the 16-bit wire domain"
@@ -70,6 +94,8 @@ class FlowMux:
         existing = self._ports.get(flow)
         if existing is not None:
             return existing
+        if self.arbiter is not None:
+            self.arbiter.register(flow, weight)
         port = FlowPort(self, flow)
         self._ports[flow] = port
         return port
@@ -138,7 +164,11 @@ class FlowPort:
             flow=self.flow, fseq=self._next_fseq, message=message
         )
         self._next_fseq += 1
-        self._mux.link.send(envelope)
+        arbiter = self._mux.arbiter
+        if arbiter is None:
+            self._mux.link.send(envelope)
+        else:
+            arbiter.submit(self.flow, envelope)
 
     def add_observer(self, observer: Callable[[str, Any], None]) -> None:
         """Observers see this flow's *unwrapped* protocol messages."""
@@ -163,10 +193,37 @@ class FlowPort:
         for observer in self._observers:
             observer(kind, envelope.message)
 
+    # -- arbiter view ------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting at the arbiter for this flow (0 without one)."""
+        arbiter = self._mux.arbiter
+        return arbiter.queue_depth(self.flow) if arbiter is not None else 0
+
+    @property
+    def queue_stats(self) -> Optional[dict]:
+        """This flow's arbiter counters as a dict; None without one."""
+        arbiter = self._mux.arbiter
+        if arbiter is None:
+            return None
+        return arbiter.flow_stats(self.flow).as_dict()
+
     # -- in-flight inspection ----------------------------------------------
 
     def in_flight(self) -> Iterator[Any]:
-        """This flow's in-flight messages, unwrapped."""
+        """This flow's in-flight messages, unwrapped.
+
+        From the endpoints' perspective a frame is in transit from the
+        moment ``send`` accepts it, so arbiter-queued (not yet granted)
+        frames are included ahead of the link's own in-flight set — the
+        invariant monitors and oracle senders keep a coherent view with
+        and without a bottleneck.
+        """
+        arbiter = self._mux.arbiter
+        if arbiter is not None:
+            for envelope in arbiter.queued(self.flow):
+                yield envelope.message
         for message in self._mux.link.in_flight():
             if isinstance(message, FlowEnvelope) and message.flow == self.flow:
                 yield message.message

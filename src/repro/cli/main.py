@@ -102,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         "engine with batched drain and block-sampled channel randomness "
         "(like REPRO_ENGINE=fast; decision-trace equivalent)",
     )
+    run_p.add_argument(
+        "--sched", default=None, choices=("fifo", "wrr", "drr"),
+        help="pin the arbiter experiments to one per-flow scheduler "
+        "(like REPRO_SCHED=drr; currently honoured by e17)",
+    )
 
     perf_p = sub.add_parser(
         "perf", help="measure hot paths, write a BENCH_<mode>.json baseline"
@@ -199,6 +204,25 @@ def build_parser() -> argparse.ArgumentParser:
         "link pair and print per-flow results (default: 1)",
     )
     tr.add_argument(
+        "--flow-windows", default=None, metavar="W1,W2,...",
+        help="heterogeneous session: one flow per listed window size "
+        "(e.g. 4,8,16; overrides --flows/--window)",
+    )
+    tr.add_argument(
+        "--flow-weights", default=None, metavar="X1,X2,...",
+        help="per-flow arbiter scheduling weights (wrr/drr), matching "
+        "--flow-windows or --flows",
+    )
+    tr.add_argument(
+        "--link-rate", type=float, default=None, metavar="R",
+        help="shared-link capacity in frames per unit time; enables the "
+        "send-side link arbiter (default: unlimited)",
+    )
+    tr.add_argument(
+        "--sched", default="fifo", choices=("fifo", "wrr", "drr"),
+        help="arbiter scheduler when --link-rate is set (default: fifo)",
+    )
+    tr.add_argument(
         "--corrupt", action="append", default=[], metavar="SITE:SEV@T",
         help="inject adversarial state corruption at virtual time T, "
         "e.g. sender.window:worst@40 (repeatable; prints the "
@@ -287,6 +311,7 @@ def _cmd_run(
     flows: Optional[int] = None,
     engine: Optional[str] = None,
     causal: bool = False,
+    sched: Optional[str] = None,
 ) -> int:
     import os
 
@@ -306,6 +331,8 @@ def _cmd_run(
         os.environ["REPRO_ENGINE"] = engine
     if causal:
         os.environ["REPRO_CAUSAL"] = "1"
+    if sched is not None:
+        os.environ["REPRO_SCHED"] = sched
     ids = experiment_ids() if experiment.lower() == "all" else [experiment]
     failures = 0
     for exp_id in ids:
@@ -352,14 +379,46 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             corruptions=[_parse_corruption(spec) for spec in args.corrupt],
         )
 
-    if args.flows > 1:
+    flow_windows = (
+        [int(w) for w in args.flow_windows.split(",")]
+        if args.flow_windows
+        else None
+    )
+    flow_weights = (
+        [float(w) for w in args.flow_weights.split(",")]
+        if args.flow_weights
+        else None
+    )
+    arbiter = None
+    if args.link_rate is not None:
+        from repro.channel.arbiter import ArbiterConfig
+
+        arbiter = ArbiterConfig(rate=args.link_rate, scheduler=args.sched)
+
+    if args.flows > 1 or flow_windows is not None or arbiter is not None:
         if fault_plan is not None:
             raise SystemExit("--corrupt targets a single endpoint pair; "
                              "combine it with --flows 1")
-        from repro.sim.host import run_flows, uniform_flows
+        from repro.sim.host import mixed_flows, run_flows, uniform_flows
 
+        if flow_windows is not None:
+            specs = mixed_flows(
+                args.protocol, flow_windows, args.messages,
+                weights=flow_weights,
+            )
+        else:
+            specs = uniform_flows(
+                args.protocol, args.flows, args.window, args.messages
+            )
+            if flow_weights is not None:
+                if len(flow_weights) != len(specs):
+                    raise SystemExit(
+                        "--flow-weights must list one weight per flow"
+                    )
+                for spec, weight in zip(specs, flow_weights):
+                    spec.weight = weight
         session = run_flows(
-            uniform_flows(args.protocol, args.flows, args.window, args.messages),
+            specs,
             forward=link(),
             reverse=link(),
             seed=args.seed,
@@ -367,15 +426,34 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
             max_time=1_000_000.0,
             causal=args.causal,
             engine=args.engine,
+            arbiter=arbiter,
         )
         print(session.summary())
         _print_causal(session)
+        # label per-flow lines only when the flows actually differ
+        # (uniform sessions keep the historical "flow N:" format)
+        labelled = len({flow.label for flow in session.flows}) > 1
         for flow in session.flows:
             retx = flow.sender_stats.get("retransmissions", 0)
-            print(
-                f"  flow {flow.flow}: {flow.delivered}/{flow.submitted} "
+            tag = f" [{flow.label}]" if labelled else ""
+            line = (
+                f"  flow {flow.flow}{tag}: "
+                f"{flow.delivered}/{flow.submitted} "
                 f"delivered, {retx} retransmission(s), "
                 f"{'in-order' if flow.in_order else 'ORDER VIOLATION'}"
+            )
+            if flow.queue_stats:
+                q = flow.queue_stats
+                line += (
+                    f", queue: depth<={q['max_depth']} "
+                    f"drops={q['dropped']} mean_wait={q['mean_wait']:.3f}tu"
+                )
+            print(line)
+        if session.arbiter_stats:
+            arb = session.arbiter_stats
+            print(
+                f"  arbiter: rate={arb['rate']:g}/tu sched={arb['scheduler']} "
+                f"grants={arb['grants_total']} drops={arb['drops_total']}"
             )
         if args.trace > 0 and session.trace is not None:
             print()
@@ -655,7 +733,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(
             args.experiment, args.quick, args.jobs, args.cache, args.obs,
-            args.flows, args.engine, args.causal,
+            args.flows, args.engine, args.causal, args.sched,
         )
     if args.command == "perf":
         return _cmd_perf(args)

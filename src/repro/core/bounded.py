@@ -98,9 +98,9 @@ class BoundedSenderBook:
         """Cells currently flagged acknowledged (ahead of a stalled na)."""
         return [cell for cell in range(self.w) if self._ackd[cell]]
 
-    def _covered_cells(self) -> set:
+    def _covered_cells(self) -> set[int]:
         """Cells some number in the live span ``[na, ns)`` maps to."""
-        cells = set()
+        cells: set[int] = set()
         seq = self.na
         while seq != self.ns:
             cells.add(seq % self.w)
@@ -121,7 +121,7 @@ class BoundedSenderBook:
     def all_acknowledged(self) -> bool:
         return self.na == self.ns and not any(self._ackd)
 
-    def repair(self, witness_cells: Optional[set] = None) -> list[str]:
+    def repair(self, witness_cells: Optional[set[int]] = None) -> list[str]:
         """Restore local consistency after arbitrary state corruption.
 
         With mod-``2w`` counters there is no unbounded history to consult,
@@ -188,7 +188,7 @@ class BoundedSenderBook:
                     f"na {advanced_from} -> {self.na} "
                     "(payload cells released at acknowledgment)"
                 )
-        live = set()
+        live: set[int] = set()
         seq = self.domain.add(self.na, 1)
         while seq != self.ns:
             live.add(seq % self.w)
@@ -291,7 +291,7 @@ class BoundedReceiverBook:
             raise RuntimeError(f"no block pending: nr={self.nr} vr={self.vr}")
         lo = self.nr
         hi = self.domain.sub(self.vr, 1)
-        payloads = []
+        payloads: list[Any] = []
         seq = self.nr
         while seq != self.vr:
             cell = seq % self.w
@@ -350,14 +350,14 @@ class BoundedReceiverBook:
                 break
             seq = self.domain.add(seq, 1)
         # cells a buffered number could live in: [vr, nr + w) mod n
-        live = set()
+        live: set[int] = set()
         seq = self.vr
         stop = self.domain.add(self.nr, self.w)
         while seq != stop:
             live.add(seq % self.w)
             seq = self.domain.add(seq, 1)
         # cells holding accepted-run payloads awaiting take_block
-        accepted = set()
+        accepted: set[int] = set()
         seq = self.nr
         while seq != self.vr:
             accepted.add(seq % self.w)

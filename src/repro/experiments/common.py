@@ -24,7 +24,7 @@ so results are comparable:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.channel.delay import ConstantDelay, ExponentialDelay, UniformDelay
 from repro.channel.impairments import BernoulliLoss, NoLoss
@@ -196,6 +196,12 @@ def protocol_config(
     flows: int = 1,
     engine: Optional[str] = None,
     causal: Optional[bool] = None,
+    link_rate: Optional[float] = None,
+    link_burst: float = 8.0,
+    sched: str = "fifo",
+    queue_limit: Optional[int] = 64,
+    flow_windows: Optional[Sequence[int]] = None,
+    flow_weights: Optional[Sequence[float]] = None,
     **protocol_kwargs,
 ) -> RunConfig:
     """The declarative twin of :func:`run_protocol`: one grid cell run.
@@ -220,6 +226,14 @@ def protocol_config(
     ``--causal`` flag): the causal flight recorder rides every cell of
     the grid, and anomalous cells leave ``results/obs/flight/`` dumps.
     The resolved value joins the cache key like ``obs``/``engine``.
+
+    ``link_rate`` (finite) puts the send-side link arbiter
+    (:mod:`repro.channel.arbiter`) in front of the forward channel:
+    ``sched``/``link_burst``/``queue_limit`` configure it, and
+    ``flow_windows``/``flow_weights`` describe a heterogeneous session
+    (one flow per window entry, built by
+    :func:`repro.sim.host.mixed_flows`).  The arbiter block only joins
+    the cache key when a rate is set.
     """
     if obs is None:
         obs = obs_enabled_by_env()
@@ -227,6 +241,12 @@ def protocol_config(
         engine = engine_from_env()
     if causal is None:
         causal = causal_enabled_by_env()
+    if flow_windows is not None:
+        flow_windows = tuple(flow_windows)
+        if flows == 1:
+            flows = len(flow_windows)
+    if flow_weights is not None:
+        flow_weights = tuple(flow_weights)
     return RunConfig(
         protocol=name,
         window=window,
@@ -242,6 +262,12 @@ def protocol_config(
         flows=flows,
         engine=engine,
         causal=causal,
+        link_rate=link_rate,
+        link_burst=link_burst,
+        sched=sched,
+        queue_limit=queue_limit,
+        flow_windows=flow_windows,
+        flow_weights=flow_weights,
     )
 
 

@@ -1,0 +1,275 @@
+"""E17 — heterogeneous flows on a capacity-limited link: scheduling matters.
+
+E15 showed that *identical* flows share a link fairly with zero
+coordination — every flow runs the same window and timeout, so their
+demands are symmetric and no scheduler is needed.  This experiment
+breaks the symmetry twice, the way a real bottleneck does:
+
+* the flows are **heterogeneous** — same protocol (block ack), but
+  window sizes differ (:func:`~repro.sim.host.mixed_flows`), so the
+  large-window flow *offers* several times more traffic per RTT than
+  the small-window one;
+* the link is **capacity-limited** — a send-side
+  :class:`~repro.channel.arbiter.LinkArbiter` (token bucket, ``rate``
+  frames per unit time) gates the shared forward channel, so the flows
+  genuinely compete for frames instead of transmitting independently.
+
+The sweep crosses link capacity with the arbiter's per-flow scheduler
+(``fifo`` — global arrival order; ``wrr``/``drr`` — round-robin
+variants), against an uncapacitated baseline of the same flow mix.
+Each cell reports per-flow goodput, Jain's fairness index, goodput
+retention versus the baseline (how much of the unconstrained rate the
+bottleneck admits), and the arbiter's queue-wait/drop accounting.
+
+Expected shape: without capacity limits the window sizes alone skew
+goodput (Jain well below 1 — a window-16 flow simply offers ~4x a
+window-4 flow).  A FIFO bottleneck makes this *worse*: arrival order is
+demand order, so the aggressive flow captures the link.  DRR restores
+per-flow fairness at the same capacity — equal weights give each
+backlogged flow an equal frame share regardless of how hard it pushes —
+so ``drr`` Jain >= ``fifo`` Jain on every finite-capacity cell, at a
+small aggregate-goodput cost at most.  One nuance: DRR equalizes only
+among *backlogged* flows (it is work-conserving, i.e. max-min fair).
+At generous capacities the small-window flow is window-limited, not
+link-limited — it simply cannot fill its share — and DRR correctly
+hands the slack to the big flow, so Jain dips below 1 from demand
+asymmetry, not scheduler unfairness.  The >= 0.9 fairness bar is
+therefore checked at the *tightest* rate, where the link is the
+binding constraint for every flow.  Every flow keeps exactly-once
+in-order prefix delivery in every cell: scheduling and droptail change
+*when* frames travel, never *what* the protocol delivers.
+
+Two modelling notes.  Correctness here is the ordered-prefix check, not
+the invariant monitors: the paper's invariant 8 ("at most one live copy
+in transit") assumes the channel's lifetime bound is the only delay,
+and a saturated arbiter queue deliberately violates that assumption —
+a timeout can fire while the original still waits in queue, which is a
+*real* congestion phenomenon (spurious retransmission), not a protocol
+bug.  For the same reason every cell pins an explicit generous
+``timeout_period`` instead of deriving one from the channel lifetime;
+the derived bound knows nothing about queueing delay.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.stats import summarize
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSpec,
+    SEEDS,
+    SEEDS_QUICK,
+    lossy_link,
+    protocol_config,
+    run_grid,
+)
+from repro.perf.sweep import sched_from_env
+
+__all__ = ["EXPERIMENT"]
+
+PROTOCOL = "blockack"
+#: the heterogeneous window mix: one flow per entry, equal weights
+MIX = (4, 8, 16)
+MIX_QUICK = (4, 16)
+#: per-flow payload budget far above what the horizon admits (E15's
+#: measurement model: delivery counts at cutoff are capacity shares)
+OFFERED = 5_000
+HORIZON = 150.0
+HORIZON_QUICK = 60.0
+#: link capacities in frames per unit time; None is the uncapacitated
+#: baseline the retention metric divides by.  With mean transit delay 1
+#: the mix offers roughly sum(w)/2 frames per tu, so the finite rates
+#: run the link from hard-saturated to lightly contended.
+RATES = (None, 2.0, 4.0, 8.0)
+RATES_QUICK = (None, 2.0, 6.0)
+SCHEDULERS = ("fifo", "wrr", "drr")
+SCHEDULERS_QUICK = ("fifo", "drr")
+#: explicit timeout: generous versus the queueing delays the tightest
+#: rate produces, so scheduling — not spurious-retransmission collapse —
+#: dominates the comparison (see the module docstring)
+TIMEOUT = 12.0
+
+
+def _scheds(quick: bool):
+    """The scheduler axis, or the one pinned by ``REPRO_SCHED``."""
+    pinned = sched_from_env()
+    if pinned is not None:
+        return (pinned,)
+    return SCHEDULERS_QUICK if quick else SCHEDULERS
+
+
+def _config(mix, rate, sched, seed, horizon):
+    return protocol_config(
+        PROTOCOL,
+        max(mix),  # nominal window (unused: flow_windows overrides)
+        OFFERED,
+        lossy_link(0.0),
+        lossy_link(0.0),
+        seed,
+        max_time=horizon,
+        flow_windows=mix,
+        link_rate=rate,
+        sched=sched,
+        timeout_period=TIMEOUT,
+    )
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    seeds = SEEDS_QUICK if quick else SEEDS
+    mix = MIX_QUICK if quick else MIX
+    rates = RATES_QUICK if quick else RATES
+    scheds = _scheds(quick)
+    horizon = HORIZON_QUICK if quick else HORIZON
+
+    # one baseline cell (rate=None: the scheduler never runs), then the
+    # full rate x scheduler cross
+    cells = [(None, "fifo")] + [
+        (rate, sched) for rate in rates if rate is not None for sched in scheds
+    ]
+    configs = [
+        _config(mix, rate, sched, seed, horizon)
+        for (rate, sched) in cells
+        for seed in seeds
+    ]
+    results = iter(run_grid(configs))
+
+    # collect per-cell, keyed for the verdict pass; remember the
+    # baseline's per-seed per-flow deliveries for the retention metric
+    collected = {}
+    baseline_flow_delivered = []  # [seed_index][flow] deliveries
+    for rate, sched in cells:
+        per_seed = [next(results) for _ in seeds]
+        if rate is None:
+            baseline_flow_delivered = [
+                [row["delivered"] for row in result.per_flow]
+                for result in per_seed
+            ]
+        collected[(rate, sched)] = per_seed
+
+    rows = []
+    data = {}
+    for rate, sched in cells:
+        per_seed = collected[(rate, sched)]
+        goodputs, fairnesses, retentions, waits, drops = [], [], [], [], []
+        ordered = True
+        for seed_index, result in enumerate(per_seed):
+            goodputs.append(result.delivered / result.duration)
+            fairnesses.append(result.fairness)
+            ordered = ordered and all(
+                row["ordered_prefix"] for row in result.per_flow
+            )
+            base = baseline_flow_delivered[seed_index]
+            retentions.append(
+                min(
+                    row["delivered"] / base[flow] if base[flow] else 1.0
+                    for flow, row in enumerate(result.per_flow)
+                )
+            )
+            if rate is not None:
+                queue_rows = [row["queue_stats"] for row in result.per_flow]
+                waits.append(max(q["mean_wait"] for q in queue_rows))
+                drops.append(sum(q["dropped"] for q in queue_rows))
+        goodput = summarize(goodputs)
+        fairness = summarize(fairnesses)
+        retention = summarize(retentions)
+        label = "inf" if rate is None else f"{rate:g}"
+        sched_label = "-" if rate is None else sched
+        data[f"rate{label}/{sched_label}"] = {
+            "goodput": goodput.mean,
+            "fairness": fairness.mean,
+            "fairness_min": fairness.minimum,
+            "min_flow_retention": retention.mean,
+            "max_mean_wait": max(waits) if waits else 0.0,
+            "drops": sum(drops) if drops else 0,
+            "ordered": ordered,
+        }
+        rows.append(
+            (
+                label,
+                sched_label,
+                str(goodput),
+                f"{fairness.mean:.3f}",
+                f"{fairness.minimum:.3f}",
+                f"{retention.mean:.2f}",
+                f"{max(waits):.2f}" if waits else "-",
+                sum(drops) if drops else 0,
+                "yes" if ordered else "NO",
+            )
+        )
+
+    table = render_table(
+        ["rate (/tu)", "sched", "aggregate goodput (/tu)", "fairness (mean)",
+         "fairness (min)", "min flow retention", "worst mean wait (tu)",
+         "drops", "prefix in order"],
+        rows,
+        title=(
+            f"windows {'/'.join(str(w) for w in mix)} block-ack flows on a "
+            f"rate-limited link for {horizon:.0f}tu ({len(seeds)} seeds)"
+        ),
+    )
+
+    all_ordered = all(cell["ordered"] for cell in data.values())
+    finite = [rate for rate in rates if rate is not None]
+    have_drr = "drr" in scheds and "fifo" in scheds
+    drr_ge_fifo = (not have_drr) or all(
+        data[f"rate{rate:g}/drr"]["fairness"]
+        >= data[f"rate{rate:g}/fifo"]["fairness"]
+        for rate in finite
+    )
+    # the >= 0.9 bar applies only where the link binds every flow: at
+    # generous rates the small-window flow is window-limited and
+    # work-conserving DRR hands the slack to the big flow (max-min
+    # fairness), so Jain < 1 there reflects demand asymmetry
+    tightest = min(finite)
+    drr_fair = ("drr" not in scheds) or (
+        data[f"rate{tightest:g}/drr"]["fairness_min"] >= 0.9
+    )
+    reproduced = all_ordered and drr_ge_fifo and drr_fair
+    findings = [
+        "correctness survives the bottleneck: every flow in every cell — "
+        "including hard-saturated FIFO ones — delivers an exactly-once "
+        "in-order prefix; queueing and droptail change timing, never "
+        "delivery semantics",
+        "heterogeneity alone skews the share: even with no capacity limit "
+        "the large-window flow out-delivers the small one, and a FIFO "
+        "bottleneck amplifies that (arrival order is demand order, so the "
+        "aggressive flow captures the link)",
+        "deficit round-robin restores fairness at the same capacity: equal "
+        "weights give each backlogged flow an equal frame share regardless "
+        "of window size, so drr's Jain index meets or beats fifo's on "
+        "every finite-rate cell and stays >= 0.9 at the tightest rate; at "
+        "generous rates the small-window flow is window-limited and "
+        "work-conserving drr hands the slack to the big flow (max-min "
+        "fairness), so Jain relaxes by demand asymmetry there",
+        "the paper's safe-timeout derivation assumes channel lifetime "
+        "bounds all delay; arbiter queueing violates that, so saturated "
+        "cells see spurious retransmissions — the experiment pins a "
+        "generous explicit timeout, and the remaining retransmission "
+        "traffic is the price of congestion, not a protocol bug",
+    ]
+    return ExperimentResult(
+        exp_id="E17",
+        title="Heterogeneous flows x link capacity x scheduler",
+        claim=EXPERIMENT.claim,
+        table=table,
+        data=data,
+        findings=findings,
+        reproduced=reproduced,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    exp_id="E17",
+    title="Heterogeneous flows on a capacity-limited link (arbiter)",
+    claim=(
+        "Extension of the paper's shared-link model (fairness from Jain, "
+        "bottleneck sharing from Ghaderi & Towsley, PAPERS.md): when "
+        "flows with different window sizes compete for a capacity-limited "
+        "link, FIFO service lets the large-window flow capture the "
+        "bottleneck while deficit round-robin restores a near-even frame "
+        "share (drr Jain >= fifo Jain at every capacity, >= 0.9 where the "
+        "link binds every flow) — and exactly-once in-order prefix "
+        "delivery holds in every cell."
+    ),
+    run=run,
+)

@@ -1,4 +1,4 @@
-"""Registry of all experiments, ordered E1..E16."""
+"""Registry of all experiments, ordered E1..E17."""
 
 from __future__ import annotations
 
@@ -21,6 +21,7 @@ from repro.experiments import (
     e14_adaptive_timeout,
     e15_multiflow_fairness,
     e16_state_corruption,
+    e17_hetero_arbiter,
 )
 from repro.experiments.common import ExperimentResult, ExperimentSpec
 
@@ -43,6 +44,7 @@ _MODULES = (
     e14_adaptive_timeout,
     e15_multiflow_fairness,
     e16_state_corruption,
+    e17_hetero_arbiter,
 )
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -51,7 +53,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 
 
 def experiment_ids() -> List[str]:
-    """All experiment ids in order: ['e1', ..., 'e16']."""
+    """All experiment ids in order: ['e1', ..., 'e17']."""
     return list(EXPERIMENTS)
 
 

@@ -27,12 +27,15 @@ Three products sit on the graph:
   record.  Clean runs write nothing.
 
 * **latency attribution** — each delivered seq's latency decomposed into
-  ``queue_wait`` (submit → first send), ``timer_wait`` (last send →
-  timeout, per retransmission round), ``retx_wait`` (timeout → resend;
-  the whole inter-send gap when no timeout was observed for the seq),
-  and ``propagation`` (last send before delivery → delivery).  The four
-  components telescope: they sum *exactly* to ``delivered - submitted``
-  up to float addition error.
+  ``queue_wait`` (submit → first send, plus any link-arbiter hold
+  between a send decision and the frame actually entering the wire;
+  the arbiter part is also reported separately as ``link_wait``),
+  ``timer_wait`` (last send → timeout, per retransmission round),
+  ``retx_wait`` (timeout → resend; the whole inter-send gap when no
+  timeout was observed for the seq), and ``propagation`` (last wire
+  entry before delivery → delivery).  The four components telescope:
+  they sum *exactly* to ``delivered - submitted`` up to float addition
+  error.
 
 * **root-cause analysis** — :mod:`repro.obs.analyze` reconstructs stall
   timelines and Perfetto traces from the dump (``blockack analyze``).
@@ -130,6 +133,7 @@ class _SeqState:
         "queue_wait",
         "timer_wait",
         "retx_wait",
+        "link_wait",
     )
 
     def __init__(self, flow: Optional[int], seq: int) -> None:
@@ -143,6 +147,7 @@ class _SeqState:
         self.queue_wait = 0.0
         self.timer_wait = 0.0
         self.retx_wait = 0.0
+        self.link_wait = 0.0  # arbiter hold; a sub-part of queue_wait
 
 
 class CausalRecorder:
@@ -387,6 +392,28 @@ class CausalRecorder:
             self.events_recorded += 1
             if self._sink is not None:
                 self._stream_node(node)
+            if kindstr == "channel.send" and seq_hi is None and seq is not None:
+                # a data frame actually entered the wire.  Without a link
+                # arbiter this is synchronous with SEND_DATA/RESEND_DATA
+                # (zero gap); with one, the enqueue->grant hold lands in
+                # queue_wait (and its link_wait sub-component) and
+                # prev_send advances to the true wire-entry time, so the
+                # four attribution components keep telescoping exactly.
+                # Acks are excluded: BlockAck carries seq_hi, and
+                # CumulativeAck travels the unobserved-for-data reverse
+                # link — but check the type anyway.
+                if isinstance(message, DataMessage):
+                    state = self._state.get(
+                        seq if flow is None else (flow, seq)
+                    )
+                    if state is not None and state.delivered is None:
+                        now = sim.now
+                        prev = state.prev_send
+                        if prev is not None and now > prev:
+                            gap = now - prev
+                            state.queue_wait += gap
+                            state.link_wait += gap
+                        state.prev_send = now
 
         return observe
 
@@ -516,6 +543,11 @@ class CausalRecorder:
                 "retx_wait": state.retx_wait,
                 "propagation": now - prev if prev is not None else 0.0,
             }
+            if state.link_wait:
+                # arbiter hold: already inside queue_wait (the components
+                # above still telescope); reported so congestion can be
+                # separated from window-availability wait
+                record["link_wait"] = state.link_wait
             if state.flow is not None:
                 record["flow"] = state.flow
             out[(state.flow, state.seq)] = record

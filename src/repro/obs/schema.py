@@ -125,6 +125,9 @@ _OPTIONAL_FIELDS = {
     "state": {},
     "attribution": {
         "flow": (int, False),
+        # arbiter enqueue->grant hold; a sub-component of queue_wait,
+        # present only on runs with a finite-rate link arbiter
+        "link_wait": (_NUMBER, False),
     },
 }
 

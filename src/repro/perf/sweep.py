@@ -29,7 +29,7 @@ import copy
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.perf.cache import ResultCache, config_digest, default_cache_root, describe
 from repro.sim.runner import LinkSpec, TransferResult, run_transfer
@@ -85,6 +85,25 @@ def causal_enabled_by_env() -> bool:
     return os.environ.get("REPRO_CAUSAL", "") not in ("", "0")
 
 
+def sched_from_env() -> Optional[str]:
+    """Scheduler pinned by ``REPRO_SCHED`` (the CLI's ``--sched`` flag).
+
+    Returns ``None`` when unset — experiments then sweep their own
+    scheduler axis; a pinned value narrows the sweep to one scheduler
+    (the way ``REPRO_FLOWS`` narrows e15's flow-count axis).
+    """
+    sched = os.environ.get("REPRO_SCHED", "")
+    if not sched:
+        return None
+    from repro.channel.arbiter import SCHEDULERS  # local: avoid cycles
+
+    if sched not in SCHEDULERS:
+        raise ValueError(
+            f"REPRO_SCHED={sched!r} is not one of {SCHEDULERS}"
+        )
+    return sched
+
+
 def engine_from_env() -> str:
     """Engine mode requested by ``REPRO_ENGINE`` (default: ``"default"``).
 
@@ -130,6 +149,12 @@ class RunConfig:
     flows: int = 1  # concurrent flows sharing the links; total is per-flow
     engine: str = "default"  # event-loop implementation (sim.engine.ENGINES)
     causal: bool = False  # causal graph + flight recorder (repro.obs.causal)
+    link_rate: Optional[float] = None  # arbiter capacity (frames/tu); None=off
+    link_burst: float = 8.0  # arbiter token-bucket depth (frames)
+    sched: str = "fifo"  # arbiter scheduler (repro.channel.arbiter.SCHEDULERS)
+    queue_limit: Optional[int] = 64  # arbiter per-flow droptail bound
+    flow_windows: Optional[Tuple[int, ...]] = None  # heterogeneous windows
+    flow_weights: Optional[Tuple[float, ...]] = None  # arbiter weights
 
     def description(self) -> str:
         """Canonical config string; equal configs describe identically."""
@@ -161,6 +186,18 @@ class RunConfig:
             # pre-causal cache keys, and a causal run (which may have
             # written a flight dump) never satisfies a causal-off lookup
             parts.append(f"causal={self.causal}")
+        if self.link_rate is not None:
+            # the arbiter block appends as a unit, and only when a
+            # bottleneck is actually configured: rate=None runs keep
+            # their pre-arbiter cache keys regardless of sched defaults
+            parts.append(f"link_rate={self.link_rate!r}")
+            parts.append(f"link_burst={self.link_burst!r}")
+            parts.append(f"sched={self.sched!r}")
+            parts.append(f"queue_limit={self.queue_limit!r}")
+        if self.flow_windows is not None:
+            parts.append(f"flow_windows={tuple(self.flow_windows)}")
+        if self.flow_weights is not None:
+            parts.append(f"flow_weights={tuple(self.flow_weights)}")
         return "RunConfig(" + ",".join(parts) + ")"
 
     def cache_key(self) -> str:
@@ -171,9 +208,15 @@ class RunConfig:
         """Deterministic telemetry run id: readable prefix + config digest."""
         flows = f"_f{self.flows}" if self.flows != 1 else ""
         engine = f"_{self.engine}" if self.engine != "default" else ""
+        arbiter = (
+            f"_r{self.link_rate:g}_{self.sched}"
+            if self.link_rate is not None
+            else ""
+        )
         return (
             f"{self.protocol.replace('-', '_')}_w{self.window}"
-            f"_n{self.total}{flows}{engine}_s{self.seed}_{self.cache_key()[:8]}"
+            f"_n{self.total}{flows}{engine}{arbiter}"
+            f"_s{self.seed}_{self.cache_key()[:8]}"
         )
 
 
@@ -238,28 +281,68 @@ def execute_config(config: RunConfig) -> TransferResult:
         }
         if config.flows != 1:
             obs_labels["flows"] = str(config.flows)
+        if config.link_rate is not None:
+            obs_labels["link_rate"] = str(config.link_rate)
+            obs_labels["sched"] = config.sched
     plan = copy.deepcopy(config.fault_plan) if config.fault_plan is not None else None
 
-    if config.flows > 1:
+    arbiter = None
+    if config.link_rate is not None:
+        from repro.channel.arbiter import ArbiterConfig  # local: avoid cycles
+
+        arbiter = ArbiterConfig(
+            rate=config.link_rate,
+            burst=config.link_burst,
+            scheduler=config.sched,
+            queue_limit=config.queue_limit,
+        )
+
+    if config.flow_windows is not None and len(config.flow_windows) != config.flows:
+        raise ValueError(
+            f"flow_windows has {len(config.flow_windows)} entries for "
+            f"flows={config.flows}; set flows=len(flow_windows)"
+        )
+    if config.flow_weights is not None and len(config.flow_weights) != config.flows:
+        raise ValueError(
+            f"flow_weights has {len(config.flow_weights)} entries for "
+            f"flows={config.flows}"
+        )
+
+    if config.flows > 1 or arbiter is not None or config.flow_windows is not None:
         if plan is not None:
             raise ValueError(
                 "fault plans script a single endpoint pair; multi-flow "
                 "sessions do not support them yet (see ROADMAP open items)"
             )
         from repro.sim.host import (  # local: avoid cycles
+            mixed_flows,
             run_flows,
             session_to_transfer,
             uniform_flows,
         )
 
-        session = run_flows(
-            uniform_flows(
+        if config.flow_windows is not None:
+            specs = mixed_flows(
+                config.protocol,
+                config.flow_windows,
+                config.total,
+                weights=config.flow_weights,
+                **config.protocol_kwargs,
+            )
+        else:
+            specs = uniform_flows(
                 config.protocol,
                 config.flows,
                 config.window,
                 config.total,
                 **config.protocol_kwargs,
-            ),
+            )
+            if config.flow_weights is not None:
+                for spec, weight in zip(specs, config.flow_weights):
+                    spec.weight = weight
+
+        session = run_flows(
+            specs,
             forward=config.forward,
             reverse=config.reverse,
             seed=config.seed,
@@ -273,6 +356,7 @@ def execute_config(config: RunConfig) -> TransferResult:
             obs_labels=obs_labels,
             causal=config.causal,
             engine=config.engine,
+            arbiter=arbiter,
         )
         result = session_to_transfer(session)
         if result.obs is not None:
@@ -341,6 +425,7 @@ def serialize_result(result: TransferResult) -> dict:
         "fairness": result.fairness,
         "ordered_prefix": result.ordered_prefix,
         "stabilization": result.stabilization,
+        "arbiter_stats": result.arbiter_stats or None,
     }
 
 
@@ -367,6 +452,7 @@ def deserialize_result(payload: dict) -> TransferResult:
         fairness=payload.get("fairness"),
         ordered_prefix=payload.get("ordered_prefix", payload["in_order"]),
         stabilization=payload.get("stabilization"),  # pre-corruption: None
+        arbiter_stats=dict(payload.get("arbiter_stats") or {}),  # pre-arbiter
     )
 
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import jain_fairness
+from repro.channel.arbiter import ArbiterConfig
 from repro.channel.mux import FlowMux
 from repro.channel.sampling import maybe_block
 from repro.protocols.base import ReceiverEndpoint, SenderEndpoint
@@ -58,18 +59,25 @@ __all__ = [
     "SessionHost",
     "run_flows",
     "uniform_flows",
+    "mixed_flows",
     "session_to_transfer",
 ]
 
 
 @dataclass
 class FlowSpec:
-    """One flow: an endpoint pair plus the source that drives it."""
+    """One flow: an endpoint pair plus the source that drives it.
+
+    ``weight`` is the flow's scheduling weight at the link arbiter
+    (WRR/DRR); it is ignored when the session has no arbiter or uses
+    the ``fifo`` scheduler.
+    """
 
     sender: SenderEndpoint
     receiver: ReceiverEndpoint
     source: Source
     label: str = ""  # cosmetic (protocol name etc.); not protocol state
+    weight: float = 1.0  # arbiter scheduling weight (wrr/drr)
 
 
 @dataclass
@@ -92,6 +100,7 @@ class FlowResult:
     timeout_period: float = 0.0
     monitor: Any = None  # per-flow InvariantMonitor / InvariantProbe
     delivered_payloads: List[Any] = field(default_factory=list)
+    queue_stats: dict = field(default_factory=dict)  # arbiter counters
 
     @property
     def throughput(self) -> float:
@@ -107,7 +116,7 @@ class FlowResult:
 
     def as_dict(self) -> dict:
         """JSON-safe row (what the sweep serializer carries per flow)."""
-        return {
+        row = {
             "flow": self.flow,
             "label": self.label,
             "completed": self.completed,
@@ -122,6 +131,9 @@ class FlowResult:
             "timeout_period": self.timeout_period,
             "violations": self.violations,
         }
+        if self.queue_stats:  # only arbitrated sessions carry the key
+            row["queue_stats"] = self.queue_stats
+        return row
 
 
 @dataclass
@@ -137,6 +149,7 @@ class SessionResult:
     fairness: float = 1.0  # Jain index over per-flow goodput
     forward_stats: dict = field(default_factory=dict)  # shared link
     reverse_stats: dict = field(default_factory=dict)
+    arbiter_stats: dict = field(default_factory=dict)  # {} without one
     trace: Any = None
     obs: Any = None
     obs_path: Optional[str] = None
@@ -175,8 +188,8 @@ def uniform_flows(
     """``count`` identical greedy flows of the named protocol.
 
     The homogeneous-population case every fairness experiment starts
-    from; heterogeneous mixes are built by composing :class:`FlowSpec`
-    by hand.
+    from; heterogeneous mixes come from :func:`mixed_flows` (or by
+    composing :class:`FlowSpec` by hand).
     """
     from repro.protocols.registry import make_pair  # cycle guard
 
@@ -193,6 +206,62 @@ def uniform_flows(
                 receiver=receiver,
                 source=GreedySource(total),
                 label=protocol,
+            )
+        )
+    return specs
+
+
+def mixed_flows(
+    protocol: str,
+    windows: Sequence[int],
+    total: int,
+    timeout_modes: Optional[Sequence[Optional[str]]] = None,
+    weights: Optional[Sequence[float]] = None,
+    sources: Optional[Sequence[Source]] = None,
+    **protocol_kwargs,
+) -> List[FlowSpec]:
+    """One flow per entry of ``windows``, heterogeneous on purpose.
+
+    The genuinely-competing-sessions case E17 studies: flows of the
+    same protocol but different window sizes (and optionally timeout
+    modes, arbiter scheduling weights, or workload sources) contending
+    for a shared link.  All optional sequences must match
+    ``len(windows)``; ``None`` entries in ``timeout_modes`` keep the
+    protocol's default, a ``sources`` default of ``None`` gives every
+    flow a greedy source offering ``total`` payloads.
+    """
+    from repro.protocols.registry import make_pair  # cycle guard
+
+    if not windows:
+        raise ValueError("mixed_flows needs at least one window entry")
+    for name, seq in (
+        ("timeout_modes", timeout_modes),
+        ("weights", weights),
+        ("sources", sources),
+    ):
+        if seq is not None and len(seq) != len(windows):
+            raise ValueError(
+                f"{name} must match windows "
+                f"({len(seq)} != {len(windows)})"
+            )
+    specs = []
+    for index, window in enumerate(windows):
+        kwargs = dict(protocol_kwargs)
+        mode = timeout_modes[index] if timeout_modes is not None else None
+        if mode is not None:
+            kwargs["timeout_mode"] = mode
+        sender, receiver = make_pair(protocol, window=window, **kwargs)
+        specs.append(
+            FlowSpec(
+                sender=sender,
+                receiver=receiver,
+                source=(
+                    sources[index]
+                    if sources is not None
+                    else GreedySource(total)
+                ),
+                label=f"{protocol}/w{window}",
+                weight=weights[index] if weights is not None else 1.0,
             )
         )
     return specs
@@ -314,6 +383,7 @@ class SessionHost:
         obs_sample_invariants_every: int = 0,
         causal: bool = False,
         engine: str = "default",
+        arbiter: Optional[ArbiterConfig] = None,
     ) -> None:
         self.flows = [
             _FlowHarness(index, spec) for index, spec in enumerate(flows)
@@ -335,6 +405,9 @@ class SessionHost:
         self.obs_sample_invariants_every = obs_sample_invariants_every
         self.causal = causal
         self.engine = engine
+        self.arbiter = (
+            arbiter if arbiter is not None and arbiter.active else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -373,8 +446,12 @@ class SessionHost:
         reverse_channel = self.reverse_spec.build(
             sim, maybe_block(streams.get("channel.reverse"), self.engine), "RS"
         )
-        forward_mux = FlowMux(forward_channel)
+        # only the data direction is arbitrated: acks are the paper's
+        # cheap control frames, so the reverse link keeps pure
+        # loss/delay (see repro.channel.arbiter module docs)
+        forward_mux = FlowMux(forward_channel, arbiter=self.arbiter)
         reverse_mux = FlowMux(reverse_channel)
+        self._link_arbiter = forward_mux.arbiter
         if obs_session is not None:
             obs_session.attach_channel(forward_channel, forward_channel.name)
             obs_session.attach_channel(reverse_channel, reverse_channel.name)
@@ -427,7 +504,7 @@ class SessionHost:
     ) -> None:
         sender, receiver = flow.spec.sender, flow.spec.receiver
         fid = flow.index
-        flow.forward_port = forward_mux.port(fid)
+        flow.forward_port = forward_mux.port(fid, weight=flow.spec.weight)
         flow.reverse_port = reverse_mux.port(fid)
 
         # flow-aware identity: distinct trace actors per flow, and the
@@ -600,6 +677,7 @@ class SessionHost:
         self, sim, forward_channel, reverse_channel, recorder, obs_session,
         causal_rec=None,
     ) -> SessionResult:
+        arbiter = getattr(self, "_link_arbiter", None)
         flow_results: List[FlowResult] = []
         for flow in self.flows:
             spec = flow.spec
@@ -647,6 +725,11 @@ class SessionHost:
                         if self.collect_payloads
                         else []
                     ),
+                    queue_stats=(
+                        arbiter.flow_stats(flow.index).as_dict()
+                        if arbiter is not None
+                        else {}
+                    ),
                 )
             )
 
@@ -662,6 +745,9 @@ class SessionHost:
             ),
             forward_stats=self._link_stats(forward_channel),
             reverse_stats=self._link_stats(reverse_channel),
+            arbiter_stats=(
+                arbiter.stats_dict() if arbiter is not None else {}
+            ),
             trace=recorder if self.trace else None,
             obs=obs_session,
         )
@@ -707,6 +793,27 @@ class SessionHost:
         obs_session.registry.gauge(
             "session_flows", "flows hosted by this session"
         ).set(len(result.flows))
+        if result.arbiter_stats:
+            depth_gauge = obs_session.registry.gauge(
+                "link_queue_depth",
+                "peak arbiter queue occupancy per flow (frames)",
+                labelnames=("flow",),
+            )
+            drops = obs_session.registry.counter(
+                "link_drops_total",
+                "arbiter droptail rejections per flow",
+                labelnames=("flow",),
+            )
+            grants = obs_session.registry.counter(
+                "arbiter_grants_total",
+                "frames granted onto the link per flow",
+                labelnames=("flow",),
+            )
+            for flow_id, stats in result.arbiter_stats["per_flow"].items():
+                labels = {"flow": str(flow_id)}
+                depth_gauge.labels(**labels).set(stats["max_depth"])
+                drops.labels(**labels).inc(stats["dropped"])
+                grants.labels(**labels).inc(stats["granted"])
         obs_session.finalize(result)
 
 
@@ -727,6 +834,7 @@ def run_flows(
     obs_sample_invariants_every: int = 0,
     causal: bool = False,
     engine: str = "default",
+    arbiter: Optional[ArbiterConfig] = None,
 ) -> SessionResult:
     """Run N flows over one shared link pair and measure the session.
 
@@ -737,11 +845,16 @@ def run_flows(
     :class:`~repro.sim.runner.TransferResult`).  With N >= 2 the flows
     share one forward and one reverse channel through a
     :class:`~repro.channel.mux.FlowMux` per direction.
+
+    An *active* ``arbiter`` (finite rate) disables the N=1 delegation:
+    a capacity-limited run needs the mux/arbiter wiring even for one
+    flow, so it always goes through :class:`SessionHost`.
     """
     flows = list(flows)
     if not flows:
         raise ValueError("run_flows needs at least one FlowSpec")
-    if len(flows) == 1:
+    arbitrated = arbiter is not None and arbiter.active
+    if len(flows) == 1 and not arbitrated:
         spec = flows[0]
         result = run_transfer(
             spec.sender,
@@ -781,6 +894,7 @@ def run_flows(
         obs_sample_invariants_every=obs_sample_invariants_every,
         causal=causal,
         engine=engine,
+        arbiter=arbiter if arbitrated else None,
     )
     return host.run()
 
@@ -854,4 +968,5 @@ def session_to_transfer(session: SessionResult) -> TransferResult:
         flight_path=session.flight_path,
         per_flow=[flow.as_dict() for flow in session.flows],
         fairness=session.fairness,
+        arbiter_stats=session.arbiter_stats,
     )

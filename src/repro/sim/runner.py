@@ -100,6 +100,7 @@ class TransferResult:
     stabilization: Optional[dict] = None  # corruption-recovery verdict
     causal: Any = None  # CausalRecorder when causal= was requested
     flight_path: Optional[str] = None  # flight dump, when a trigger fired
+    arbiter_stats: dict = field(default_factory=dict)  # link-arbiter counters
 
     def latency_percentile(self, q: float) -> float:
         """Submit-to-deliver latency percentile (requires latencies)."""

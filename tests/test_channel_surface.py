@@ -14,6 +14,7 @@ import random
 
 import pytest
 
+from repro.channel.arbiter import ArbiterConfig
 from repro.channel.channel import Channel
 from repro.channel.mux import FlowMux
 from repro.channel.surface import (
@@ -44,6 +45,15 @@ class TestSurfaceContract:
 
     def test_flow_port_complete(self, sim):
         port = FlowMux(_raw_channel(sim)).port(0)
+        assert isinstance(port, ChannelSurface)
+        assert missing_surface(port) == []
+
+    def test_queued_flow_port_complete(self, sim):
+        """An arbitrated (queue-backed) port carries the same surface."""
+        mux = FlowMux(
+            _raw_channel(sim), arbiter=ArbiterConfig(rate=2.0, burst=1.0)
+        )
+        port = mux.port(0)
         assert isinstance(port, ChannelSurface)
         assert missing_surface(port) == []
 
@@ -167,3 +177,51 @@ class TestFlowPortSurfaceBehaviour:
             mux.port(-1)
         with pytest.raises(ValueError):
             mux.port(0x10000)
+
+
+class TestQueuedFlowPortParity:
+    """An arbitrated port must behave like a (slower) plain port.
+
+    The arbiter inserts a queue between ``FlowPort.send`` and the link,
+    so the surface-level views — per-flow in-flight iteration, counts,
+    stats after drain — must fold the queued frames in rather than
+    silently losing them (the monitor and oracle layers iterate
+    ``in_flight()`` to reason about outstanding messages).
+    """
+
+    def _queued_mux(self, sim, rate=1.0):
+        return FlowMux(
+            _raw_channel(sim), arbiter=ArbiterConfig(rate=rate, burst=1.0)
+        )
+
+    def test_queued_frames_count_as_in_flight(self, sim):
+        mux = self._queued_mux(sim)
+        port = mux.port(0)
+        port.connect(lambda message: None)
+        for seq in range(3):
+            port.send(DataMessage(seq=seq, payload="x"))
+        # burst=1: one frame reached the wire, two wait in the queue
+        assert mux.link.in_flight_count == 1
+        assert port.queue_depth == 2
+        assert port.in_flight_count == 3
+        assert sorted(m.seq for m in port.in_flight()) == [0, 1, 2]
+        assert port.count_matching(lambda m: m.seq == 2) == 1
+
+    def test_drain_delivers_everything_and_stats_match_plain(self, sim):
+        plain = FlowMux(_raw_channel(sim)).port(0)
+        queued = self._queued_mux(sim).port(1)
+        for port in (plain, queued):
+            port.connect(lambda message: None)
+            for seq in range(4):
+                port.send(DataMessage(seq=seq, payload="x"))
+        sim.run()
+        assert plain.stats.sent == plain.stats.delivered == 4
+        assert queued.stats.sent == queued.stats.delivered == 4
+        assert queued.queue_depth == 0 and queued.is_empty
+        stats = queued.queue_stats
+        assert stats is not None and stats["granted"] == 4
+
+    def test_plain_port_reports_no_queue(self, sim):
+        port = FlowMux(_raw_channel(sim)).port(0)
+        assert port.queue_depth == 0
+        assert port.queue_stats is None

@@ -18,8 +18,8 @@ from repro.experiments.registry import (
 
 
 class TestRegistryStructure:
-    def test_sixteen_experiments(self):
-        assert experiment_ids() == [f"e{i}" for i in range(1, 17)]
+    def test_seventeen_experiments(self):
+        assert experiment_ids() == [f"e{i}" for i in range(1, 18)]
 
     def test_every_spec_has_claim_and_title(self):
         for spec in EXPERIMENTS.values():
